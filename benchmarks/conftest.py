@@ -1,0 +1,38 @@
+"""Shared configuration for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures at the
+``BENCH`` scale (a client-sampled workload — see DESIGN.md), times the
+run with pytest-benchmark, prints the reproduced table next to the
+paper's claims, and asserts the qualitative shape the paper reports.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+from repro.experiments.common import Scale
+
+# Large enough for stable shapes, small enough for a laptop run.
+BENCH = Scale("bench", rate=80.0, duration=60.0, monitor_period=10.0)
+
+# Footprint sweeps need TIME_WAIT (60 s lifetime) to saturate.
+BENCH_LONG = Scale("bench-long", rate=60.0, duration=150.0,
+                   monitor_period=30.0)
+
+
+@pytest.fixture(scope="session")
+def bench_scale():
+    return BENCH
+
+
+@pytest.fixture(scope="session")
+def bench_scale_long():
+    return BENCH_LONG
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Execute an experiment exactly once under the benchmark timer."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1)

@@ -1,0 +1,48 @@
+"""repro — a full reproduction of LDplayer (Zhu & Heidemann):
+trace-driven DNS experimentation at scale.
+
+Subpackages
+-----------
+
+``repro.dns``
+    From-scratch DNS: wire codec, records, zones, DNSSEC synthesis.
+``repro.netsim``
+    Discrete-event network simulator: UDP/TCP/TLS, TUN + netfilter,
+    calibrated server resource models (the testbed substitute).
+``repro.server``
+    Authoritative engine with split-horizon views, recursive resolver,
+    transport hosting.
+``repro.proxy``
+    The recursive/authoritative address-rewriting proxies (Figure 2).
+``repro.hierarchy``
+    Meta-DNS-server hierarchy emulation and the simulated Internet.
+``repro.trace``
+    Trace formats (pcap/text/binary), the query mutator, synthetic
+    workloads, statistics.
+``repro.zonegen``
+    Zone construction from captured traffic (§2.3).
+``repro.replay``
+    The distributed query engine: controller → distributors → queriers,
+    timing discipline, live loopback replay.
+``repro.experiments``
+    One harness per paper table/figure; the ``ldplayer`` CLI.
+
+Quickstart
+----------
+
+>>> from repro.netsim import EventLoop, Network
+>>> from repro.hierarchy import HierarchyEmulation
+>>> from repro.trace import make_hierarchy_zones
+>>> loop = EventLoop(); net = Network(loop)
+>>> emu = HierarchyEmulation(net, make_hierarchy_zones())
+>>> emu.view_count() > 1
+True
+"""
+
+__version__ = "1.0.0"
+
+from . import dns, experiments, hierarchy, netsim, proxy, replay, server, \
+    trace, zonegen
+
+__all__ = ["dns", "experiments", "hierarchy", "netsim", "proxy", "replay",
+           "server", "trace", "zonegen", "__version__"]

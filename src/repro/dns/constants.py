@@ -1,0 +1,108 @@
+"""DNS protocol constants: record types, classes, rcodes, opcodes, flags."""
+
+from __future__ import annotations
+
+import enum
+
+
+class RRType(enum.IntEnum):
+    """Resource record types (the subset LDplayer traces exercise)."""
+
+    A = 1
+    NS = 2
+    CNAME = 5
+    SOA = 6
+    PTR = 12
+    MX = 15
+    TXT = 16
+    AAAA = 28
+    SRV = 33
+    NAPTR = 35
+    DS = 43
+    RRSIG = 46
+    NSEC = 47
+    DNSKEY = 48
+    NSEC3 = 50
+    TLSA = 52
+    OPT = 41
+    SPF = 99
+    CAA = 257
+    ANY = 255
+
+    @classmethod
+    def from_text(cls, text: str) -> "RRType":
+        text = text.upper()
+        if text.startswith("TYPE"):
+            return cls.make(int(text[4:]))
+        try:
+            return cls[text]
+        except KeyError:
+            raise ValueError(f"unknown RR type {text!r}") from None
+
+    @classmethod
+    def make(cls, value: int) -> "RRType":
+        try:
+            return cls(value)
+        except ValueError:
+            # Unknown numeric types flow through traces untouched.
+            member = int.__new__(cls, value)
+            member._name_ = f"TYPE{value}"
+            member._value_ = value
+            return member
+
+
+class RRClass(enum.IntEnum):
+    IN = 1
+    CH = 3
+    HS = 4
+    NONE = 254
+    ANY = 255
+
+    @classmethod
+    def from_text(cls, text: str) -> "RRClass":
+        try:
+            return cls[text.upper()]
+        except KeyError:
+            raise ValueError(f"unknown RR class {text!r}") from None
+
+
+class Rcode(enum.IntEnum):
+    NOERROR = 0
+    FORMERR = 1
+    SERVFAIL = 2
+    NXDOMAIN = 3
+    NOTIMP = 4
+    REFUSED = 5
+
+
+class Opcode(enum.IntEnum):
+    QUERY = 0
+    IQUERY = 1
+    STATUS = 2
+    NOTIFY = 4
+    UPDATE = 5
+
+
+class Flag(enum.IntFlag):
+    """Header flag bits, positioned within the 16-bit flags field."""
+
+    QR = 0x8000  # response
+    AA = 0x0400  # authoritative answer
+    TC = 0x0200  # truncated
+    RD = 0x0100  # recursion desired
+    RA = 0x0080  # recursion available
+    AD = 0x0020  # authentic data (DNSSEC)
+    CD = 0x0010  # checking disabled (DNSSEC)
+
+
+# EDNS OPT TTL field bit for "DNSSEC OK".
+EDNS_DO_BIT = 0x8000
+
+# Default EDNS advertised payload size used by modern resolvers.
+DEFAULT_EDNS_PAYLOAD = 4096
+
+# Classic UDP message size limit without EDNS (RFC 1035).
+UDP_PAYLOAD_LIMIT = 512
+
+DNS_PORT = 53
+DNS_OVER_TLS_PORT = 853

@@ -1,0 +1,200 @@
+"""DNS messages: header, question, sections, and the full wire codec."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from .constants import Flag, Opcode, RRClass, RRType, Rcode
+from .edns import Edns, parse_opt_record
+from .name import Name
+from .rrset import RR
+from .wire import WireError, WireReader, WireWriter
+
+
+@dataclass(frozen=True)
+class Question:
+    """The question section entry: name, type, class."""
+
+    name: Name
+    rrtype: RRType
+    rrclass: RRClass = RRClass.IN
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_name(self.name)
+        writer.write_u16(int(self.rrtype))
+        writer.write_u16(int(self.rrclass))
+
+    @classmethod
+    def from_wire(cls, reader: WireReader) -> "Question":
+        name = reader.read_name()
+        rrtype = RRType.make(reader.read_u16())
+        rrclass = RRClass(reader.read_u16())
+        return cls(name, rrtype, rrclass)
+
+    def to_text(self) -> str:
+        return f"{self.name} {self.rrclass.name} {self.rrtype.name}"
+
+
+@dataclass
+class Message:
+    """A complete DNS message."""
+
+    msg_id: int = 0
+    flags: Flag = Flag(0)
+    opcode: Opcode = Opcode.QUERY
+    rcode: Rcode = Rcode.NOERROR
+    question: List[Question] = field(default_factory=list)
+    answer: List[RR] = field(default_factory=list)
+    authority: List[RR] = field(default_factory=list)
+    additional: List[RR] = field(default_factory=list)
+    edns: Optional[Edns] = None
+
+    # -- convenience constructors ------------------------------------
+
+    @classmethod
+    def make_query(cls, name: Name, rrtype: RRType,
+                   rrclass: RRClass = RRClass.IN, msg_id: int = 0,
+                   recursion_desired: bool = True,
+                   edns: Optional[Edns] = None) -> "Message":
+        flags = Flag.RD if recursion_desired else Flag(0)
+        return cls(msg_id=msg_id, flags=flags,
+                   question=[Question(name, rrtype, rrclass)], edns=edns)
+
+    @classmethod
+    def make_response(cls, query: "Message",
+                      rcode: Rcode = Rcode.NOERROR) -> "Message":
+        flags = Flag.QR
+        if query.flags & Flag.RD:
+            flags |= Flag.RD
+        response = cls(msg_id=query.msg_id, flags=flags, opcode=query.opcode,
+                       rcode=rcode, question=list(query.question))
+        if query.edns is not None:
+            response.edns = Edns(dnssec_ok=query.edns.dnssec_ok)
+        return response
+
+    # -- flag helpers --------------------------------------------------
+
+    @property
+    def is_response(self) -> bool:
+        return bool(self.flags & Flag.QR)
+
+    @property
+    def dnssec_ok(self) -> bool:
+        return self.edns is not None and self.edns.dnssec_ok
+
+    def set_flag(self, flag: Flag, value: bool = True) -> None:
+        if value:
+            self.flags |= flag
+        else:
+            self.flags &= ~flag
+
+    # -- codec ---------------------------------------------------------
+
+    def to_wire(self, max_size: Optional[int] = None) -> bytes:
+        """Encode; if ``max_size`` is given and exceeded, truncate (TC=1).
+
+        Truncation follows resolver-friendly practice: drop whole records
+        from the tail until the message fits, setting the TC bit.
+        """
+        wire = self._encode()
+        if max_size is None or len(wire) <= max_size:
+            return wire
+        truncated = Message(
+            msg_id=self.msg_id, flags=self.flags | Flag.TC,
+            opcode=self.opcode, rcode=self.rcode,
+            question=list(self.question), edns=self.edns,
+        )
+        return truncated._encode()
+
+    def _encode(self) -> bytes:
+        writer = WireWriter()
+        writer.write_u16(self.msg_id)
+        flags = int(self.flags) | (int(self.opcode) << 11) | int(self.rcode)
+        writer.write_u16(flags)
+        writer.write_u16(len(self.question))
+        writer.write_u16(len(self.answer))
+        writer.write_u16(len(self.authority))
+        additional_count = len(self.additional) + (1 if self.edns else 0)
+        writer.write_u16(additional_count)
+        for question in self.question:
+            question.to_wire(writer)
+        for rr in self.answer:
+            rr.to_wire(writer)
+        for rr in self.authority:
+            rr.to_wire(writer)
+        for rr in self.additional:
+            rr.to_wire(writer)
+        if self.edns is not None:
+            self.edns.to_wire(writer)
+        return writer.getvalue()
+
+    @classmethod
+    def from_wire(cls, wire: bytes) -> "Message":
+        try:
+            return cls._decode(wire)
+        except WireError:
+            raise
+        except ValueError as exc:
+            # Bad enum values, malformed names, etc. all mean the same
+            # thing to a server: an undecodable message.
+            raise WireError(str(exc)) from exc
+
+    @classmethod
+    def _decode(cls, wire: bytes) -> "Message":
+        reader = WireReader(wire)
+        msg_id = reader.read_u16()
+        raw_flags = reader.read_u16()
+        qdcount = reader.read_u16()
+        ancount = reader.read_u16()
+        nscount = reader.read_u16()
+        arcount = reader.read_u16()
+        message = cls(
+            msg_id=msg_id,
+            flags=Flag(raw_flags & 0x87B0),
+            opcode=Opcode((raw_flags >> 11) & 0xF),
+            rcode=Rcode(raw_flags & 0xF),
+        )
+        for _ in range(qdcount):
+            message.question.append(Question.from_wire(reader))
+        for _ in range(ancount):
+            message.answer.append(RR.from_wire(reader))
+        for _ in range(nscount):
+            message.authority.append(RR.from_wire(reader))
+        for _ in range(arcount):
+            edns, was_opt = parse_opt_record(reader)
+            if was_opt:
+                if message.edns is not None:
+                    raise WireError("duplicate OPT record")
+                message.edns = edns
+            else:
+                message.additional.append(RR.from_wire(reader))
+        return message
+
+    def wire_size(self) -> int:
+        return len(self._encode())
+
+    def to_text(self) -> str:
+        lines = [
+            f";; id {self.msg_id} opcode {self.opcode.name} "
+            f"rcode {self.rcode.name} flags {self._flags_text()}"
+        ]
+        if self.edns is not None:
+            do = " do" if self.edns.dnssec_ok else ""
+            lines.append(f";; edns version {self.edns.version} "
+                         f"payload {self.edns.payload_size}{do}")
+        lines.append(";; QUESTION")
+        lines.extend(q.to_text() for q in self.question)
+        for title, section in (("ANSWER", self.answer),
+                               ("AUTHORITY", self.authority),
+                               ("ADDITIONAL", self.additional)):
+            if section:
+                lines.append(f";; {title}")
+                lines.extend(rr.to_text() for rr in section)
+        return "\n".join(lines)
+
+    def _flags_text(self) -> str:
+        names = [flag.name.lower() for flag in
+                 (Flag.QR, Flag.AA, Flag.TC, Flag.RD, Flag.RA, Flag.AD, Flag.CD)
+                 if self.flags & flag]
+        return " ".join(names) if names else "-"

@@ -1,0 +1,644 @@
+"""Resource-record data (RDATA) types.
+
+Each RDATA class carries the typed fields of one record type and knows how
+to convert itself between presentation format, wire format, and Python.
+Types not modelled explicitly round-trip through :class:`GenericRdata` so
+unknown records in traces survive conversion unchanged.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import ipaddress
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, List, Tuple, Type
+
+from .constants import RRType
+from .name import Name
+from .wire import WireError, WireReader, WireWriter
+
+
+class Rdata:
+    """Base class for typed RDATA."""
+
+    rrtype: ClassVar[RRType]
+
+    def to_wire(self, writer: WireWriter) -> None:
+        raise NotImplementedError
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "Rdata":
+        raise NotImplementedError
+
+    def to_text(self) -> str:
+        raise NotImplementedError
+
+    @classmethod
+    def from_text(cls, tokens: List[str]) -> "Rdata":
+        raise NotImplementedError
+
+    def wire_bytes(self) -> bytes:
+        """RDATA encoded standalone (no message compression)."""
+        writer = WireWriter(compress=False)
+        self.to_wire(writer)
+        return writer.getvalue()
+
+    def __eq__(self, other: object) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.wire_bytes() == other.wire_bytes()  # type: ignore[attr-defined]
+
+    def __hash__(self) -> int:
+        return hash((self.rrtype, self.wire_bytes()))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}({self.to_text()})"
+
+
+_REGISTRY: Dict[RRType, Type[Rdata]] = {}
+
+
+def _register(cls: Type[Rdata]) -> Type[Rdata]:
+    _REGISTRY[cls.rrtype] = cls
+    return cls
+
+
+@_register
+@dataclass(eq=False)
+class A(Rdata):
+    rrtype: ClassVar[RRType] = RRType.A
+    address: str  # dotted quad
+
+    def __post_init__(self) -> None:
+        ipaddress.IPv4Address(self.address)  # validate
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_bytes(ipaddress.IPv4Address(self.address).packed)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "A":
+        if rdlength != 4:
+            raise WireError(f"A rdata must be 4 bytes, got {rdlength}")
+        return cls(str(ipaddress.IPv4Address(reader.read_bytes(4))))
+
+    def to_text(self) -> str:
+        return self.address
+
+    @classmethod
+    def from_text(cls, tokens: List[str]) -> "A":
+        return cls(tokens[0])
+
+
+@_register
+@dataclass(eq=False)
+class AAAA(Rdata):
+    rrtype: ClassVar[RRType] = RRType.AAAA
+    address: str
+
+    def __post_init__(self) -> None:
+        ipaddress.IPv6Address(self.address)
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_bytes(ipaddress.IPv6Address(self.address).packed)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "AAAA":
+        if rdlength != 16:
+            raise WireError(f"AAAA rdata must be 16 bytes, got {rdlength}")
+        return cls(str(ipaddress.IPv6Address(reader.read_bytes(16))))
+
+    def to_text(self) -> str:
+        return self.address
+
+    @classmethod
+    def from_text(cls, tokens: List[str]) -> "AAAA":
+        return cls(tokens[0])
+
+
+class _SingleName(Rdata):
+    """Shared implementation for NS/CNAME/PTR records."""
+
+    def __init__(self, target: Name):
+        self.target = target
+
+    def to_wire(self, writer: WireWriter) -> None:
+        # Names inside RDATA of these types are compressible per RFC 1035,
+        # but we emit them uncompressed for RDLENGTH stability; decoding
+        # still accepts compressed forms.
+        writer.write_name(self.target, compressible=False)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int):
+        return cls(reader.read_name())
+
+    def to_text(self) -> str:
+        return self.target.to_text()
+
+    @classmethod
+    def from_text(cls, tokens: List[str]):
+        return cls(Name.from_text(tokens[0]))
+
+
+@_register
+class NS(_SingleName):
+    rrtype: ClassVar[RRType] = RRType.NS
+
+
+@_register
+class CNAME(_SingleName):
+    rrtype: ClassVar[RRType] = RRType.CNAME
+
+
+@_register
+class PTR(_SingleName):
+    rrtype: ClassVar[RRType] = RRType.PTR
+
+
+@_register
+@dataclass(eq=False)
+class SOA(Rdata):
+    rrtype: ClassVar[RRType] = RRType.SOA
+    mname: Name
+    rname: Name
+    serial: int
+    refresh: int
+    retry: int
+    expire: int
+    minimum: int
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_name(self.mname, compressible=False)
+        writer.write_name(self.rname, compressible=False)
+        for value in (self.serial, self.refresh, self.retry,
+                      self.expire, self.minimum):
+            writer.write_u32(value)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "SOA":
+        mname = reader.read_name()
+        rname = reader.read_name()
+        return cls(mname, rname, reader.read_u32(), reader.read_u32(),
+                   reader.read_u32(), reader.read_u32(), reader.read_u32())
+
+    def to_text(self) -> str:
+        return (f"{self.mname} {self.rname} {self.serial} {self.refresh} "
+                f"{self.retry} {self.expire} {self.minimum}")
+
+    @classmethod
+    def from_text(cls, tokens: List[str]) -> "SOA":
+        return cls(Name.from_text(tokens[0]), Name.from_text(tokens[1]),
+                   *(int(t) for t in tokens[2:7]))
+
+
+@_register
+@dataclass(eq=False)
+class MX(Rdata):
+    rrtype: ClassVar[RRType] = RRType.MX
+    preference: int
+    exchange: Name
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_u16(self.preference)
+        writer.write_name(self.exchange, compressible=False)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "MX":
+        return cls(reader.read_u16(), reader.read_name())
+
+    def to_text(self) -> str:
+        return f"{self.preference} {self.exchange}"
+
+    @classmethod
+    def from_text(cls, tokens: List[str]) -> "MX":
+        return cls(int(tokens[0]), Name.from_text(tokens[1]))
+
+
+@_register
+@dataclass(eq=False)
+class TXT(Rdata):
+    rrtype: ClassVar[RRType] = RRType.TXT
+    strings: Tuple[bytes, ...]
+
+    def __post_init__(self) -> None:
+        self.strings = tuple(self.strings)
+        for s in self.strings:
+            if len(s) > 255:
+                raise ValueError("TXT string exceeds 255 bytes")
+
+    def to_wire(self, writer: WireWriter) -> None:
+        for s in self.strings:
+            writer.write_u8(len(s))
+            writer.write_bytes(s)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "TXT":
+        end = reader.tell() + rdlength
+        strings = []
+        while reader.tell() < end:
+            strings.append(reader.read_bytes(reader.read_u8()))
+        return cls(tuple(strings))
+
+    def to_text(self) -> str:
+        return " ".join(
+            '"%s"' % s.decode("latin-1").replace("\\", "\\\\").replace('"', '\\"')
+            for s in self.strings
+        )
+
+    @classmethod
+    def from_text(cls, tokens: List[str]) -> "TXT":
+        strings = []
+        for token in tokens:
+            if token.startswith('"') and token.endswith('"') and len(token) >= 2:
+                token = token[1:-1]
+            strings.append(
+                token.replace('\\"', '"').replace("\\\\", "\\").encode("latin-1")
+            )
+        return cls(tuple(strings))
+
+
+@_register
+@dataclass(eq=False)
+class SRV(Rdata):
+    rrtype: ClassVar[RRType] = RRType.SRV
+    priority: int
+    weight: int
+    port: int
+    target: Name
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_u16(self.priority)
+        writer.write_u16(self.weight)
+        writer.write_u16(self.port)
+        writer.write_name(self.target, compressible=False)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "SRV":
+        return cls(reader.read_u16(), reader.read_u16(), reader.read_u16(),
+                   reader.read_name())
+
+    def to_text(self) -> str:
+        return f"{self.priority} {self.weight} {self.port} {self.target}"
+
+    @classmethod
+    def from_text(cls, tokens: List[str]) -> "SRV":
+        return cls(int(tokens[0]), int(tokens[1]), int(tokens[2]),
+                   Name.from_text(tokens[3]))
+
+
+@_register
+@dataclass(eq=False)
+class DS(Rdata):
+    rrtype: ClassVar[RRType] = RRType.DS
+    key_tag: int
+    algorithm: int
+    digest_type: int
+    digest: bytes
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_u16(self.key_tag)
+        writer.write_u8(self.algorithm)
+        writer.write_u8(self.digest_type)
+        writer.write_bytes(self.digest)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "DS":
+        return cls(reader.read_u16(), reader.read_u8(), reader.read_u8(),
+                   reader.read_bytes(rdlength - 4))
+
+    def to_text(self) -> str:
+        return (f"{self.key_tag} {self.algorithm} {self.digest_type} "
+                f"{self.digest.hex().upper()}")
+
+    @classmethod
+    def from_text(cls, tokens: List[str]) -> "DS":
+        return cls(int(tokens[0]), int(tokens[1]), int(tokens[2]),
+                   binascii.unhexlify("".join(tokens[3:])))
+
+
+@_register
+@dataclass(eq=False)
+class DNSKEY(Rdata):
+    rrtype: ClassVar[RRType] = RRType.DNSKEY
+    flags: int        # 256 = ZSK, 257 = KSK
+    protocol: int     # always 3
+    algorithm: int    # 8 = RSASHA256
+    key: bytes
+
+    ZSK_FLAGS: ClassVar[int] = 256
+    KSK_FLAGS: ClassVar[int] = 257
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_u16(self.flags)
+        writer.write_u8(self.protocol)
+        writer.write_u8(self.algorithm)
+        writer.write_bytes(self.key)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "DNSKEY":
+        return cls(reader.read_u16(), reader.read_u8(), reader.read_u8(),
+                   reader.read_bytes(rdlength - 4))
+
+    def key_tag(self) -> int:
+        """RFC 4034 appendix B key-tag computation."""
+        wire = self.wire_bytes()
+        total = 0
+        for index, byte in enumerate(wire):
+            total += byte << 8 if index % 2 == 0 else byte
+        total += (total >> 16) & 0xFFFF
+        return total & 0xFFFF
+
+    def to_text(self) -> str:
+        key64 = base64.b64encode(self.key).decode()
+        return f"{self.flags} {self.protocol} {self.algorithm} {key64}"
+
+    @classmethod
+    def from_text(cls, tokens: List[str]) -> "DNSKEY":
+        return cls(int(tokens[0]), int(tokens[1]), int(tokens[2]),
+                   base64.b64decode("".join(tokens[3:])))
+
+
+@_register
+@dataclass(eq=False)
+class RRSIG(Rdata):
+    rrtype: ClassVar[RRType] = RRType.RRSIG
+    type_covered: RRType
+    algorithm: int
+    labels: int
+    original_ttl: int
+    expiration: int
+    inception: int
+    key_tag: int
+    signer: Name
+    signature: bytes
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_u16(int(self.type_covered))
+        writer.write_u8(self.algorithm)
+        writer.write_u8(self.labels)
+        writer.write_u32(self.original_ttl)
+        writer.write_u32(self.expiration)
+        writer.write_u32(self.inception)
+        writer.write_u16(self.key_tag)
+        writer.write_name(self.signer, compressible=False)
+        writer.write_bytes(self.signature)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "RRSIG":
+        end = reader.tell() + rdlength
+        type_covered = RRType.make(reader.read_u16())
+        algorithm = reader.read_u8()
+        labels = reader.read_u8()
+        original_ttl = reader.read_u32()
+        expiration = reader.read_u32()
+        inception = reader.read_u32()
+        key_tag = reader.read_u16()
+        signer = reader.read_name()
+        signature = reader.read_bytes(end - reader.tell())
+        return cls(type_covered, algorithm, labels, original_ttl,
+                   expiration, inception, key_tag, signer, signature)
+
+    def to_text(self) -> str:
+        sig64 = base64.b64encode(self.signature).decode()
+        return (f"{self.type_covered.name} {self.algorithm} {self.labels} "
+                f"{self.original_ttl} {self.expiration} {self.inception} "
+                f"{self.key_tag} {self.signer} {sig64}")
+
+    @classmethod
+    def from_text(cls, tokens: List[str]) -> "RRSIG":
+        return cls(RRType.from_text(tokens[0]), int(tokens[1]), int(tokens[2]),
+                   int(tokens[3]), int(tokens[4]), int(tokens[5]),
+                   int(tokens[6]), Name.from_text(tokens[7]),
+                   base64.b64decode("".join(tokens[8:])))
+
+
+@_register
+@dataclass(eq=False)
+class NSEC(Rdata):
+    rrtype: ClassVar[RRType] = RRType.NSEC
+    next_name: Name
+    types: Tuple[RRType, ...] = field(default_factory=tuple)
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_name(self.next_name, compressible=False)
+        writer.write_bytes(_encode_type_bitmap(self.types))
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "NSEC":
+        end = reader.tell() + rdlength
+        next_name = reader.read_name()
+        types = _decode_type_bitmap(reader.read_bytes(end - reader.tell()))
+        return cls(next_name, types)
+
+    def to_text(self) -> str:
+        names = " ".join(t.name for t in self.types)
+        return f"{self.next_name} {names}".rstrip()
+
+    @classmethod
+    def from_text(cls, tokens: List[str]) -> "NSEC":
+        return cls(Name.from_text(tokens[0]),
+                   tuple(RRType.from_text(t) for t in tokens[1:]))
+
+
+@_register
+@dataclass(eq=False)
+class CAA(Rdata):
+    rrtype: ClassVar[RRType] = RRType.CAA
+    caa_flags: int
+    tag: bytes
+    value: bytes
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_u8(self.caa_flags)
+        writer.write_u8(len(self.tag))
+        writer.write_bytes(self.tag)
+        writer.write_bytes(self.value)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "CAA":
+        end = reader.tell() + rdlength
+        caa_flags = reader.read_u8()
+        tag = reader.read_bytes(reader.read_u8())
+        value = reader.read_bytes(end - reader.tell())
+        return cls(caa_flags, tag, value)
+
+    def to_text(self) -> str:
+        return f'{self.caa_flags} {self.tag.decode()} "{self.value.decode()}"'
+
+    @classmethod
+    def from_text(cls, tokens: List[str]) -> "CAA":
+        value = tokens[2]
+        if value.startswith('"') and value.endswith('"'):
+            value = value[1:-1]
+        return cls(int(tokens[0]), tokens[1].encode(), value.encode())
+
+
+@_register
+@dataclass(eq=False)
+class NAPTR(Rdata):
+    """Naming Authority Pointer (RFC 3403), used by ENUM/SIP discovery."""
+
+    rrtype: ClassVar[RRType] = RRType.NAPTR
+    order: int
+    preference: int
+    naptr_flags: bytes
+    service: bytes
+    regexp: bytes
+    replacement: Name
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_u16(self.order)
+        writer.write_u16(self.preference)
+        for text in (self.naptr_flags, self.service, self.regexp):
+            writer.write_u8(len(text))
+            writer.write_bytes(text)
+        writer.write_name(self.replacement, compressible=False)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "NAPTR":
+        order = reader.read_u16()
+        preference = reader.read_u16()
+        naptr_flags = reader.read_bytes(reader.read_u8())
+        service = reader.read_bytes(reader.read_u8())
+        regexp = reader.read_bytes(reader.read_u8())
+        return cls(order, preference, naptr_flags, service, regexp,
+                   reader.read_name())
+
+    def to_text(self) -> str:
+        return (f'{self.order} {self.preference} '
+                f'"{self.naptr_flags.decode("latin-1")}" '
+                f'"{self.service.decode("latin-1")}" '
+                f'"{self.regexp.decode("latin-1")}" {self.replacement}')
+
+    @classmethod
+    def from_text(cls, tokens: List[str]) -> "NAPTR":
+        def unquote(token: str) -> bytes:
+            if token.startswith('"') and token.endswith('"'):
+                token = token[1:-1]
+            return token.encode("latin-1")
+
+        return cls(int(tokens[0]), int(tokens[1]), unquote(tokens[2]),
+                   unquote(tokens[3]), unquote(tokens[4]),
+                   Name.from_text(tokens[5]))
+
+
+@_register
+@dataclass(eq=False)
+class TLSA(Rdata):
+    """DANE TLSA (RFC 6698) — the DNSSEC-anchored trust records whose
+    deployment the paper's introduction tracks."""
+
+    rrtype: ClassVar[RRType] = RRType.TLSA
+    usage: int
+    selector: int
+    matching_type: int
+    association: bytes
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_u8(self.usage)
+        writer.write_u8(self.selector)
+        writer.write_u8(self.matching_type)
+        writer.write_bytes(self.association)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "TLSA":
+        return cls(reader.read_u8(), reader.read_u8(), reader.read_u8(),
+                   reader.read_bytes(rdlength - 3))
+
+    def to_text(self) -> str:
+        return (f"{self.usage} {self.selector} {self.matching_type} "
+                f"{self.association.hex().upper()}")
+
+    @classmethod
+    def from_text(cls, tokens: List[str]) -> "TLSA":
+        return cls(int(tokens[0]), int(tokens[1]), int(tokens[2]),
+                   binascii.unhexlify("".join(tokens[3:])))
+
+
+@dataclass(eq=False)
+class GenericRdata(Rdata):
+    """Opaque RDATA for unmodelled types (RFC 3597 presentation format)."""
+
+    rrtype: RRType  # instance attribute, unlike typed subclasses
+    data: bytes
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_bytes(self.data)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader, rdlength: int) -> "GenericRdata":
+        raise TypeError("use parse_rdata() for generic records")
+
+    def to_text(self) -> str:
+        return f"\\# {len(self.data)} {self.data.hex()}"
+
+    @classmethod
+    def from_text(cls, tokens: List[str]) -> "GenericRdata":
+        raise TypeError("use rdata_from_text() with an explicit type")
+
+
+def _encode_type_bitmap(types: Tuple[RRType, ...]) -> bytes:
+    """RFC 4034 section 4.1.2 window-block type bitmap."""
+    windows: Dict[int, bytearray] = {}
+    for rrtype in types:
+        value = int(rrtype)
+        window, low = divmod(value, 256)
+        bitmap = windows.setdefault(window, bytearray(32))
+        bitmap[low // 8] |= 0x80 >> (low % 8)
+    out = bytearray()
+    for window in sorted(windows):
+        bitmap = windows[window]
+        length = max(i + 1 for i, byte in enumerate(bitmap) if byte)
+        out.append(window)
+        out.append(length)
+        out += bitmap[:length]
+    return bytes(out)
+
+
+def _decode_type_bitmap(data: bytes) -> Tuple[RRType, ...]:
+    types = []
+    offset = 0
+    while offset + 2 <= len(data):
+        window = data[offset]
+        length = data[offset + 1]
+        bitmap = data[offset + 2 : offset + 2 + length]
+        for index, byte in enumerate(bitmap):
+            for bit in range(8):
+                if byte & (0x80 >> bit):
+                    types.append(RRType.make(window * 256 + index * 8 + bit))
+        offset += 2 + length
+    return tuple(types)
+
+
+def parse_rdata(rrtype: RRType, reader: WireReader, rdlength: int) -> Rdata:
+    """Decode RDATA of the given type from the wire."""
+    cls = _REGISTRY.get(rrtype)
+    if cls is None:
+        return GenericRdata(rrtype, reader.read_bytes(rdlength))
+    start = reader.tell()
+    rdata = cls.from_wire(reader, rdlength)
+    if reader.tell() != start + rdlength:
+        raise WireError(
+            f"{rrtype.name} rdata length mismatch: declared {rdlength}, "
+            f"consumed {reader.tell() - start}"
+        )
+    return rdata
+
+
+def rdata_from_text(rrtype: RRType, tokens: List[str]) -> Rdata:
+    """Parse presentation-format RDATA tokens for the given type."""
+    if tokens and tokens[0] == "\\#":
+        data = binascii.unhexlify("".join(tokens[2:]))
+        if len(data) != int(tokens[1]):
+            raise ValueError("RFC 3597 length mismatch")
+        cls = _REGISTRY.get(rrtype)
+        if cls is not None:
+            reader = WireReader(data)
+            return cls.from_wire(reader, len(data))
+        return GenericRdata(rrtype, data)
+    cls = _REGISTRY.get(rrtype)
+    if cls is None:
+        raise ValueError(
+            f"no presentation parser for {rrtype.name}; use \\# generic form"
+        )
+    return cls.from_text(tokens)

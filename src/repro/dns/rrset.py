@@ -1,0 +1,123 @@
+"""Resource records and RRsets."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List
+
+from .constants import RRClass, RRType
+from .name import Name
+from .rdata import Rdata, parse_rdata
+from .wire import WireReader, WireWriter
+
+
+@dataclass(frozen=True)
+class RR:
+    """A single resource record: owner, TTL, class, and typed RDATA."""
+
+    name: Name
+    ttl: int
+    rrclass: RRClass
+    rdata: Rdata
+
+    @property
+    def rrtype(self) -> RRType:
+        return self.rdata.rrtype
+
+    def to_wire(self, writer: WireWriter) -> None:
+        writer.write_name(self.name)
+        writer.write_u16(int(self.rrtype))
+        writer.write_u16(int(self.rrclass))
+        writer.write_u32(self.ttl)
+        length_offset = writer.tell()
+        writer.write_u16(0)  # placeholder RDLENGTH
+        start = writer.tell()
+        self.rdata.to_wire(writer)
+        writer.patch_u16(length_offset, writer.tell() - start)
+
+    @classmethod
+    def from_wire(cls, reader: WireReader) -> "RR":
+        name = reader.read_name()
+        rrtype = RRType.make(reader.read_u16())
+        rrclass = RRClass(reader.read_u16())
+        ttl = reader.read_u32()
+        rdlength = reader.read_u16()
+        rdata = parse_rdata(rrtype, reader, rdlength)
+        return cls(name, ttl, rrclass, rdata)
+
+    def to_text(self) -> str:
+        return (f"{self.name} {self.ttl} {self.rrclass.name} "
+                f"{self.rrtype.name} {self.rdata.to_text()}")
+
+    def wire_size(self) -> int:
+        """Uncompressed wire size; used by traffic-volume models."""
+        writer = WireWriter(compress=False)
+        self.to_wire(writer)
+        return writer.tell()
+
+
+class RRset:
+    """All records sharing an owner name, class, and type."""
+
+    __slots__ = ("name", "rrclass", "rrtype", "ttl", "_rdatas")
+
+    def __init__(self, name: Name, rrclass: RRClass, rrtype: RRType,
+                 ttl: int = 0, rdatas: Iterable[Rdata] = ()):
+        self.name = name
+        self.rrclass = rrclass
+        self.rrtype = rrtype
+        self.ttl = ttl
+        self._rdatas: List[Rdata] = []
+        for rdata in rdatas:
+            self.add(rdata)
+
+    @classmethod
+    def from_rrs(cls, rrs: Iterable[RR]) -> "RRset":
+        rrs = list(rrs)
+        if not rrs:
+            raise ValueError("cannot build an RRset from zero records")
+        first = rrs[0]
+        rrset = cls(first.name, first.rrclass, first.rrtype, first.ttl)
+        for rr in rrs:
+            if (rr.name != first.name or rr.rrtype != first.rrtype
+                    or rr.rrclass != first.rrclass):
+                raise ValueError("records do not share a key")
+            rrset.ttl = min(rrset.ttl, rr.ttl)
+            rrset.add(rr.rdata)
+        return rrset
+
+    def add(self, rdata: Rdata) -> None:
+        if rdata.rrtype != self.rrtype:
+            raise ValueError(
+                f"cannot add {rdata.rrtype.name} rdata to {self.rrtype.name} rrset"
+            )
+        if rdata not in self._rdatas:
+            self._rdatas.append(rdata)
+
+    @property
+    def rdatas(self) -> List[Rdata]:
+        return list(self._rdatas)
+
+    def to_rrs(self) -> List[RR]:
+        return [RR(self.name, self.ttl, self.rrclass, rdata)
+                for rdata in self._rdatas]
+
+    def key(self):
+        return (self.name, self.rrclass, self.rrtype)
+
+    def __iter__(self) -> Iterator[Rdata]:
+        return iter(self._rdatas)
+
+    def __len__(self) -> int:
+        return len(self._rdatas)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RRset):
+            return NotImplemented
+        return (self.key() == other.key() and self.ttl == other.ttl
+                and sorted(r.wire_bytes() for r in self._rdatas)
+                == sorted(r.wire_bytes() for r in other._rdatas))
+
+    def __repr__(self) -> str:
+        return (f"RRset({self.name} {self.ttl} {self.rrclass.name} "
+                f"{self.rrtype.name}, {len(self._rdatas)} rdatas)")

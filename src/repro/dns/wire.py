@@ -1,0 +1,106 @@
+"""Low-level wire readers and writers shared by the message codec."""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from .name import CompressionContext, Name, parse_wire_name
+
+
+class WireError(ValueError):
+    """Raised when a DNS message cannot be decoded."""
+
+
+class WireWriter:
+    """Accumulates bytes for a DNS message, tracking compression state."""
+
+    def __init__(self, compress: bool = True):
+        self._buffer = bytearray()
+        self._compress: Optional[CompressionContext] = (
+            CompressionContext() if compress else None
+        )
+
+    def write_u8(self, value: int) -> None:
+        self._buffer.append(value & 0xFF)
+
+    def write_u16(self, value: int) -> None:
+        self._buffer += struct.pack("!H", value & 0xFFFF)
+
+    def write_u32(self, value: int) -> None:
+        self._buffer += struct.pack("!I", value & 0xFFFFFFFF)
+
+    def write_bytes(self, data: bytes) -> None:
+        self._buffer += data
+
+    def write_name(self, name: Name, compressible: bool = True) -> None:
+        context = self._compress if compressible else None
+        self._buffer += name.to_wire(context, offset=len(self._buffer))
+
+    def patch_u16(self, offset: int, value: int) -> None:
+        """Overwrite a previously-written 16-bit field (e.g. RDLENGTH)."""
+        struct.pack_into("!H", self._buffer, offset, value & 0xFFFF)
+
+    def tell(self) -> int:
+        return len(self._buffer)
+
+    def getvalue(self) -> bytes:
+        return bytes(self._buffer)
+
+
+class WireReader:
+    """Cursor over a DNS message, with bounds-checked reads."""
+
+    def __init__(self, wire: bytes, offset: int = 0):
+        self._wire = wire
+        self._offset = offset
+
+    def read_u8(self) -> int:
+        self._need(1)
+        value = self._wire[self._offset]
+        self._offset += 1
+        return value
+
+    def read_u16(self) -> int:
+        self._need(2)
+        (value,) = struct.unpack_from("!H", self._wire, self._offset)
+        self._offset += 2
+        return value
+
+    def read_u32(self) -> int:
+        self._need(4)
+        (value,) = struct.unpack_from("!I", self._wire, self._offset)
+        self._offset += 4
+        return value
+
+    def read_bytes(self, count: int) -> bytes:
+        self._need(count)
+        data = self._wire[self._offset : self._offset + count]
+        self._offset += count
+        return data
+
+    def read_name(self) -> Name:
+        name, self._offset = parse_wire_name(self._wire, self._offset)
+        return name
+
+    def remaining(self) -> int:
+        return len(self._wire) - self._offset
+
+    def tell(self) -> int:
+        return self._offset
+
+    def seek(self, offset: int) -> None:
+        if offset < 0 or offset > len(self._wire):
+            raise WireError("seek out of bounds")
+        self._offset = offset
+
+    @property
+    def wire(self) -> bytes:
+        return self._wire
+
+    def _need(self, count: int) -> None:
+        if self._offset + count > len(self._wire):
+            raise WireError(
+                f"truncated message: need {count} bytes at {self._offset}, "
+                f"have {len(self._wire) - self._offset}"
+            )

@@ -1,0 +1,270 @@
+"""Master-file (RFC 1035 §5) zone parsing and serialization.
+
+Supports ``$ORIGIN``, ``$TTL``, parenthesized line continuations,
+comments, quoted strings, relative names, ``@``, and owner-name
+inheritance — enough to round-trip the zone files LDplayer's zone
+constructor emits.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Iterator, List, Optional, TextIO, Tuple, Union
+
+from .constants import RRClass, RRType
+from .name import Name
+from .rdata import rdata_from_text
+from .rrset import RR
+from .zone import Zone, ZoneError
+
+DEFAULT_TTL = 3600
+
+
+class ZoneFileError(ZoneError):
+    """Raised on malformed zone-file syntax, with line context."""
+
+    def __init__(self, message: str, line_number: int):
+        super().__init__(f"line {line_number}: {message}")
+        self.line_number = line_number
+
+
+def _tokenize(stream: TextIO) -> Iterator[Tuple[int, List[str]]]:
+    """Yield ``(line_number, tokens)`` for each logical record line.
+
+    Handles ``;`` comments, ``"..."`` quoted strings (kept quoted so the
+    TXT parser can tell them apart), and ``( ... )`` continuations that
+    splice several physical lines into one logical line.
+    """
+    tokens: List[str] = []
+    depth = 0
+    start_line = 0
+    leading_whitespace = False
+    for line_number, line in enumerate(stream, start=1):
+        if depth == 0:
+            tokens = []
+            start_line = line_number
+            leading_whitespace = bool(line) and line[0] in " \t"
+        index = 0
+        current: List[str] = []
+
+        def flush() -> None:
+            if current:
+                tokens.append("".join(current))
+                current.clear()
+
+        while index < len(line):
+            ch = line[index]
+            if ch == ";":
+                break
+            if ch == '"':
+                end = index + 1
+                piece = ['"']
+                while end < len(line) and line[end] != '"':
+                    if line[end] == "\\" and end + 1 < len(line):
+                        piece.append(line[end : end + 2])
+                        end += 2
+                    else:
+                        piece.append(line[end])
+                        end += 1
+                if end >= len(line):
+                    raise ZoneFileError("unterminated quoted string",
+                                        line_number)
+                piece.append('"')
+                flush()
+                tokens.append("".join(piece))
+                index = end + 1
+            elif ch == "(":
+                flush()
+                depth += 1
+                index += 1
+            elif ch == ")":
+                flush()
+                if depth == 0:
+                    raise ZoneFileError("unbalanced ')'", line_number)
+                depth -= 1
+                index += 1
+            elif ch in " \t\r\n":
+                flush()
+                index += 1
+            else:
+                current.append(ch)
+                index += 1
+        flush()
+        if depth == 0 and tokens:
+            # Leading whitespace on the *first* physical line means
+            # "same owner as the previous record"; signal it with a
+            # sentinel empty first token.
+            if leading_whitespace and not tokens[0].startswith("$"):
+                yield start_line, [""] + tokens
+            else:
+                yield start_line, tokens
+            tokens = []
+    if depth != 0:
+        raise ZoneFileError("unbalanced '(' at end of file", start_line)
+
+
+def read_zone(source: Union[str, TextIO], origin: Optional[Name] = None,
+              default_ttl: int = DEFAULT_TTL) -> Zone:
+    """Parse master-file text into a :class:`Zone`.
+
+    ``origin`` seeds ``$ORIGIN``; zone files that open with their own
+    ``$ORIGIN`` directive may omit it.
+    """
+    stream = io.StringIO(source) if isinstance(source, str) else source
+    current_origin = origin
+    current_ttl = default_ttl
+    last_owner: Optional[Name] = None
+    records: List[RR] = []
+
+    for line_number, tokens in _tokenize(stream):
+        if tokens[0] == "$ORIGIN":
+            current_origin = Name.from_text(tokens[1])
+            continue
+        if tokens[0] == "$TTL":
+            current_ttl = parse_ttl(tokens[1])
+            continue
+        if tokens[0].startswith("$"):
+            raise ZoneFileError(f"unsupported directive {tokens[0]}",
+                                line_number)
+        if current_origin is None:
+            raise ZoneFileError("no origin known (pass one or use $ORIGIN)",
+                                line_number)
+
+        if tokens[0] == "":
+            if last_owner is None:
+                raise ZoneFileError("leading whitespace with no prior owner",
+                                    line_number)
+            owner = last_owner
+            rest = tokens[1:]
+        else:
+            owner = _parse_name(tokens[0], current_origin)
+            rest = tokens[1:]
+        last_owner = owner
+
+        ttl, rrclass, rrtype, rdata_tokens = _parse_rr_head(
+            rest, current_ttl, line_number)
+        rdata_tokens = [
+            _derelativize_token(token, position, rrtype, current_origin)
+            for position, token in enumerate(rdata_tokens)
+        ]
+        try:
+            rdata_obj = rdata_from_text(rrtype, rdata_tokens)
+        except (ValueError, IndexError) as exc:
+            raise ZoneFileError(f"bad {rrtype.name} rdata: {exc}",
+                                line_number) from exc
+        records.append(RR(owner, ttl, rrclass, rdata_obj))
+
+    if not records:
+        raise ZoneError("zone file contains no records")
+    zone_origin = origin
+    if zone_origin is None:
+        soa_records = [r for r in records if r.rrtype == RRType.SOA]
+        zone_origin = soa_records[0].name if soa_records else records[0].name
+    zone = Zone(zone_origin)
+    for rr in records:
+        zone.add_rr(rr)
+    return zone
+
+
+def write_zone(zone: Zone) -> str:
+    """Serialize a zone to master-file text (apex SOA first)."""
+    lines = [f"$ORIGIN {zone.origin}"]
+    soa = zone.soa
+    if soa is not None:
+        lines.extend(rr.to_text() for rr in soa.to_rrs())
+    for rrset in zone.iter_rrsets():
+        if soa is not None and rrset.key() == soa.key():
+            continue
+        lines.extend(rr.to_text() for rr in rrset.to_rrs())
+    return "\n".join(lines) + "\n"
+
+
+_TTL_UNITS = {"s": 1, "m": 60, "h": 3600, "d": 86400, "w": 604800}
+
+
+def parse_ttl(text: str) -> int:
+    """Parse a TTL: plain seconds or unit-suffixed like ``1h30m``."""
+    if not text:
+        raise ValueError("empty TTL")
+    if text.isdigit():
+        return int(text)
+    total = 0
+    number = ""
+    for ch in text.lower():
+        if ch.isdigit():
+            number += ch
+        elif ch in _TTL_UNITS and number:
+            total += int(number) * _TTL_UNITS[ch]
+            number = ""
+        else:
+            raise ValueError(f"bad TTL {text!r}")
+    if number:
+        raise ValueError(f"bad TTL {text!r}: trailing digits need a unit")
+    return total
+
+
+def _parse_name(token: str, origin: Name) -> Name:
+    if token == "@":
+        return origin
+    name = Name.from_text(token)
+    if not token.endswith("."):
+        name = name.derelativize(origin)
+    return name
+
+
+def _parse_rr_head(tokens: List[str], default_ttl: int,
+                   line_number: int) -> Tuple[int, RRClass, RRType, List[str]]:
+    """Consume the [TTL] [class] type prefix, in either order."""
+    ttl: Optional[int] = None
+    rrclass = RRClass.IN
+    index = 0
+    while index < len(tokens):
+        token = tokens[index]
+        if ttl is None and token and (token[0].isdigit()):
+            try:
+                ttl = parse_ttl(token)
+                index += 1
+                continue
+            except ValueError:
+                pass
+        upper = token.upper()
+        if upper in ("IN", "CH", "HS"):
+            rrclass = RRClass.from_text(upper)
+            index += 1
+            continue
+        break
+    if index >= len(tokens):
+        raise ZoneFileError("missing record type", line_number)
+    try:
+        rrtype = RRType.from_text(tokens[index])
+    except ValueError as exc:
+        raise ZoneFileError(str(exc), line_number) from exc
+    return (ttl if ttl is not None else default_ttl, rrclass, rrtype,
+            tokens[index + 1 :])
+
+
+# Positions of domain names inside RDATA, per type, for relative-name
+# resolution.  Only these positions are touched; everything else (base64,
+# type mnemonics, numbers) passes through verbatim.
+_NAME_POSITIONS = {
+    RRType.NS: (0,),
+    RRType.CNAME: (0,),
+    RRType.PTR: (0,),
+    RRType.MX: (1,),
+    RRType.SRV: (3,),
+    RRType.SOA: (0, 1),
+    RRType.RRSIG: (7,),
+    RRType.NSEC: (0,),
+}
+
+
+def _derelativize_token(token: str, position: int, rrtype: RRType,
+                        origin: Name) -> str:
+    """Make a relative name in RDATA absolute against the current origin."""
+    if position not in _NAME_POSITIONS.get(rrtype, ()):
+        return token
+    if token == "@":
+        return origin.to_text()
+    if token and not token.endswith("."):
+        return Name.from_text(token).derelativize(origin).to_text()
+    return token

@@ -1,0 +1,80 @@
+"""Figure 9: single-host maximum replay throughput.
+
+§4.3: a continuous stream of identical ``www.example.com`` queries over
+UDP, no timer events, against a wildcard-hosting server; the paper's C++
+replay sustains 87 k q/s (~60 Mb/s), about twice a root letter's normal
+load (~38 k q/s).
+
+Two measurements here:
+
+* **live** — real loopback sockets, real syscalls: the honest Python
+  number (the repro calibration predicted Python cannot reach 87 k q/s;
+  the ratio to the paper is reported, not hidden);
+* **simulated** — the replay engine in as-fast-as-possible mode against
+  the simulated server, reporting *simulated-seconds* throughput, which
+  checks the engine's fast-path bookkeeping rather than Python's socket
+  speed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..replay import ReplayConfig, SimReplayEngine, measure_throughput
+from ..server import AuthoritativeServer, HostedDnsServer
+from ..trace import QueryMutator, fixed_interval_trace, retarget
+from .common import ExperimentOutput, Scale, SMOKE
+from .fig6_timing import wildcard_example_zone
+from .topology import build_evaluation_topology
+
+PAPER_QPS = 87000.0
+ROOT_TYPICAL_QPS = 38000.0
+
+
+def run(scale: Scale = SMOKE, live_duration: float = 1.5,
+        sim_queries: int = 20000) -> ExperimentOutput:
+    output = ExperimentOutput(
+        experiment_id="fig9",
+        title="Single-host fast replay throughput (UDP, no timers)",
+        headers=["mode", "queries", "q/s", "Mb/s", "vs paper 87k",
+                 "vs root 38k"],
+        paper_claims={
+            "rate": "87 k q/s (60 Mb/s) on one host; query generator "
+                    "saturates one core",
+            "headroom": "more than 2x a normal B-Root rate",
+        },
+        notes=["the live row is a real-socket measurement; Python is "
+               "expected to fall well short of the paper's C++ engine "
+               "(see DESIGN.md) — the benchmark reports the honest ratio"])
+
+    live = measure_throughput(duration=live_duration)
+    output.add_row("live loopback", live.queries_sent, live.mean_qps,
+                   live.mean_mbps, live.mean_qps / PAPER_QPS,
+                   live.mean_qps / ROOT_TYPICAL_QPS)
+
+    # Simulated fast replay: rate in simulated time, bounded by the
+    # engine's own fast-path pacing rather than wall-clock sockets.
+    testbed = build_evaluation_topology()
+    HostedDnsServer(testbed.server_host,
+                    AuthoritativeServer.single_view([
+                        wildcard_example_zone()]))
+    trace = fixed_interval_trace(0.001, sim_queries * 0.001,
+                                 name="fast-stream")
+    trace = QueryMutator([retarget(testbed.server_address)]).apply(trace)
+    engine = SimReplayEngine(
+        testbed.network,
+        ReplayConfig(track_timing=False, fast_replay_rate=100000.0))
+    start = testbed.loop.now
+    result = engine.schedule_trace(trace)
+    testbed.loop.run(max_time=start + 300)
+    if result.sent:
+        elapsed = (max(q.sent_at for q in result.sent)
+                   - min(q.sent_at for q in result.sent)) or 1e-9
+        qps = len(result.sent) / elapsed
+        mbps = qps * (len(trace[0].wire) + 28) * 8 / 1e6
+        output.add_row("simulated fast-path", len(result.sent), qps, mbps,
+                       qps / PAPER_QPS, qps / ROOT_TYPICAL_QPS)
+        output.notes.append(
+            f"simulated row answered fraction: "
+            f"{result.answered_fraction():.3f}")
+    return output

@@ -1,0 +1,16 @@
+"""Hierarchy emulation: meta-DNS-server deployment and a simulated
+Internet used for ground truth and zone harvesting."""
+
+from .emulation import (DEFAULT_META_ADDRESS, DEFAULT_RECURSIVE_ADDRESS,
+                        HierarchyEmulation)
+from .internet import SimulatedInternet
+from .sharded import ShardedHierarchyEmulation
+from .zoneutil import (address_to_zones, apex_nameservers,
+                       nameserver_addresses, root_hints_for)
+
+__all__ = [
+    "DEFAULT_META_ADDRESS", "DEFAULT_RECURSIVE_ADDRESS",
+    "HierarchyEmulation", "ShardedHierarchyEmulation", "SimulatedInternet",
+    "address_to_zones",
+    "apex_nameservers", "nameserver_addresses", "root_hints_for",
+]

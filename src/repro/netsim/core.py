@@ -1,0 +1,108 @@
+"""Discrete-event simulation core.
+
+The paper's experiments run on a DETER testbed in real time; here they run
+on a simulated clock.  :class:`EventLoop` is a minimal, deterministic
+event scheduler: events fire in (time, sequence) order, so two events
+scheduled for the same instant fire in scheduling order, which keeps
+replays reproducible (§2.1 "repeatability of experiments").
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class SimulationError(RuntimeError):
+    """Raised on scheduler misuse (e.g. scheduling in the past)."""
+
+
+class Timer:
+    """Handle for a scheduled event; supports cancellation."""
+
+    __slots__ = ("when", "callback", "args", "cancelled")
+
+    def __init__(self, when: float, callback: Callable[..., None],
+                 args: Tuple[Any, ...]):
+        self.when = when
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class EventLoop:
+    """A deterministic discrete-event scheduler."""
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = start_time
+        self._queue: List[Tuple[float, int, Timer]] = []
+        self._sequence = itertools.count()
+        self._running = False
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def call_at(self, when: float, callback: Callable[..., None],
+                *args: Any) -> Timer:
+        if when < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule at {when} before now {self._now}")
+        timer = Timer(max(when, self._now), callback, args)
+        heapq.heappush(self._queue, (timer.when, next(self._sequence), timer))
+        return timer
+
+    def call_later(self, delay: float, callback: Callable[..., None],
+                   *args: Any) -> Timer:
+        return self.call_at(self._now + max(delay, 0.0), callback, *args)
+
+    def call_soon(self, callback: Callable[..., None], *args: Any) -> Timer:
+        return self.call_at(self._now, callback, *args)
+
+    def run_until(self, deadline: float) -> None:
+        """Process events with time <= deadline, then set now = deadline."""
+        self._running = True
+        try:
+            while self._queue and self._queue[0][0] <= deadline:
+                when, _seq, timer = heapq.heappop(self._queue)
+                if timer.cancelled:
+                    continue
+                self._now = when
+                timer.callback(*timer.args)
+            self._now = max(self._now, deadline)
+        finally:
+            self._running = False
+
+    def run(self, max_time: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
+        """Drain the queue; returns the number of events processed."""
+        self._running = True
+        processed = 0
+        try:
+            while self._queue:
+                when, _seq, timer = self._queue[0]
+                if max_time is not None and when > max_time:
+                    break
+                heapq.heappop(self._queue)
+                if timer.cancelled:
+                    continue
+                self._now = when
+                timer.callback(*timer.args)
+                processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+            if max_time is not None:
+                self._now = max(self._now, max_time)
+        finally:
+            self._running = False
+        return processed
+
+    def pending_events(self) -> int:
+        return sum(1 for _, _, t in self._queue if not t.cancelled)
+
+    def __repr__(self) -> str:
+        return f"EventLoop(now={self._now:.6f}, pending={self.pending_events()})"

@@ -1,0 +1,391 @@
+"""Hosts, links, latency, netfilter-style diversion, and TUN devices.
+
+This models just enough of the testbed's network layer for LDplayer:
+
+* a :class:`Network` that delivers :class:`IpPacket` objects between
+  hosts with configurable per-pair RTT (Figure 5 / Figure 12 topologies),
+* per-host :class:`Netfilter` rules that divert matching packets to a
+  :class:`TunDevice` (the paper's iptables mangle/mark + TUN routing),
+* UDP socket demultiplexing (TCP lives in :mod:`repro.netsim.tcp`),
+* per-host traffic meters used by the bandwidth experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .core import EventLoop
+from .packet import Address, IpPacket, TcpSegment, UdpSegment, validate_address
+
+LOOPBACK_DELAY = 0.00002  # 20 microseconds for same-host delivery
+
+
+class NetworkError(RuntimeError):
+    pass
+
+
+class LatencyModel:
+    """Per-pair one-way delays, symmetric, with optional deterministic jitter.
+
+    RTTs are configured per host-name pair; the default matches the paper's
+    testbed LAN (<1 ms RTT, Figure 5).
+    """
+
+    def __init__(self, default_rtt: float = 0.0008,
+                 jitter_fraction: float = 0.0, seed: int = 0):
+        self.default_rtt = default_rtt
+        self.jitter_fraction = jitter_fraction
+        self._pairs: Dict[Tuple[str, str], float] = {}
+        self._rng = random.Random(seed)
+
+    def set_rtt(self, host_a: str, host_b: str, rtt: float) -> None:
+        self._pairs[self._key(host_a, host_b)] = rtt
+
+    def rtt(self, host_a: str, host_b: str) -> float:
+        return self._pairs.get(self._key(host_a, host_b), self.default_rtt)
+
+    def one_way(self, host_a: str, host_b: str) -> float:
+        delay = self.rtt(host_a, host_b) / 2.0
+        if self.jitter_fraction:
+            delay *= 1.0 + self._rng.uniform(-self.jitter_fraction,
+                                             self.jitter_fraction)
+        return max(delay, 0.0)
+
+    @staticmethod
+    def _key(a: str, b: str) -> Tuple[str, str]:
+        return (a, b) if a <= b else (b, a)
+
+
+@dataclass
+class TrafficCounters:
+    packets_in: int = 0
+    packets_out: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    checksum_drops: int = 0
+    no_route_drops: int = 0
+    unreachable_drops: int = 0
+
+
+class TrafficMeter:
+    """Per-second byte/packet series for one direction of a host.
+
+    Feeds the bandwidth plots (Fig 9, Fig 10): ``series()`` returns
+    (second, bytes, packets) rows.
+    """
+
+    def __init__(self, loop: EventLoop):
+        self._loop = loop
+        self._buckets: Dict[int, List[int]] = {}
+
+    def record(self, size: int) -> None:
+        bucket = self._buckets.setdefault(int(self._loop.now), [0, 0])
+        bucket[0] += size
+        bucket[1] += 1
+
+    def series(self) -> List[Tuple[int, int, int]]:
+        return [(second, data[0], data[1])
+                for second, data in sorted(self._buckets.items())]
+
+    def total_bytes(self) -> int:
+        return sum(data[0] for data in self._buckets.values())
+
+
+@dataclass
+class FilterRule:
+    """One netfilter rule: match on protocol/port, divert to a TUN device.
+
+    Mirrors the paper's "mark packets with the mangle table, route marked
+    packets to the TUN interface" (§2.4), collapsed into one step.
+    """
+
+    chain: str  # "output" or "input"
+    protocol: Optional[str] = None    # "udp"/"tcp" or None for any
+    dport: Optional[int] = None
+    sport: Optional[int] = None
+    divert_to: Optional["TunDevice"] = None
+    mark: int = 1
+
+    def matches(self, packet: IpPacket) -> bool:
+        if self.protocol is not None and packet.protocol != self.protocol:
+            return False
+        segment = packet.segment
+        if self.dport is not None and segment.dport != self.dport:
+            return False
+        if self.sport is not None and segment.sport != self.sport:
+            return False
+        return True
+
+
+class TunDevice:
+    """A simulated TUN interface: raw IP packets in both directions.
+
+    The proxy attaches a reader callback; packets the proxy writes go to
+    the network directly, bypassing the output chain (so rewritten
+    packets are not re-diverted — the analogue of the paper's mark-based
+    routing exclusions).
+    """
+
+    def __init__(self, host: "Host", name: str = "tun0"):
+        self.host = host
+        self.name = name
+        self._reader: Optional[Callable[[IpPacket], None]] = None
+        self.packets_diverted = 0
+        self.packets_written = 0
+
+    def set_reader(self, reader: Callable[[IpPacket], None]) -> None:
+        self._reader = reader
+
+    def push(self, packet: IpPacket) -> None:
+        """Called by netfilter when a rule diverts a packet here."""
+        self.packets_diverted += 1
+        if self._reader is None:
+            return  # no proxy attached: packet is dropped, as on a real TUN
+        self._reader(packet)
+
+    def write(self, packet: IpPacket) -> None:
+        """Inject a (rewritten) packet toward its destination address."""
+        self.packets_written += 1
+        self.host.send_packet(packet, bypass_output_chain=True)
+
+
+class Netfilter:
+    """Ordered rule list evaluated on a host's output and input paths."""
+
+    def __init__(self) -> None:
+        self._rules: List[FilterRule] = []
+
+    def add_rule(self, rule: FilterRule) -> None:
+        if rule.chain not in ("output", "input"):
+            raise ValueError(f"unknown chain {rule.chain!r}")
+        self._rules.append(rule)
+
+    def clear(self) -> None:
+        self._rules.clear()
+
+    def process(self, chain: str, packet: IpPacket) -> Optional[IpPacket]:
+        """Return the packet to continue with, or None if diverted."""
+        for rule in self._rules:
+            if rule.chain == chain and rule.matches(packet):
+                if rule.divert_to is not None:
+                    rule.divert_to.push(packet)
+                    return None
+        return packet
+
+
+class UdpSocket:
+    """A bound UDP endpoint delivering datagrams to a callback."""
+
+    def __init__(self, host: "Host", address: Address, port: int,
+                 on_datagram: Optional[Callable[["UdpSocket", bytes, Address,
+                                                 int], None]] = None):
+        self.host = host
+        self.address = address
+        self.port = port
+        self.on_datagram = on_datagram
+        self.closed = False
+
+    def sendto(self, data: bytes, dst: Address, dport: int) -> None:
+        if self.closed:
+            raise NetworkError("socket is closed")
+        packet = IpPacket(self.address, dst,
+                          UdpSegment(self.port, dport, data)).with_checksum()
+        self.host.send_packet(packet)
+
+    def deliver(self, data: bytes, src: Address, sport: int) -> None:
+        if self.on_datagram is not None and not self.closed:
+            self.on_datagram(self, data, src, sport)
+
+    def close(self) -> None:
+        if not self.closed:
+            self.closed = True
+            self.host._unbind_udp(self)
+
+
+class Host:
+    """A simulated machine: addresses, sockets, netfilter, TUN devices."""
+
+    def __init__(self, network: "Network", name: str,
+                 addresses: Tuple[Address, ...] = ()):
+        self.network = network
+        self.name = name
+        self.addresses: List[Address] = []
+        self.netfilter = Netfilter()
+        self.tun_devices: Dict[str, TunDevice] = {}
+        self.counters = TrafficCounters()
+        self.meter_in = TrafficMeter(network.loop)
+        self.meter_out = TrafficMeter(network.loop)
+        self._udp_sockets: Dict[Tuple[Address, int], UdpSocket] = {}
+        self._next_ephemeral = 32768
+        self.tcp_stack = None  # attached lazily by repro.netsim.tcp
+        # Optional egress link rate in bits/second (the testbed's links
+        # are 1 Gb/s, Figure 5).  None disables serialization delay.
+        self.egress_bandwidth_bps: Optional[float] = None
+        self._egress_busy_until = 0.0
+        # Hook for passive capture (the paper tcpdumps at interfaces).
+        self.capture_hooks: List[Callable[[str, IpPacket], None]] = []
+        for address in addresses:
+            self.add_address(address)
+
+    # -- addressing -----------------------------------------------------
+
+    def add_address(self, address: Address) -> None:
+        validate_address(address)
+        if address not in self.addresses:
+            self.addresses.append(address)
+            self.network._register(address, self)
+
+    @property
+    def primary_address(self) -> Address:
+        if not self.addresses:
+            raise NetworkError(f"host {self.name} has no addresses")
+        return self.addresses[0]
+
+    def owns(self, address: Address) -> bool:
+        return address in self.addresses
+
+    def allocate_port(self) -> int:
+        port = self._next_ephemeral
+        self._next_ephemeral += 1
+        if self._next_ephemeral > 60999:
+            self._next_ephemeral = 32768
+        return port
+
+    # -- TUN / netfilter -------------------------------------------------
+
+    def create_tun(self, name: str = "tun0") -> TunDevice:
+        tun = TunDevice(self, name)
+        self.tun_devices[name] = tun
+        return tun
+
+    # -- UDP ----------------------------------------------------------------
+
+    def bind_udp(self, address: Address, port: int,
+                 on_datagram: Optional[Callable] = None) -> UdpSocket:
+        if port == 0:
+            port = self.allocate_port()
+        key = (address, port)
+        if key in self._udp_sockets:
+            raise NetworkError(f"{self.name}: UDP {address}:{port} in use")
+        if address != "0.0.0.0" and not self.owns(address):
+            raise NetworkError(f"{self.name} does not own {address}")
+        sock = UdpSocket(self, address, port, on_datagram)
+        self._udp_sockets[key] = sock
+        return sock
+
+    def _unbind_udp(self, sock: UdpSocket) -> None:
+        self._udp_sockets.pop((sock.address, sock.port), None)
+
+    # -- packet paths -------------------------------------------------------
+
+    def send_packet(self, packet: IpPacket,
+                    bypass_output_chain: bool = False) -> None:
+        for hook in self.capture_hooks:
+            hook("out", packet)
+        if not bypass_output_chain:
+            processed = self.netfilter.process("output", packet)
+            if processed is None:
+                return
+            packet = processed
+        self.counters.packets_out += 1
+        self.counters.bytes_out += packet.wire_size()
+        self.meter_out.record(packet.wire_size())
+        self.network.transmit(packet, self)
+
+    def receive_packet(self, packet: IpPacket) -> None:
+        for hook in self.capture_hooks:
+            hook("in", packet)
+        if not packet.checksum_ok():
+            self.counters.checksum_drops += 1
+            return
+        processed = self.netfilter.process("input", packet)
+        if processed is None:
+            return
+        self.counters.packets_in += 1
+        self.counters.bytes_in += packet.wire_size()
+        self.meter_in.record(packet.wire_size())
+        segment = packet.segment
+        if isinstance(segment, UdpSegment):
+            sock = (self._udp_sockets.get((packet.dst, segment.dport))
+                    or self._udp_sockets.get(("0.0.0.0", segment.dport)))
+            if sock is None:
+                self.counters.unreachable_drops += 1
+                return
+            sock.deliver(segment.data, packet.src, segment.sport)
+        elif isinstance(segment, TcpSegment):
+            if self.tcp_stack is None:
+                self.counters.unreachable_drops += 1
+                return
+            self.tcp_stack.receive(packet)
+
+    def __repr__(self) -> str:
+        return f"Host({self.name}, {self.addresses})"
+
+
+class Network:
+    """The testbed fabric: hosts joined by latency-configurable links.
+
+    ``loss_rate`` drops that fraction of packets (deterministically
+    seeded).  The testbed's LAN is lossless, so it defaults to 0; loss
+    experiments and the TCP retransmission tests turn it up.
+    """
+
+    def __init__(self, loop: EventLoop,
+                 latency: Optional[LatencyModel] = None,
+                 loss_rate: float = 0.0, loss_seed: int = 0):
+        self.loop = loop
+        self.latency = latency if latency is not None else LatencyModel()
+        self._hosts_by_address: Dict[Address, Host] = {}
+        self._hosts: Dict[str, Host] = {}
+        self.dropped_no_route = 0
+        self.loss_rate = loss_rate
+        self.dropped_by_loss = 0
+        self._loss_rng = random.Random(loss_seed)
+
+    def add_host(self, name: str, *addresses: Address) -> Host:
+        if name in self._hosts:
+            raise NetworkError(f"duplicate host name {name}")
+        host = Host(self, name, tuple(addresses))
+        self._hosts[name] = host
+        return host
+
+    def host(self, name: str) -> Host:
+        return self._hosts[name]
+
+    def host_for(self, address: Address) -> Optional[Host]:
+        return self._hosts_by_address.get(address)
+
+    def _register(self, address: Address, host: Host) -> None:
+        existing = self._hosts_by_address.get(address)
+        if existing is not None and existing is not host:
+            raise NetworkError(
+                f"{address} already owned by {existing.name}")
+        self._hosts_by_address[address] = host
+
+    def transmit(self, packet: IpPacket, sender: Host) -> None:
+        receiver = self._hosts_by_address.get(packet.dst)
+        if receiver is None:
+            # Matches the paper's observation: packets to addresses with
+            # no testbed route (e.g. real Internet IPs that leaked past
+            # the proxies) are simply dropped.
+            self.dropped_no_route += 1
+            sender.counters.no_route_drops += 1
+            return
+        if self.loss_rate > 0 and receiver is not sender \
+                and self._loss_rng.random() < self.loss_rate:
+            self.dropped_by_loss += 1
+            return
+        if receiver is sender:
+            delay = LOOPBACK_DELAY
+        else:
+            delay = self.latency.one_way(sender.name, receiver.name)
+        if sender.egress_bandwidth_bps:
+            # Serialize onto the link: queue behind earlier packets.
+            start = max(self.loop.now, sender._egress_busy_until)
+            finish = start + packet.wire_size() * 8 \
+                / sender.egress_bandwidth_bps
+            sender._egress_busy_until = finish
+            delay += finish - self.loop.now
+        self.loop.call_later(delay, receiver.receive_packet, packet)

@@ -1,0 +1,138 @@
+"""Simulated IP packets and transport segments.
+
+Packets carry a pseudo-header checksum over (src, dst, transport bytes).
+The LDplayer proxies rewrite packet addresses and must recompute the
+checksum afterwards (§2.4); hosts in this simulator verify checksums on
+receipt and drop mismatches, so a proxy that forgets the recompute fails
+visibly, just as it would on a real network.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import zlib
+from dataclasses import dataclass, field, replace
+from enum import IntFlag
+from typing import Optional, Tuple, Union
+
+Address = str  # dotted-quad IPv4 within the testbed
+
+
+def validate_address(address: Address) -> Address:
+    ipaddress.IPv4Address(address)
+    return address
+
+
+class TcpFlags(IntFlag):
+    SYN = 0x02
+    ACK = 0x10
+    FIN = 0x01
+    RST = 0x04
+    PSH = 0x08
+
+
+@dataclass(frozen=True)
+class UdpSegment:
+    sport: int
+    dport: int
+    data: bytes
+
+    def header_size(self) -> int:
+        return 8
+
+    def wire_size(self) -> int:
+        return self.header_size() + len(self.data)
+
+    def pseudo_bytes(self) -> bytes:
+        return (b"U" + self.sport.to_bytes(2, "big")
+                + self.dport.to_bytes(2, "big") + self.data)
+
+
+@dataclass(frozen=True)
+class TcpSegment:
+    sport: int
+    dport: int
+    seq: int
+    ack: int
+    flags: TcpFlags
+    data: bytes = b""
+
+    def header_size(self) -> int:
+        return 20
+
+    def wire_size(self) -> int:
+        return self.header_size() + len(self.data)
+
+    def pseudo_bytes(self) -> bytes:
+        return (b"T" + self.sport.to_bytes(2, "big")
+                + self.dport.to_bytes(2, "big")
+                + self.seq.to_bytes(4, "big") + self.ack.to_bytes(4, "big")
+                + int(self.flags).to_bytes(2, "big") + self.data)
+
+    def describe(self) -> str:
+        names = [f.name for f in TcpFlags if self.flags & f]
+        return (f"[{'|'.join(names) or '-'} seq={self.seq} ack={self.ack} "
+                f"len={len(self.data)}]")
+
+
+Segment = Union[UdpSegment, TcpSegment]
+
+IP_HEADER_SIZE = 20
+
+
+@dataclass(frozen=True)
+class IpPacket:
+    """A simulated IPv4 packet: addresses + one transport segment."""
+
+    src: Address
+    dst: Address
+    segment: Segment
+    checksum: int = 0
+    # Diagnostics: set by netfilter when a rule marks the packet.
+    mark: int = 0
+
+    @property
+    def protocol(self) -> str:
+        return "udp" if isinstance(self.segment, UdpSegment) else "tcp"
+
+    def wire_size(self) -> int:
+        return IP_HEADER_SIZE + self.segment.wire_size()
+
+    def compute_checksum(self) -> int:
+        payload = (ipaddress.IPv4Address(self.src).packed
+                   + ipaddress.IPv4Address(self.dst).packed
+                   + self.segment.pseudo_bytes())
+        return zlib.crc32(payload) & 0xFFFFFFFF
+
+    def with_checksum(self) -> "IpPacket":
+        return replace(self, checksum=self.compute_checksum())
+
+    def checksum_ok(self) -> bool:
+        return self.checksum == self.compute_checksum()
+
+    def rewritten(self, src: Optional[Address] = None,
+                  dst: Optional[Address] = None,
+                  recompute_checksum: bool = True) -> "IpPacket":
+        """Return a copy with rewritten addresses (the proxy primitive)."""
+        packet = replace(self, src=src if src is not None else self.src,
+                         dst=dst if dst is not None else self.dst)
+        if recompute_checksum:
+            packet = packet.with_checksum()
+        return packet
+
+    def flow(self) -> Tuple[Address, int, Address, int, str]:
+        return (self.src, self.segment.sport, self.dst, self.segment.dport,
+                self.protocol)
+
+
+def make_udp_packet(src: Address, sport: int, dst: Address, dport: int,
+                    data: bytes) -> IpPacket:
+    return IpPacket(src, dst, UdpSegment(sport, dport, data)).with_checksum()
+
+
+def make_tcp_packet(src: Address, sport: int, dst: Address, dport: int,
+                    seq: int, ack: int, flags: TcpFlags,
+                    data: bytes = b"") -> IpPacket:
+    return IpPacket(
+        src, dst, TcpSegment(sport, dport, seq, ack, flags, data)
+    ).with_checksum()

@@ -1,0 +1,245 @@
+"""Simulated TLS over the simulated TCP.
+
+Models what the paper's TLS experiments measure, without real crypto:
+
+* a 2-RTT full handshake on top of TCP's 1-RTT handshake, so a fresh
+  DNS-over-TLS query costs 4 RTTs (§5.2.4),
+* realistic handshake flight sizes (the certificate chain dominates) and
+  a per-record overhead of 29 bytes (5-byte record header + 8-byte
+  explicit nonce + 16-byte AEAD tag), so bandwidth numbers are honest,
+* abbreviated 1-RTT resumption handshakes (disabled by default; the
+  paper's 4-RTT statement assumes full handshakes),
+* CPU-cost hooks: the server resource model charges asymmetric-crypto
+  cost per handshake and symmetric cost per byte,
+* per-session memory accounted by :mod:`repro.netsim.resources`.
+
+Handshake payloads are filler bytes of the correct length; the record
+layer carries plaintext with explicit overhead accounting.  Substitution
+documented in DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from typing import Callable, Dict, Optional, Tuple
+
+from .network import NetworkError
+from .tcp import TcpConnection
+
+RECORD_HEADER_SIZE = 5
+APPDATA_OVERHEAD = 24      # 8-byte nonce + 16-byte AEAD tag
+RECORD_MAX_PLAINTEXT = 16384
+
+CONTENT_HANDSHAKE = 22
+CONTENT_APPDATA = 23
+
+# Handshake flight sizes, bytes of plaintext.  The server flight is kept
+# within one MSS (a compact ECDSA-style chain): a multi-segment flight
+# would interact with server-side Nagle and add an RTT to *every*
+# handshake, whereas the paper reports 4-RTT fresh TLS queries with the
+# reassembly/Nagle penalty only in the latency tail (§5.2.4).
+CLIENT_HELLO_SIZE = 230
+SERVER_FLIGHT_SIZE = 1380     # ServerHello + Certificate + Done
+CLIENT_FLIGHT_SIZE = 340      # ClientKeyExchange + CCS + Finished
+SERVER_FINISHED_SIZE = 60     # CCS + Finished
+ABBREVIATED_SERVER_SIZE = 140  # resumption: ServerHello + CCS + Finished
+ABBREVIATED_CLIENT_SIZE = 80
+
+MSG_CLIENT_HELLO = 1
+MSG_SERVER_FLIGHT = 2
+MSG_CLIENT_FLIGHT = 3
+MSG_SERVER_FINISHED = 4
+MSG_ABBREV_HELLO = 5
+MSG_ABBREV_SERVER = 6
+MSG_ABBREV_CLIENT = 7
+
+
+class TlsState(enum.Enum):
+    START = "START"
+    WAIT_SERVER = "WAIT_SERVER"       # client sent hello
+    WAIT_CLIENT = "WAIT_CLIENT"       # server sent its flight
+    WAIT_FINISHED = "WAIT_FINISHED"   # client sent key exchange
+    ESTABLISHED = "ESTABLISHED"
+    CLOSED = "CLOSED"
+
+
+class SessionCache:
+    """Client-side session cache keyed by server address (resumption)."""
+
+    def __init__(self) -> None:
+        self._sessions: Dict[Tuple[str, int], bytes] = {}
+
+    def get(self, server: Tuple[str, int]) -> Optional[bytes]:
+        return self._sessions.get(server)
+
+    def put(self, server: Tuple[str, int], ticket: bytes) -> None:
+        self._sessions[server] = ticket
+
+    def __len__(self) -> int:
+        return len(self._sessions)
+
+
+class TlsEndpoint:
+    """One side of a TLS session layered on a :class:`TcpConnection`."""
+
+    def __init__(self, tcp: TcpConnection, role: str,
+                 session_cache: Optional[SessionCache] = None,
+                 crypto_hook: Optional[Callable[[str, int], None]] = None):
+        if role not in ("client", "server"):
+            raise ValueError(f"bad role {role!r}")
+        self.tcp = tcp
+        self.role = role
+        self.state = TlsState.START
+        self.session_cache = session_cache
+        self.resumed = False
+        # crypto_hook(kind, size): "handshake" or "record"; feeds CPU model.
+        self.crypto_hook = crypto_hook
+
+        self.on_established: Optional[Callable[["TlsEndpoint"], None]] = None
+        self.on_data: Optional[Callable[["TlsEndpoint", bytes], None]] = None
+        self.on_close: Optional[Callable[["TlsEndpoint"], None]] = None
+
+        self.established_at: Optional[float] = None
+        self.handshake_bytes = 0
+        self.appdata_bytes = 0
+
+        self._receive_buffer = bytearray()
+        self._pending_appdata = bytearray()
+
+        tcp.on_data = self._tcp_data
+        tcp.on_close = self._tcp_close
+        if role == "client":
+            if tcp.established_at is not None:
+                self._client_start()
+            else:
+                tcp.on_connected = lambda _conn: self._client_start()
+
+    # -- public API ----------------------------------------------------
+
+    def send(self, data: bytes) -> None:
+        if self.state == TlsState.CLOSED:
+            raise NetworkError("TLS session is closed")
+        if self.state != TlsState.ESTABLISHED:
+            self._pending_appdata += data
+            return
+        self._send_appdata(data)
+
+    def close(self) -> None:
+        if self.state != TlsState.CLOSED:
+            self.state = TlsState.CLOSED
+            self.tcp.close()
+
+    # -- handshake ---------------------------------------------------------
+
+    def _client_start(self) -> None:
+        remote = (self.tcp.remote_addr, self.tcp.remote_port)
+        ticket = (self.session_cache.get(remote)
+                  if self.session_cache is not None else None)
+        if ticket is not None:
+            self._send_handshake(MSG_ABBREV_HELLO, CLIENT_HELLO_SIZE)
+            self.resumed = True
+        else:
+            self._send_handshake(MSG_CLIENT_HELLO, CLIENT_HELLO_SIZE)
+        self.state = TlsState.WAIT_SERVER
+
+    def _handle_handshake(self, msg_type: int, size: int) -> None:
+        if self.crypto_hook is not None:
+            self.crypto_hook("handshake_message", size)
+        if self.role == "server":
+            self._server_handshake(msg_type)
+        else:
+            self._client_handshake(msg_type)
+
+    def _server_handshake(self, msg_type: int) -> None:
+        if msg_type == MSG_CLIENT_HELLO and self.state == TlsState.START:
+            self._send_handshake(MSG_SERVER_FLIGHT, SERVER_FLIGHT_SIZE)
+            self.state = TlsState.WAIT_CLIENT
+        elif msg_type == MSG_ABBREV_HELLO and self.state == TlsState.START:
+            self.resumed = True
+            self._send_handshake(MSG_ABBREV_SERVER, ABBREVIATED_SERVER_SIZE)
+            self.state = TlsState.WAIT_FINISHED
+        elif msg_type == MSG_CLIENT_FLIGHT and self.state == TlsState.WAIT_CLIENT:
+            if self.crypto_hook is not None:
+                self.crypto_hook("handshake_private_key", 1)
+            self._send_handshake(MSG_SERVER_FINISHED, SERVER_FINISHED_SIZE)
+            self._establish()
+        elif msg_type == MSG_ABBREV_CLIENT and self.state == TlsState.WAIT_FINISHED:
+            self._establish()
+
+    def _client_handshake(self, msg_type: int) -> None:
+        if msg_type == MSG_SERVER_FLIGHT and self.state == TlsState.WAIT_SERVER:
+            if self.crypto_hook is not None:
+                self.crypto_hook("handshake_public_key", 1)
+            self._send_handshake(MSG_CLIENT_FLIGHT, CLIENT_FLIGHT_SIZE)
+            self.state = TlsState.WAIT_FINISHED
+        elif msg_type == MSG_ABBREV_SERVER and self.state == TlsState.WAIT_SERVER:
+            self._send_handshake(MSG_ABBREV_CLIENT, ABBREVIATED_CLIENT_SIZE)
+            self._establish()
+        elif msg_type == MSG_SERVER_FINISHED and self.state == TlsState.WAIT_FINISHED:
+            self._establish()
+
+    def _establish(self) -> None:
+        self.state = TlsState.ESTABLISHED
+        self.established_at = self.tcp.loop.now
+        if self.role == "client" and self.session_cache is not None:
+            self.session_cache.put(
+                (self.tcp.remote_addr, self.tcp.remote_port), b"ticket")
+        if self.on_established is not None:
+            self.on_established(self)
+        if self._pending_appdata:
+            data = bytes(self._pending_appdata)
+            self._pending_appdata.clear()
+            self._send_appdata(data)
+
+    # -- record layer ---------------------------------------------------
+
+    def _send_handshake(self, msg_type: int, size: int) -> None:
+        # Payload: 1-byte message type + filler to the declared size.
+        payload = bytes([msg_type]) + b"\x00" * (size - 1)
+        self.handshake_bytes += size
+        self._emit_record(CONTENT_HANDSHAKE, payload)
+
+    def _send_appdata(self, data: bytes) -> None:
+        for start in range(0, len(data), RECORD_MAX_PLAINTEXT):
+            chunk = data[start : start + RECORD_MAX_PLAINTEXT]
+            if self.crypto_hook is not None:
+                self.crypto_hook("record_encrypt", len(chunk))
+            self.appdata_bytes += len(chunk)
+            # Explicit overhead padding models nonce+tag bytes on the wire.
+            self._emit_record(CONTENT_APPDATA,
+                              chunk + b"\x00" * APPDATA_OVERHEAD)
+
+    def _emit_record(self, content_type: int, payload: bytes) -> None:
+        header = struct.pack("!BHH", content_type, 0x0303, len(payload))
+        self.tcp.send(header + payload)
+
+    def _tcp_data(self, _conn: TcpConnection, data: bytes) -> None:
+        self._receive_buffer += data
+        while len(self._receive_buffer) >= RECORD_HEADER_SIZE:
+            content_type, _version, length = struct.unpack_from(
+                "!BHH", self._receive_buffer)
+            total = RECORD_HEADER_SIZE + length
+            if len(self._receive_buffer) < total:
+                return
+            payload = bytes(self._receive_buffer[RECORD_HEADER_SIZE:total])
+            del self._receive_buffer[:total]
+            if content_type == CONTENT_HANDSHAKE:
+                self._handle_handshake(payload[0], len(payload))
+            elif content_type == CONTENT_APPDATA:
+                plaintext = payload[:-APPDATA_OVERHEAD]
+                if self.crypto_hook is not None:
+                    self.crypto_hook("record_decrypt", len(plaintext))
+                if self.on_data is not None:
+                    self.on_data(self, plaintext)
+            else:
+                raise NetworkError(f"unknown TLS content type {content_type}")
+
+    def _tcp_close(self, _conn: TcpConnection) -> None:
+        was_open = self.state != TlsState.CLOSED
+        self.state = TlsState.CLOSED
+        if was_open and self.on_close is not None:
+            self.on_close(self)
+
+    def __repr__(self) -> str:
+        return f"TlsEndpoint({self.role}, {self.state.name})"

@@ -1,0 +1,13 @@
+"""Address-rewriting proxies that make hierarchy emulation work (§2.4)."""
+
+from .proxies import (AddressRewritingProxy, AuthoritativeProxy,
+                      PartitioningRecursiveProxy, ProxyStats,
+                      RecursiveProxy, install_authoritative_proxy,
+                      install_partitioning_proxy, install_recursive_proxy)
+
+__all__ = [
+    "AddressRewritingProxy", "AuthoritativeProxy",
+    "PartitioningRecursiveProxy", "ProxyStats", "RecursiveProxy",
+    "install_authoritative_proxy", "install_partitioning_proxy",
+    "install_recursive_proxy",
+]

@@ -1,0 +1,172 @@
+"""The recursive and authoritative proxies (Figure 2).
+
+The meta-DNS-server hosts every zone behind one address, but a recursive
+resolver addresses its iterative queries to the *public* IPs of the
+nameservers it believes it is talking to.  The proxies bridge the two:
+
+* the **recursive proxy** captures the resolver's outgoing queries
+  (diverted to a TUN device by a dport-53 netfilter rule), rewrites
+  ``src ← original query destination address (OQDA)`` and
+  ``dst ← meta-DNS-server address``, recomputes the checksum, and
+  reinjects them.  The OQDA-as-source is what lets the split-horizon
+  meta-server pick the right zone (§2.4);
+* the **authoritative proxy** captures the meta-server's responses
+  (sport-53 rule), rewrites ``src ← original reply destination (the
+  OQDA)`` and ``dst ← recursive server address``, so the resolver sees
+  a reply that appears to come from the server it queried and accepts it.
+
+Both proxies perform the same transform: *the packet's source becomes
+its old destination, and its destination becomes the other end of the
+proxy pair.*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..netsim import EventLoop, FilterRule, Host, IpPacket, TunDevice
+
+# One rewrite (read, mangle, checksum, write) on the paper's proxy takes
+# on the order of tens of microseconds across its thread pool.
+DEFAULT_PROCESSING_DELAY = 30e-6
+
+
+@dataclass
+class ProxyStats:
+    packets_rewritten: int = 0
+    bytes_rewritten: int = 0
+    rewrites_by_oqda: Dict[str, int] = field(default_factory=dict)
+
+
+class AddressRewritingProxy:
+    """Shared engine: read from a TUN, swap addresses, reinject."""
+
+    def __init__(self, tun: TunDevice, forward_to: str,
+                 processing_delay: float = DEFAULT_PROCESSING_DELAY,
+                 recompute_checksum: bool = True):
+        self.tun = tun
+        self.forward_to = forward_to
+        self.processing_delay = processing_delay
+        self.recompute_checksum = recompute_checksum
+        self.stats = ProxyStats()
+        self._loop: EventLoop = tun.host.network.loop
+        tun.set_reader(self._on_packet)
+
+    def _on_packet(self, packet: IpPacket) -> None:
+        oqda = packet.dst
+        rewritten = packet.rewritten(
+            src=oqda, dst=self.forward_to,
+            recompute_checksum=self.recompute_checksum)
+        self.stats.packets_rewritten += 1
+        self.stats.bytes_rewritten += rewritten.wire_size()
+        self.stats.rewrites_by_oqda[oqda] = (
+            self.stats.rewrites_by_oqda.get(oqda, 0) + 1)
+        if self.processing_delay > 0:
+            self._loop.call_later(self.processing_delay,
+                                  self.tun.write, rewritten)
+        else:
+            self.tun.write(rewritten)
+
+
+class RecursiveProxy(AddressRewritingProxy):
+    """Runs beside the recursive server; forwards queries to the meta
+    server.  Install with :func:`install_recursive_proxy`."""
+
+
+class PartitioningRecursiveProxy:
+    """A recursive proxy that routes to one of several meta-servers.
+
+    The paper's prototype "only talks to a single authoritative proxy;
+    supporting partitioning the zones across the set of different
+    authoritative servers is a future work" (§3).  This implements that
+    partitioning: a forwarding table maps the original query destination
+    address (the OQDA, which identifies the emulated zone) to the meta
+    server shard hosting it, so multiple server instances can share the
+    zone set for "large query rate and massive zones" (§2.2).
+    """
+
+    def __init__(self, tun: TunDevice, forwarding: Dict[str, str],
+                 default: Optional[str] = None,
+                 processing_delay: float = DEFAULT_PROCESSING_DELAY):
+        self.tun = tun
+        self.forwarding = dict(forwarding)
+        self.default = default
+        self.processing_delay = processing_delay
+        self.stats = ProxyStats()
+        self.unroutable = 0
+        self._loop: EventLoop = tun.host.network.loop
+        tun.set_reader(self._on_packet)
+
+    def _on_packet(self, packet: IpPacket) -> None:
+        oqda = packet.dst
+        target = self.forwarding.get(oqda, self.default)
+        if target is None:
+            self.unroutable += 1
+            return  # same fate as an unroutable leak: dropped
+        rewritten = packet.rewritten(src=oqda, dst=target)
+        self.stats.packets_rewritten += 1
+        self.stats.bytes_rewritten += rewritten.wire_size()
+        self.stats.rewrites_by_oqda[oqda] = (
+            self.stats.rewrites_by_oqda.get(oqda, 0) + 1)
+        if self.processing_delay > 0:
+            self._loop.call_later(self.processing_delay,
+                                  self.tun.write, rewritten)
+        else:
+            self.tun.write(rewritten)
+
+
+class AuthoritativeProxy(AddressRewritingProxy):
+    """Runs beside the meta-DNS-server; forwards replies to the
+    recursive server.  Install with :func:`install_authoritative_proxy`."""
+
+
+def install_partitioning_proxy(recursive_host: Host,
+                               forwarding: Dict[str, str],
+                               default: Optional[str] = None,
+                               tun_name: str = "tun0",
+                               processing_delay: float =
+                               DEFAULT_PROCESSING_DELAY,
+                               ) -> PartitioningRecursiveProxy:
+    """Divert outgoing DNS queries into a zone-partitioning proxy."""
+    tun = recursive_host.create_tun(tun_name)
+    for protocol in ("udp", "tcp"):
+        recursive_host.netfilter.add_rule(
+            FilterRule(chain="output", protocol=protocol, dport=53,
+                       divert_to=tun))
+    return PartitioningRecursiveProxy(tun, forwarding, default=default,
+                                      processing_delay=processing_delay)
+
+
+def install_recursive_proxy(recursive_host: Host, meta_address: str,
+                            tun_name: str = "tun0",
+                            processing_delay: float = DEFAULT_PROCESSING_DELAY,
+                            ) -> RecursiveProxy:
+    """Divert all outgoing DNS queries (dport 53) into a recursive proxy.
+
+    Mirrors the paper's iptables setup: mark packets with destination
+    port 53 on the output path and route them to a TUN interface.
+    """
+    tun = recursive_host.create_tun(tun_name)
+    for protocol in ("udp", "tcp"):
+        recursive_host.netfilter.add_rule(
+            FilterRule(chain="output", protocol=protocol, dport=53,
+                       divert_to=tun))
+    return RecursiveProxy(tun, meta_address,
+                          processing_delay=processing_delay)
+
+
+def install_authoritative_proxy(meta_host: Host, recursive_address: str,
+                                tun_name: str = "tun0",
+                                processing_delay: float =
+                                DEFAULT_PROCESSING_DELAY,
+                                ) -> AuthoritativeProxy:
+    """Divert all outgoing DNS responses (sport 53) into an
+    authoritative proxy."""
+    tun = meta_host.create_tun(tun_name)
+    for protocol in ("udp", "tcp"):
+        meta_host.netfilter.add_rule(
+            FilterRule(chain="output", protocol=protocol, sport=53,
+                       divert_to=tun))
+    return AuthoritativeProxy(tun, recursive_address,
+                              processing_delay=processing_delay)

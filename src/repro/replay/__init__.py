@@ -1,0 +1,23 @@
+"""The distributed query replay engine (§2.6, §3)."""
+
+from .distributed import (DistributedConfig, LiveDistributedReplay)
+from .distributor import (Controller, DistributionStats, Distributor,
+                          StickyAssigner)
+from .protocol import (MSG_END, MSG_RECORD, MSG_TIME_SYNC, MessageSocket,
+                       ProtocolError, connected_pair)
+from .engine import ReplayConfig, SimReplayEngine
+from .live import (LiveReplay, LiveUdpEchoServer, ThroughputReport,
+                   ThroughputSample, measure_throughput)
+from .querier import QuerierConfig, SimQuerier
+from .result import ReplayResult, SentQuery
+from .timing import TimerJitterModel, TimingController
+
+__all__ = [
+    "Controller", "DistributedConfig", "DistributionStats", "Distributor",
+    "LiveDistributedReplay", "LiveReplay", "MSG_END", "MSG_RECORD",
+    "MSG_TIME_SYNC", "MessageSocket", "ProtocolError", "connected_pair",
+    "LiveUdpEchoServer", "QuerierConfig", "ReplayConfig", "ReplayResult",
+    "SentQuery", "SimQuerier", "SimReplayEngine", "StickyAssigner",
+    "ThroughputReport", "ThroughputSample", "TimerJitterModel",
+    "TimingController", "measure_throughput",
+]

@@ -1,0 +1,225 @@
+"""A live distributed replay: Figure 4 with real sockets and threads.
+
+This is the process topology of the paper's prototype, run locally:
+
+* the **controller** (Reader + Postman) streams the trace over TCP
+  message sockets (:mod:`repro.replay.protocol`) to the distributors,
+  broadcasting a time-sync message first;
+* each **distributor** forwards records over further TCP sockets to its
+  queriers, sticky by original source address;
+* each **querier** applies the ΔT = Δt̄ − Δt timing discipline against
+  the real clock and sends real UDP queries, matching responses by
+  message ID.
+
+Where the paper runs distributors/queriers as processes on client
+instances, this implementation runs them as threads in one process —
+the sockets, framing, time synchronization, and sticky routing are the
+real thing; only the process boundary is collapsed (DESIGN.md).
+"""
+
+from __future__ import annotations
+
+import heapq
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..trace import QueryRecord, Trace
+from .distributor import StickyAssigner
+from .protocol import (MSG_END, MSG_RECORD, MSG_TIME_SYNC, MessageSocket,
+                       connected_pair)
+from .result import ReplayResult, SentQuery
+
+
+@dataclass
+class DistributedConfig:
+    distributors: int = 2
+    queriers_per_distributor: int = 2
+    settle_time: float = 0.3
+    start_delay: float = 0.1
+
+
+class _LiveQuerier(threading.Thread):
+    """Receives records over a MessageSocket; sends real UDP queries."""
+
+    def __init__(self, querier_id: int, inbound: MessageSocket,
+                 server: Tuple[str, int], result: ReplayResult,
+                 lock: threading.Lock):
+        super().__init__(daemon=True)
+        self.querier_id = querier_id
+        self.inbound = inbound
+        self.server = server
+        self.result = result
+        self.lock = lock
+        self._pending: Dict[int, SentQuery] = {}
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._sock.connect(server)
+        self._sock.setblocking(False)
+        self._trace_start: Optional[float] = None
+        self._clock_start: Optional[float] = None
+        self._queue: List[Tuple[float, int, QueryRecord]] = []
+        self._sequence = 0
+        self._done_receiving = False
+
+    def run(self) -> None:
+        while True:
+            if not self._done_receiving:
+                message = self.inbound.receive()
+                if message is None or message[0] == MSG_END:
+                    self._done_receiving = True
+                elif message[0] == MSG_TIME_SYNC:
+                    self._trace_start = message[1]
+                    self._clock_start = time.monotonic()
+                elif message[0] == MSG_RECORD:
+                    self._enqueue(message[1])
+            self._drain_due()
+            self._drain_responses()
+            if self._done_receiving and not self._queue:
+                break
+        # Settle: catch responses still in flight.
+        deadline = time.monotonic() + 0.2
+        while time.monotonic() < deadline:
+            self._drain_responses()
+            time.sleep(0.005)
+        self._sock.close()
+
+    def _enqueue(self, record: QueryRecord) -> None:
+        target = self._target_time(record)
+        heapq.heappush(self._queue, (target, self._sequence, record))
+        self._sequence += 1
+
+    def _target_time(self, record: QueryRecord) -> float:
+        if self._trace_start is None or self._clock_start is None:
+            return time.monotonic()
+        return self._clock_start + (record.timestamp - self._trace_start)
+
+    def _drain_due(self) -> None:
+        while self._queue:
+            target, _seq, record = self._queue[0]
+            now = time.monotonic()
+            if target > now:
+                if self._done_receiving:
+                    # Nothing else is coming: sleep until the next send.
+                    time.sleep(min(target - now, 0.01))
+                    continue
+                return
+            heapq.heappop(self._queue)
+            self._send(record, target)
+
+    def _send(self, record: QueryRecord, scheduled_at: float) -> None:
+        message_id = self._sequence * 31 % 0xFFFF or 1
+        self._sequence += 1
+        wire = struct.pack("!H", message_id) + record.wire[2:]
+        entry = SentQuery(
+            index=len(self.result.sent), source=record.src,
+            trace_time=record.timestamp, scheduled_at=scheduled_at,
+            sent_at=time.monotonic(), protocol="udp", qname="",
+            querier_id=self.querier_id)
+        self._pending[message_id] = entry
+        with self.lock:
+            self.result.add(entry)
+        try:
+            self._sock.send(wire)
+        except OSError:
+            self.result.send_failures += 1
+
+    def _drain_responses(self) -> None:
+        while True:
+            try:
+                data = self._sock.recv(65535)
+            except (BlockingIOError, OSError):
+                return
+            if len(data) >= 2:
+                message_id = struct.unpack("!H", data[:2])[0]
+                entry = self._pending.pop(message_id, None)
+                if entry is not None:
+                    entry.answered_at = time.monotonic()
+                else:
+                    with self.lock:
+                        self.result.unmatched_responses += 1
+
+
+class _LiveDistributor(threading.Thread):
+    """Forwards records to queriers, sticky by source address."""
+
+    def __init__(self, distributor_id: int, inbound: MessageSocket,
+                 querier_sockets: List[MessageSocket]):
+        super().__init__(daemon=True)
+        self.distributor_id = distributor_id
+        self.inbound = inbound
+        self.querier_sockets = querier_sockets
+        self.assigner = StickyAssigner(querier_sockets)
+        self.records_routed = 0
+
+    def run(self) -> None:
+        for kind, payload in self.inbound.messages():
+            if kind == MSG_TIME_SYNC:
+                for outbound in self.querier_sockets:
+                    outbound.send_time_sync(payload)
+            elif kind == MSG_RECORD:
+                self.records_routed += 1
+                self.assigner.assign(payload.src).send_record(payload)
+        for outbound in self.querier_sockets:
+            outbound.send_end()
+
+
+class LiveDistributedReplay:
+    """The controller: builds the tree, streams the trace, collects."""
+
+    def __init__(self, server: Tuple[str, int],
+                 config: Optional[DistributedConfig] = None):
+        self.server = server
+        self.config = config if config is not None else DistributedConfig()
+        self.result = ReplayResult("distributed-live")
+        self._lock = threading.Lock()
+
+    def replay(self, trace: Trace) -> ReplayResult:
+        records = sorted(trace.records, key=lambda r: r.timestamp)
+        if not records:
+            return self.result
+
+        # Build the two socket tiers.
+        distributor_sockets = []
+        distributors = []
+        queriers = []
+        for distributor_id in range(self.config.distributors):
+            controller_side, distributor_side = connected_pair()
+            distributor_sockets.append(controller_side)
+            querier_sockets = []
+            for querier_index in range(self.config.queriers_per_distributor):
+                dist_side, querier_side = connected_pair()
+                querier_sockets.append(dist_side)
+                queriers.append(_LiveQuerier(
+                    distributor_id * self.config.queriers_per_distributor
+                    + querier_index, querier_side,
+                    self.server, self.result, self._lock))
+            distributors.append(_LiveDistributor(
+                distributor_id, distributor_side, querier_sockets))
+
+        for thread in queriers + distributors:
+            thread.start()
+
+        # Reader + Postman: time-sync broadcast, then the stream.
+        assigner = StickyAssigner(distributor_sockets)
+        trace_start = records[0].timestamp
+        self.result.trace_start = trace_start
+        time.sleep(self.config.start_delay)
+        self.result.start_clock = time.monotonic()
+        for outbound in distributor_sockets:
+            outbound.send_time_sync(trace_start)
+        for record in records:
+            assigner.assign(record.src).send_record(record)
+        for outbound in distributor_sockets:
+            outbound.send_end()
+
+        duration = records[-1].timestamp - trace_start
+        deadline = time.monotonic() + duration \
+            + self.config.settle_time + 2.0
+        for thread in distributors + queriers:
+            thread.join(timeout=max(deadline - time.monotonic(), 0.1))
+        for outbound in distributor_sockets:
+            outbound.close()
+        return self.result

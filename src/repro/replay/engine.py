@@ -1,0 +1,135 @@
+"""The simulated replay engine: Figure 4's client system on the testbed.
+
+``SimReplayEngine`` deploys a controller and N client instances (each a
+host running one distributor and several querier processes) on a
+simulated network, then replays a trace toward a server with the §2.6
+timing discipline:
+
+* the controller broadcasts a time-sync message at the first record,
+* each record is dispatched sticky-by-source down the tree,
+* the querier schedules a timer at ΔT = Δt̄ − Δt (or sends immediately
+  when input processing has fallen behind),
+* optional calibrated timer jitter stands in for the OS noise the live
+  path measures for real (see :mod:`repro.replay.timing`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from ..netsim import EventLoop, Host, LatencyModel, Network
+from ..trace import Trace
+from .distributor import Controller, Distributor, DistributionStats
+from .querier import QuerierConfig, SimQuerier
+from .result import ReplayResult, SentQuery
+from .timing import TimerJitterModel, TimingController
+
+
+@dataclass
+class ReplayConfig:
+    """Knobs of the distributed query system."""
+
+    client_instances: int = 2
+    queriers_per_instance: int = 6
+    same_source_affinity: bool = True    # ablation: sticky routing off
+    track_timing: bool = True            # False = replay as fast as possible
+    input_window: int = 1000
+    input_delay_per_record: float = 2e-6
+    jitter: Optional[TimerJitterModel] = None
+    querier: QuerierConfig = field(default_factory=QuerierConfig)
+    client_address_base: str = "10.250.0."
+    start_delay: float = 0.5             # settle time before first query
+    fast_replay_rate: Optional[float] = None  # cap for track_timing=False
+    # §2.5: "at lower query rates, we could manipulate a live query
+    # stream in near real time" — a QueryMutator applied per record on
+    # the dispatch path rather than ahead of time.
+    live_mutator: Optional[object] = None
+
+
+class SimReplayEngine:
+    """Builds the client tree on a network and replays traces."""
+
+    def __init__(self, network: Network,
+                 config: Optional[ReplayConfig] = None):
+        self.network = network
+        self.loop: EventLoop = network.loop
+        self.config = config if config is not None else ReplayConfig()
+        self.stats = DistributionStats()
+        self.client_hosts: List[Host] = []
+        self.queriers: List[SimQuerier] = []
+        self.result = ReplayResult()
+        self._build_clients()
+
+    def _build_clients(self) -> None:
+        distributors = []
+        for instance in range(self.config.client_instances):
+            address = f"{self.config.client_address_base}{instance + 1}"
+            host = self.network.add_host(f"client-{instance + 1}", address)
+            self.client_hosts.append(host)
+            instance_queriers = [
+                SimQuerier(instance * self.config.queriers_per_instance + q,
+                           host, self.result, self.config.querier)
+                for q in range(self.config.queriers_per_instance)
+            ]
+            self.queriers.extend(instance_queriers)
+            distributors.append(
+                Distributor(instance, instance_queriers,
+                            sticky=self.config.same_source_affinity,
+                            stats=self.stats))
+        self.controller = Controller(
+            distributors, sticky=self.config.same_source_affinity,
+            input_window=self.config.input_window,
+            input_delay_per_record=self.config.input_delay_per_record)
+
+    # -- replay ---------------------------------------------------------
+
+    def schedule_trace(self, trace: Trace) -> ReplayResult:
+        """Schedule every record; caller then runs the event loop."""
+        if not trace.records:
+            return self.result
+        start_clock = self.loop.now + self.config.start_delay
+        trace_start = trace.records[0].timestamp
+        timing = TimingController()
+        timing.synchronize(trace_start, start_clock)
+        self.controller.broadcast_time_sync()
+        self.result.start_clock = start_clock
+        self.result.trace_start = trace_start
+
+        jitter = self.config.jitter
+        fast_gap = (1.0 / self.config.fast_replay_rate
+                    if self.config.fast_replay_rate else 0.0)
+
+        for index, record in enumerate(trace.records):
+            if self.config.live_mutator is not None:
+                record = self.config.live_mutator.apply_record(record)
+                if record is None:
+                    continue
+            querier = self.controller.dispatch(record.src)
+            available = self.controller.availability_time(index, start_clock)
+            if self.config.track_timing:
+                target = timing.target_clock_time(record.timestamp)
+                if jitter is not None:
+                    target += jitter.draw()
+                send_at = max(available, target, self.loop.now)
+            else:
+                send_at = max(available, start_clock + index * fast_gap)
+            self.loop.call_at(send_at, querier.send, index, record, send_at)
+        return self.result
+
+    def replay(self, trace: Trace, extra_time: float = 10.0) -> ReplayResult:
+        """Schedule and run to completion (plus settle time)."""
+        result = self.schedule_trace(trace)
+        if trace.records:
+            end = (self.loop.now + self.config.start_delay
+                   + trace.duration() + extra_time)
+            self.loop.run_until(end)
+        return result
+
+    # -- introspection ------------------------------------------------------
+
+    def total_sockets(self) -> int:
+        return sum(q.socket_count() for q in self.queriers)
+
+    def open_connections(self) -> int:
+        return sum(q.open_connections() for q in self.queriers)

@@ -1,0 +1,130 @@
+"""The inter-node replay protocol (§2.6/§3, Figure 4).
+
+The paper's query system is distributed: a controller (Reader + Postman)
+feeds distributor processes over TCP, which feed querier processes, "for
+reliable communication, we decide to choose TCP for message exchange
+among distributors".  This module is that wire protocol — real sockets,
+length-prefixed internal messages reusing the binary trace record layout
+(§2.5), plus the control messages the timing discipline needs:
+
+    frame  := u32 length, u8 kind, payload
+    kinds  := TIME_SYNC (f64 trace-start time)
+            | RECORD    (binary trace record body)
+            | END       (no payload; stream complete)
+
+:class:`MessageSocket` wraps a connected TCP socket with framed send /
+receive; :mod:`repro.replay.distributed` builds the controller →
+distributor → querier tree on top of it.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+from typing import Iterator, Optional, Tuple, Union
+
+from ..trace import QueryRecord
+from ..trace.binfmt import pack_record_body, unpack_record_body
+
+MSG_TIME_SYNC = 1
+MSG_RECORD = 2
+MSG_END = 3
+
+_FRAME_HEADER = struct.Struct("!IB")
+
+Message = Tuple[int, Union[float, QueryRecord, None]]
+
+
+class ProtocolError(RuntimeError):
+    pass
+
+
+class MessageSocket:
+    """Framed messages over one connected TCP socket."""
+
+    def __init__(self, sock: socket.socket):
+        self._socket = sock
+        self._buffer = bytearray()
+        self.messages_sent = 0
+        self.messages_received = 0
+
+    # -- sending -----------------------------------------------------------
+
+    def send_time_sync(self, trace_start: float) -> None:
+        self._send(MSG_TIME_SYNC, struct.pack("!d", trace_start))
+
+    def send_record(self, record: QueryRecord) -> None:
+        self._send(MSG_RECORD, pack_record_body(record))
+
+    def send_end(self) -> None:
+        self._send(MSG_END, b"")
+
+    def _send(self, kind: int, payload: bytes) -> None:
+        header = _FRAME_HEADER.pack(1 + len(payload), kind)
+        self._socket.sendall(header + payload)
+        self.messages_sent += 1
+
+    # -- receiving ----------------------------------------------------------
+
+    def receive(self) -> Optional[Message]:
+        """Blocking read of one message; None on orderly EOF."""
+        header = self._read_exactly(_FRAME_HEADER.size)
+        if header is None:
+            return None
+        length, kind = _FRAME_HEADER.unpack(header)
+        payload = self._read_exactly(length - 1)
+        if payload is None:
+            raise ProtocolError("connection closed mid-frame")
+        self.messages_received += 1
+        if kind == MSG_TIME_SYNC:
+            (trace_start,) = struct.unpack("!d", payload)
+            return (MSG_TIME_SYNC, trace_start)
+        if kind == MSG_RECORD:
+            return (MSG_RECORD, unpack_record_body(bytes(payload)))
+        if kind == MSG_END:
+            return (MSG_END, None)
+        raise ProtocolError(f"unknown message kind {kind}")
+
+    def messages(self) -> Iterator[Message]:
+        """Iterate until END or EOF."""
+        while True:
+            message = self.receive()
+            if message is None:
+                return
+            yield message
+            if message[0] == MSG_END:
+                return
+
+    def _read_exactly(self, count: int) -> Optional[bytes]:
+        while len(self._buffer) < count:
+            try:
+                chunk = self._socket.recv(65536)
+            except OSError:
+                return None
+            if not chunk:
+                return None if not self._buffer else None
+            self._buffer += chunk
+        data = bytes(self._buffer[:count])
+        del self._buffer[:count]
+        return data
+
+    def close(self) -> None:
+        try:
+            self._socket.close()
+        except OSError:
+            pass
+
+
+def connected_pair() -> Tuple[MessageSocket, MessageSocket]:
+    """A loopback-connected MessageSocket pair (for tests and local
+    multi-thread deployments)."""
+    server = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    server.bind(("127.0.0.1", 0))
+    server.listen(1)
+    client = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    client.connect(server.getsockname())
+    accepted, _peer = server.accept()
+    server.close()
+    client.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    accepted.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return MessageSocket(client), MessageSocket(accepted)

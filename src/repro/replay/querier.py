@@ -1,0 +1,188 @@
+"""Queriers: the processes that actually speak DNS to the server (§2.6).
+
+Each querier owns a set of network sockets and emulates query sources:
+queries from the same original source IP use the same socket (UDP) or
+the same open connection (TCP/TLS) — "same-source queries use the same
+socket if it is still open; new sources start new sockets".  For
+connection-oriented replay this is what makes connection *reuse* happen,
+the effect Figure 15 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..dns import DNS_OVER_TLS_PORT, DNS_PORT, Message
+from ..netsim import (EventLoop, Host, NetworkError, SessionCache,
+                      TcpConnection, TcpOptions, TcpStack, TlsEndpoint,
+                      UdpSocket)
+from ..server.dnsio import StreamFramer, frame_message
+from ..trace import QueryRecord
+from .result import ReplayResult, SentQuery
+
+
+@dataclass
+class QuerierConfig:
+    """Client-side transport knobs."""
+
+    nagle: bool = False            # paper disables Nagle at the client
+    tls_session_resumption: bool = False
+    connection_close_timeout: Optional[float] = None  # client-side close
+    respond_to_server_close: bool = True
+
+
+class _StreamChannel:
+    """One TCP or TLS connection shared by all queries of one source."""
+
+    def __init__(self, querier: "SimQuerier", source: str, dst: str,
+                 dport: int, protocol: str):
+        self.querier = querier
+        self.source = source
+        self.protocol = protocol
+        self.framer = StreamFramer()
+        self.pending: Dict[int, List[SentQuery]] = {}
+        self.open = True
+        self.ever_used = False
+
+        options = TcpOptions(
+            nagle=querier.config.nagle,
+            idle_timeout=querier.config.connection_close_timeout)
+        stack: TcpStack = querier.host.tcp_stack
+        self.tcp = stack.connect(querier.host.primary_address, dst, dport,
+                                 options)
+        self.tls: Optional[TlsEndpoint] = None
+        if protocol == "tls":
+            cache = querier.tls_cache if \
+                querier.config.tls_session_resumption else None
+            self.tls = TlsEndpoint(self.tcp, "client", session_cache=cache)
+            self.tls.on_data = lambda _ep, data: self._on_bytes(data)
+            self.tls.on_close = lambda _ep: self._on_closed()
+        else:
+            self.tcp.on_data = lambda _cn, data: self._on_bytes(data)
+        self.tcp.on_close = lambda cn: self._on_server_close(cn)
+        self.tcp.on_reset = lambda _cn: self._on_closed()
+
+    def send(self, record: QueryRecord, entry: SentQuery) -> None:
+        self.ever_used = True
+        message_id = int.from_bytes(record.wire[:2], "big")
+        self.pending.setdefault(message_id, []).append(entry)
+        framed = frame_message(record.wire)
+        if self.tls is not None:
+            self.tls.send(framed)
+        else:
+            self.tcp.send(framed)
+
+    def _on_bytes(self, data: bytes) -> None:
+        for wire in self.framer.feed(data):
+            message_id = int.from_bytes(wire[:2], "big")
+            waiting = self.pending.get(message_id)
+            if waiting:
+                entry = waiting.pop(0)
+                entry.answered_at = self.querier.loop.now
+                if not waiting:
+                    del self.pending[message_id]
+            else:
+                self.querier.result.unmatched_responses += 1
+
+    def _on_server_close(self, conn: TcpConnection) -> None:
+        self.open = False
+        if self.querier.config.respond_to_server_close:
+            conn.close()
+
+    def _on_closed(self) -> None:
+        self.open = False
+
+
+class SimQuerier:
+    """One querier process: sockets, source affinity, reply matching."""
+
+    def __init__(self, querier_id: int, host: Host, result: ReplayResult,
+                 config: Optional[QuerierConfig] = None):
+        self.querier_id = querier_id
+        self.host = host
+        self.loop: EventLoop = host.network.loop
+        self.result = result
+        self.config = config if config is not None else QuerierConfig()
+        if host.tcp_stack is None:
+            TcpStack(host)
+        self.tls_cache = SessionCache()
+        self._udp_sockets: Dict[str, UdpSocket] = {}
+        self._udp_pending: Dict[Tuple[int, int], List[SentQuery]] = {}
+        self._channels: Dict[Tuple[str, str], _StreamChannel] = {}
+        self.queries_sent = 0
+
+    # -- sending ------------------------------------------------------------
+
+    def send(self, index: int, record: QueryRecord,
+             scheduled_at: float) -> None:
+        entry = SentQuery(
+            index=index, source=record.src, trace_time=record.timestamp,
+            scheduled_at=scheduled_at, sent_at=self.loop.now,
+            protocol=record.protocol, qname=self._qname(record),
+            querier_id=self.querier_id)
+        self.result.add(entry)
+        self.queries_sent += 1
+        if record.protocol == "udp":
+            self._send_udp(record, entry)
+        else:
+            self._send_stream(record, entry)
+
+    def _qname(self, record: QueryRecord) -> str:
+        question = record.question()
+        return question[0].to_text() if question else "-"
+
+    def _send_udp(self, record: QueryRecord, entry: SentQuery) -> None:
+        sock = self._udp_sockets.get(record.src)
+        if sock is None:
+            sock = self.host.bind_udp(self.host.primary_address, 0,
+                                      self._on_udp_response)
+            self._udp_sockets[record.src] = sock
+        message_id = int.from_bytes(record.wire[:2], "big")
+        self._udp_pending.setdefault((sock.port, message_id),
+                                     []).append(entry)
+        sock.sendto(record.wire, record.dst, record.dport)
+
+    def _on_udp_response(self, sock: UdpSocket, data: bytes, _src: str,
+                         _sport: int) -> None:
+        if len(data) < 2:
+            return
+        message_id = int.from_bytes(data[:2], "big")
+        waiting = self._udp_pending.get((sock.port, message_id))
+        if waiting:
+            entry = waiting.pop(0)
+            entry.answered_at = self.loop.now
+            if not waiting:
+                del self._udp_pending[(sock.port, message_id)]
+        else:
+            self.result.unmatched_responses += 1
+
+    def _send_stream(self, record: QueryRecord, entry: SentQuery) -> None:
+        dport = record.dport
+        if record.protocol == "tls" and dport == DNS_PORT:
+            dport = DNS_OVER_TLS_PORT
+        key = (record.src, record.protocol)
+        channel = self._channels.get(key)
+        if channel is None or not channel.open:
+            channel = _StreamChannel(self, record.src, record.dst, dport,
+                                     record.protocol)
+            self._channels[key] = channel
+            entry.fresh_connection = True
+        try:
+            channel.send(record, entry)
+        except NetworkError:
+            # The server's idle close raced with this send: retry once
+            # on a fresh connection, as a real stub/resolver would.
+            channel = _StreamChannel(self, record.src, record.dst, dport,
+                                     record.protocol)
+            self._channels[key] = channel
+            entry.fresh_connection = True
+            channel.send(record, entry)
+
+    # -- statistics ----------------------------------------------------------
+
+    def open_connections(self) -> int:
+        return sum(1 for channel in self._channels.values() if channel.open)
+
+    def socket_count(self) -> int:
+        return len(self._udp_sockets) + len(self._channels)

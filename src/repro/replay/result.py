@@ -1,0 +1,108 @@
+"""Replay results: per-query send/response bookkeeping and analysis."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..trace.stats import quartile_summary
+
+
+@dataclass
+class SentQuery:
+    """Fate of one replayed query."""
+
+    index: int                 # position in the input trace
+    source: str                # original client address
+    trace_time: float          # timestamp in the input trace
+    scheduled_at: float        # clock time the timer aimed for
+    sent_at: float             # clock time the query left the querier
+    protocol: str
+    qname: str
+    answered_at: Optional[float] = None
+    fresh_connection: bool = False
+    querier_id: int = -1
+
+    @property
+    def latency(self) -> Optional[float]:
+        if self.answered_at is None:
+            return None
+        return self.answered_at - self.sent_at
+
+
+class ReplayResult:
+    """Accumulates sent queries; computes the §4 accuracy metrics."""
+
+    def __init__(self, name: str = "replay"):
+        self.name = name
+        self.sent: List[SentQuery] = []
+        self.start_clock: Optional[float] = None
+        self.trace_start: Optional[float] = None
+        self.unmatched_responses = 0
+        self.send_failures = 0
+
+    def add(self, query: SentQuery) -> None:
+        self.sent.append(query)
+
+    # -- §4.2 metrics ------------------------------------------------------
+
+    def send_time_errors(self, skip_seconds: float = 0.0) -> List[float]:
+        """Per-query error: (actual send offset) − (trace offset).
+
+        The paper ignores the first 20 s of replay to avoid startup
+        transients; pass ``skip_seconds`` for the same effect.
+        """
+        if not self.sent:
+            return []
+        base_clock = self.start_clock if self.start_clock is not None \
+            else self.sent[0].sent_at
+        base_trace = self.trace_start if self.trace_start is not None \
+            else self.sent[0].trace_time
+        errors = []
+        for query in self.sent:
+            if query.trace_time - base_trace < skip_seconds:
+                continue
+            errors.append((query.sent_at - base_clock)
+                          - (query.trace_time - base_trace))
+        return errors
+
+    def interarrivals(self) -> List[float]:
+        times = sorted(q.sent_at for q in self.sent)
+        return [b - a for a, b in zip(times, times[1:])]
+
+    def per_second_rates(self) -> List[Tuple[int, int]]:
+        if not self.sent:
+            return []
+        base = min(q.sent_at for q in self.sent)
+        buckets: Dict[int, int] = {}
+        for query in self.sent:
+            bucket = int(query.sent_at - base)
+            buckets[bucket] = buckets.get(bucket, 0) + 1
+        return sorted(buckets.items())
+
+    def latencies(self, sources: Optional[set] = None) -> List[float]:
+        return [q.latency for q in self.sent
+                if q.latency is not None
+                and (sources is None or q.source in sources)]
+
+    def answered_fraction(self) -> float:
+        if not self.sent:
+            return 0.0
+        return sum(1 for q in self.sent
+                   if q.answered_at is not None) / len(self.sent)
+
+    def reuse_fraction(self) -> float:
+        """Share of TCP/TLS queries that reused an open connection."""
+        stream = [q for q in self.sent if q.protocol in ("tcp", "tls")]
+        if not stream:
+            return 0.0
+        return sum(1 for q in stream if not q.fresh_connection) / len(stream)
+
+    def error_summary(self, skip_seconds: float = 0.0) -> Dict[str, float]:
+        errors = self.send_time_errors(skip_seconds)
+        if not errors:
+            return {}
+        return quartile_summary(errors)
+
+    def __len__(self) -> int:
+        return len(self.sent)

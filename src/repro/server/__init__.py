@@ -1,0 +1,26 @@
+"""DNS servers: authoritative engine, split-horizon views, recursion.
+
+Implements the server side of LDplayer's replay architecture: the
+meta-DNS-server logic (an authoritative engine with BIND-style views
+selected by query source address, §2.4), an iterative recursive resolver
+with a TTL cache, and the hosting layer that binds an engine to a
+simulated host's UDP/TCP/TLS transports.
+"""
+
+from .axfr import AXFR, AxfrError, axfr_fetch, axfr_response_stream
+from .authoritative import (AuthoritativeServer, ConfigError, ServerStats,
+                            View, ZoneSet)
+from .cache import CacheEntry, CacheOutcome, DnsCache
+from .dnsio import FramingError, StreamFramer, frame_message, iter_framed
+from .dynamic import CdnPolicy, DynamicOverlay
+from .hosting import HostedDnsServer, TransportConfig
+from .recursive import RecursiveResolver, ResolverStats
+
+__all__ = [
+    "AXFR", "AuthoritativeServer", "AxfrError", "axfr_fetch",
+    "axfr_response_stream", "CacheEntry", "CacheOutcome", "CdnPolicy",
+    "ConfigError", "DnsCache", "DynamicOverlay", "FramingError",
+    "HostedDnsServer", "RecursiveResolver", "ResolverStats", "ServerStats",
+    "StreamFramer", "TransportConfig", "View", "ZoneSet", "frame_message",
+    "iter_framed",
+]

@@ -1,0 +1,311 @@
+"""The authoritative DNS engine with split-horizon views.
+
+This is the logic of the paper's meta-DNS-server (§2.4): a single server
+instance hosting *many* zones — potentially every level of the hierarchy —
+that selects the zone to answer from based on the query's *source
+address* (split-horizon DNS, BIND's ``view``/``match-clients``).  The
+recursive proxy rewrites each query's source to the original query
+destination address (OQDA), so the source address identifies which
+emulated nameserver the query was "really" sent to, and the engine can
+give a referral from the root zone or an answer from ``google.com``
+for the *same* query content, exactly as independent servers would.
+
+The engine is transport-agnostic: it maps a query ``Message`` plus its
+addressing to a response ``Message``.  Socket bindings live in
+:mod:`repro.server.hosting`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..dns import (AnswerKind, Edns, Flag, Message, Name, Opcode, Question,
+                   RRClass, RRType, RRset, Rcode, UDP_PAYLOAD_LIMIT, Zone)
+
+
+class ConfigError(ValueError):
+    pass
+
+
+@dataclass
+class ServerStats:
+    queries: int = 0
+    responses: int = 0
+    refused: int = 0
+    nxdomain: int = 0
+    referrals: int = 0
+    truncated: int = 0
+    response_bytes: int = 0
+    queries_by_transport: Dict[str, int] = field(default_factory=dict)
+
+    def note_transport(self, transport: str) -> None:
+        self.queries_by_transport[transport] = (
+            self.queries_by_transport.get(transport, 0) + 1)
+
+
+class ZoneSet:
+    """Zones indexed for longest-origin-match lookup."""
+
+    def __init__(self, zones: Iterable[Zone] = ()):
+        self._zones: Dict[Name, Zone] = {}
+        for zone in zones:
+            self.add(zone)
+
+    def add(self, zone: Zone) -> None:
+        if zone.origin in self._zones:
+            raise ConfigError(f"duplicate zone {zone.origin}")
+        self._zones[zone.origin] = zone
+
+    def find(self, qname: Name) -> Optional[Zone]:
+        """The zone with the longest origin that encloses ``qname``."""
+        best: Optional[Zone] = None
+        for ancestor in qname.ancestors():
+            zone = self._zones.get(ancestor)
+            if zone is not None:
+                best = zone
+                break  # ancestors() goes from deepest to root: first hit wins
+        return best
+
+    def zones(self) -> List[Zone]:
+        return list(self._zones.values())
+
+    def zone_at(self, origin: Name) -> Optional[Zone]:
+        """The zone with exactly this origin, if hosted."""
+        return self._zones.get(origin)
+
+    def __len__(self) -> int:
+        return len(self._zones)
+
+    def __contains__(self, origin: Name) -> bool:
+        return origin in self._zones
+
+
+@dataclass
+class View:
+    """A split-horizon view: client addresses -> the zones they see.
+
+    ``match_clients`` lists source addresses (the proxies' OQDAs); an
+    empty list makes this the catch-all view, like BIND's
+    ``match-clients { any; }``.
+    """
+
+    name: str
+    zones: ZoneSet
+    match_clients: Tuple[str, ...] = ()
+
+    def matches(self, source: str) -> bool:
+        return not self.match_clients or source in self.match_clients
+
+
+class AuthoritativeServer:
+    """Answers queries from hosted zones, selecting by view.
+
+    ``dynamic`` optionally layers CDN-style per-query answers over the
+    static zones (see :mod:`repro.server.dynamic`).
+    """
+
+    def __init__(self, views: Optional[Sequence[View]] = None,
+                 minimal_responses: bool = True, dynamic=None):
+        self.views: List[View] = list(views) if views is not None else []
+        self.minimal_responses = minimal_responses
+        self.dynamic = dynamic
+        self.stats = ServerStats()
+
+    @classmethod
+    def single_view(cls, zones: Iterable[Zone]) -> "AuthoritativeServer":
+        return cls([View("default", ZoneSet(zones))])
+
+    def add_view(self, view: View) -> None:
+        self.views.append(view)
+
+    def view_for(self, source: str) -> Optional[View]:
+        for view in self.views:
+            if view.matches(source):
+                return view
+        return None
+
+    def handle_axfr(self, query: Message,
+                    source: str = "0.0.0.0") -> Optional[List[Message]]:
+        """RFC 5936 zone transfer out of the source's view (TCP only)."""
+        from .axfr import handle_axfr as dispatch
+        view = self.view_for(source)
+        if view is None:
+            return [Message.make_response(query, rcode=Rcode.REFUSED)]
+        zones_by_origin = {zone.origin: zone
+                           for zone in view.zones.zones()}
+        return dispatch(zones_by_origin, query)
+
+    # -- query handling --------------------------------------------------
+
+    def handle_query(self, query: Message, source: str = "0.0.0.0",
+                     transport: str = "udp") -> Message:
+        """Produce the response message for one query."""
+        self.stats.queries += 1
+        self.stats.note_transport(transport)
+
+        if query.opcode != Opcode.QUERY or not query.question:
+            return self._finish(self._refuse(query, Rcode.NOTIMP), transport)
+        question = query.question[0]
+        if question.rrclass != RRClass.IN:
+            return self._finish(self._refuse(query, Rcode.REFUSED), transport)
+
+        view = self.view_for(source)
+        if view is None:
+            return self._finish(self._refuse(query, Rcode.REFUSED), transport)
+        zone = view.zones.find(question.name)
+        if zone is None:
+            return self._finish(self._refuse(query, Rcode.REFUSED), transport)
+
+        response = Message.make_response(query)
+        dnssec = query.dnssec_ok
+        if self.dynamic is not None:
+            synthesized = self.dynamic.answer(question.name,
+                                              question.rrtype, source)
+            if synthesized is not None:
+                response.set_flag(Flag.AA)
+                response.answer.extend(synthesized.to_rrs())
+                return self._finish(response, transport)
+        self._answer_from_zone(zone, question, response, dnssec)
+        return self._finish(response, transport)
+
+    def _answer_from_zone(self, zone: Zone, question: Question,
+                          response: Message, dnssec: bool) -> None:
+        qname, qtype = question.name, question.rrtype
+        visited = set()
+        while True:
+            result = zone.lookup(qname, qtype)
+            if result.kind == AnswerKind.ANSWER:
+                response.set_flag(Flag.AA)
+                for rrset in result.rrsets:
+                    response.answer.extend(rrset.to_rrs())
+                    if dnssec:
+                        self._add_rrsigs(zone, result, rrset, response.answer)
+                    if rrset.rrtype == RRType.NS:
+                        # Real servers attach in-zone nameserver
+                        # addresses; zone harvesting relies on this.
+                        for glue in zone.glue_for(rrset):
+                            response.additional.extend(glue.to_rrs())
+                return
+            if result.kind == AnswerKind.CNAME:
+                response.set_flag(Flag.AA)
+                cname_rrset = result.rrsets[0]
+                response.answer.extend(cname_rrset.to_rrs())
+                if dnssec:
+                    self._add_rrsigs(zone, result, cname_rrset,
+                                     response.answer)
+                target = cname_rrset.rdatas[0].target  # type: ignore
+                if target in visited or not target.is_subdomain_of(zone.origin):
+                    return  # out-of-zone target: client re-queries
+                visited.add(target)
+                qname = target
+                continue
+            if result.kind == AnswerKind.REFERRAL:
+                self.stats.referrals += 1
+                ns_rrset = result.rrsets[0]
+                response.authority.extend(ns_rrset.to_rrs())
+                if dnssec:
+                    ds = zone.get(result.node, RRType.DS)
+                    if ds is not None:
+                        response.authority.extend(ds.to_rrs())
+                        self._append_sigs(zone, result.node, RRType.DS,
+                                          response.authority)
+                for glue in zone.glue_for(ns_rrset):
+                    response.additional.extend(glue.to_rrs())
+                return
+            if result.kind == AnswerKind.NXDOMAIN:
+                self.stats.nxdomain += 1
+                response.rcode = Rcode.NXDOMAIN
+                response.set_flag(Flag.AA)
+                self._add_soa(zone, response, dnssec)
+                if dnssec:
+                    self._add_denial(zone, qname, response)
+                return
+            if result.kind == AnswerKind.NODATA:
+                response.set_flag(Flag.AA)
+                self._add_soa(zone, response, dnssec)
+                if dnssec:
+                    self._add_denial(zone, qname, response,
+                                     nodata=True)
+                return
+            # OUT_OF_ZONE cannot happen: the zone was chosen by suffix.
+            response.rcode = Rcode.SERVFAIL
+            return
+
+    def _add_soa(self, zone: Zone, response: Message, dnssec: bool) -> None:
+        soa = zone.soa
+        if soa is not None:
+            response.authority.extend(soa.to_rrs())
+            if dnssec:
+                self._append_sigs(zone, zone.origin, RRType.SOA,
+                                  response.authority)
+
+    def _add_denial(self, zone: Zone, qname: Name, response: Message,
+                    nodata: bool = False) -> None:
+        """NSEC denial of existence (RFC 4035 §3.1.3): the covering NSEC
+        for the qname plus, for NXDOMAIN, the wildcard-denying apex
+        NSEC.  This is what makes signed negative answers large — the
+        dominant term in root DNSSEC traffic (Fig 10)."""
+        owners = []
+        covering = zone.covering_name(qname)
+        if covering is not None:
+            owners.append(covering)
+        if not nodata and zone.origin not in owners:
+            owners.append(zone.origin)
+        seen = set()
+        for owner in owners:
+            if owner in seen:
+                continue
+            seen.add(owner)
+            nsec = zone.get(owner, RRType.NSEC)
+            if nsec is not None:
+                response.authority.extend(nsec.to_rrs())
+                self._append_sigs(zone, owner, RRType.NSEC,
+                                  response.authority)
+
+    def _add_rrsigs(self, zone: Zone, result, rrset: RRset,
+                    target_section: List) -> None:
+        owner = result.node if result.wildcard else rrset.name
+        self._append_sigs(zone, owner, rrset.rrtype, target_section,
+                          rename_to=rrset.name)
+
+    def _append_sigs(self, zone: Zone, owner: Name, covered: RRType,
+                     section: List, rename_to: Optional[Name] = None) -> None:
+        sigs = zone.get(owner, RRType.RRSIG)
+        if sigs is None:
+            return
+        for rr in sigs.to_rrs():
+            if rr.rdata.type_covered == covered:  # type: ignore[attr-defined]
+                if rename_to is not None and rename_to != rr.name:
+                    rr = type(rr)(rename_to, rr.ttl, rr.rrclass, rr.rdata)
+                section.append(rr)
+
+    def _refuse(self, query: Message, rcode: Rcode) -> Message:
+        self.stats.refused += 1
+        return Message.make_response(query, rcode=rcode)
+
+    def _finish(self, response: Message, transport: str) -> Message:
+        self.stats.responses += 1
+        return response
+
+    @staticmethod
+    def udp_limit(query: Message) -> int:
+        """Maximum UDP response size the client advertised."""
+        if query.edns is not None:
+            return max(query.edns.payload_size, UDP_PAYLOAD_LIMIT)
+        return UDP_PAYLOAD_LIMIT
+
+    def encode_response(self, query: Message, response: Message,
+                        transport: str) -> bytes:
+        """Encode for the transport, truncating oversize UDP replies."""
+        if transport != "udp":
+            return response.to_wire()
+        limit = self.udp_limit(query)
+        full = response.to_wire()
+        if len(full) <= limit:
+            self.stats.response_bytes += len(full)
+            return full
+        self.stats.truncated += 1
+        wire = response.to_wire(max_size=limit)
+        self.stats.response_bytes += len(wire)
+        return wire

@@ -1,0 +1,67 @@
+"""DNS message transport framing.
+
+UDP carries one message per datagram.  TCP and TLS carry a stream of
+messages, each prefixed with a two-byte network-order length (RFC 1035
+§4.2.2 / RFC 7766).  :class:`StreamFramer` turns stream bytes back into
+messages; the paper's latency tails come from large replies spanning
+several TCP segments, which this reassembly makes visible.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Callable, Iterator, List, Optional
+
+
+class FramingError(ValueError):
+    pass
+
+
+def frame_message(wire: bytes) -> bytes:
+    """Prefix a DNS message with its 2-byte length for TCP/TLS."""
+    if len(wire) > 0xFFFF:
+        raise FramingError(f"message too large to frame: {len(wire)}")
+    return struct.pack("!H", len(wire)) + wire
+
+
+class StreamFramer:
+    """Incremental decoder of length-prefixed DNS messages."""
+
+    def __init__(self, on_message: Optional[Callable[[bytes], None]] = None):
+        self._buffer = bytearray()
+        self.on_message = on_message
+        self.messages_decoded = 0
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Feed stream bytes; return (and deliver) completed messages."""
+        self._buffer += data
+        completed = []
+        while True:
+            if len(self._buffer) < 2:
+                break
+            (length,) = struct.unpack_from("!H", self._buffer)
+            if len(self._buffer) < 2 + length:
+                break
+            wire = bytes(self._buffer[2 : 2 + length])
+            del self._buffer[: 2 + length]
+            self.messages_decoded += 1
+            completed.append(wire)
+            if self.on_message is not None:
+                self.on_message(wire)
+        return completed
+
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+def iter_framed(stream: bytes) -> Iterator[bytes]:
+    """Iterate messages in a fully-buffered framed stream."""
+    offset = 0
+    while offset + 2 <= len(stream):
+        (length,) = struct.unpack_from("!H", stream, offset)
+        if offset + 2 + length > len(stream):
+            raise FramingError("truncated framed stream")
+        yield stream[offset + 2 : offset + 2 + length]
+        offset += 2 + length
+    if offset != len(stream):
+        raise FramingError("trailing bytes in framed stream")

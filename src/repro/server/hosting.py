@@ -1,0 +1,206 @@
+"""Bind a DNS engine to a simulated host's UDP/TCP/TLS transports.
+
+``HostedDnsServer`` is the deployable unit: it owns the sockets, frames
+stream messages, charges the CPU meter, counts TLS sessions for the
+memory model, and hands decoded queries to an engine (authoritative or
+recursive).  This is the simulated analogue of running ``nsd`` with 16
+processes on the testbed server (§5.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Optional
+
+from ..dns import DNS_OVER_TLS_PORT, DNS_PORT, Message, WireError
+from ..netsim import (Host, NetworkError, ServerResourceModel,
+                      TcpConnection, TcpOptions, TcpStack, TlsEndpoint)
+from .dnsio import StreamFramer, frame_message
+
+# A query engine maps (query, source address, transport) to a response
+# Message, and exposes encode_response; AuthoritativeServer satisfies it.
+QueryEngine = object
+
+
+@dataclass
+class TransportConfig:
+    """Server-side transport knobs the experiments sweep."""
+
+    udp: bool = True
+    tcp: bool = True
+    tls: bool = False
+    tcp_idle_timeout: Optional[float] = 20.0  # Fig 11/13/14 sweep 5-40 s
+    nagle: bool = True  # paper §5.2.4 suggests disabling as an optimization
+    close_on_peer_fin: bool = True
+
+
+class HostedDnsServer:
+    """A DNS engine attached to a host's port 53 (and 853 for TLS)."""
+
+    def __init__(self, host: Host, engine, config: Optional[TransportConfig] = None,
+                 resources: Optional[ServerResourceModel] = None,
+                 address: Optional[str] = None):
+        self.host = host
+        self.engine = engine
+        self.config = config if config is not None else TransportConfig()
+        self.address = address if address is not None else host.primary_address
+        if host.tcp_stack is None:
+            TcpStack(host)
+        self.tcp_stack = host.tcp_stack
+        self.resources = resources if resources is not None else \
+            ServerResourceModel(host.network.loop, self.tcp_stack)
+        if self.resources.tcp_stack is None:
+            self.resources.tcp_stack = self.tcp_stack
+        self.decode_errors = 0
+        self.responses_dropped_on_closed = 0
+        self._udp_socket = None
+        self._tls_endpoints: Dict[TcpConnection, TlsEndpoint] = {}
+        self._start()
+
+    # -- setup ----------------------------------------------------------
+
+    def _start(self) -> None:
+        if self.config.udp:
+            self._udp_socket = self.host.bind_udp(
+                self.address, DNS_PORT, self._on_udp)
+        options = TcpOptions(nagle=self.config.nagle,
+                             idle_timeout=self.config.tcp_idle_timeout)
+        if self.config.tcp:
+            self.tcp_stack.listen(self.address, DNS_PORT,
+                                  self._on_tcp_accept, options)
+        if self.config.tls:
+            self.tcp_stack.listen(self.address, DNS_OVER_TLS_PORT,
+                                  self._on_tls_accept, options)
+
+    # -- UDP --------------------------------------------------------------
+
+    def _on_udp(self, sock, data: bytes, src: str, sport: int) -> None:
+        self.resources.cpu.charge("udp_query")
+        self._serve(data, src, "udp",
+                    lambda wire: sock.sendto(wire, src, sport))
+
+    # -- TCP --------------------------------------------------------------
+
+    def _on_tcp_accept(self, conn: TcpConnection) -> None:
+        self.resources.cpu.charge("tcp_handshake")
+        framer = StreamFramer()
+
+        def send_response(cn: TcpConnection, wire: bytes) -> None:
+            try:
+                cn.send(frame_message(wire))
+            except NetworkError:
+                # The idle timer closed this connection while the query
+                # was in flight; a real server's write fails the same
+                # way and the client retries on a fresh connection.
+                self.responses_dropped_on_closed += 1
+
+        def on_data(cn: TcpConnection, data: bytes) -> None:
+            self.resources.cpu.charge("tcp_segment")
+            for wire_query in framer.feed(data):
+                self.resources.cpu.charge("tcp_query")
+                if self._serve_axfr(wire_query, cn):
+                    continue
+                self._serve(wire_query, cn.remote_addr, "tcp",
+                            lambda wire, cn=cn: send_response(cn, wire))
+
+        conn.on_data = on_data
+        if self.config.close_on_peer_fin:
+            conn.on_close = lambda cn: cn.close()
+
+    # -- TLS --------------------------------------------------------------
+
+    def _on_tls_accept(self, conn: TcpConnection) -> None:
+        self.resources.cpu.charge("tcp_handshake")
+        endpoint = TlsEndpoint(conn, "server",
+                               crypto_hook=self._charge_crypto)
+        self._tls_endpoints[conn] = endpoint
+        framer = StreamFramer()
+
+        def on_established(_ep: TlsEndpoint) -> None:
+            self.resources.tls_sessions += 1
+
+        def send_response(ep: TlsEndpoint, wire: bytes) -> None:
+            try:
+                ep.send(frame_message(wire))
+            except NetworkError:
+                self.responses_dropped_on_closed += 1
+
+        def on_data(ep: TlsEndpoint, data: bytes) -> None:
+            for wire_query in framer.feed(data):
+                self.resources.cpu.charge("tcp_query")
+                self._serve(wire_query, conn.remote_addr, "tls",
+                            lambda wire, ep=ep: send_response(ep, wire))
+
+        def on_close(ep: TlsEndpoint) -> None:
+            if self._tls_endpoints.pop(conn, None) is not None \
+                    and ep.established_at is not None:
+                self.resources.tls_sessions -= 1
+
+        endpoint.on_established = on_established
+        endpoint.on_data = on_data
+        endpoint.on_close = on_close
+        if self.config.close_on_peer_fin:
+            conn.on_close = lambda cn: (on_close(endpoint), cn.close())
+
+    def _charge_crypto(self, kind: str, units: int) -> None:
+        mapping = {
+            "handshake_private_key": ("tls_handshake_private_key", 1),
+            "handshake_public_key": ("tls_handshake_public_key", 1),
+            "handshake_message": ("tls_handshake_message", 1),
+            "record_encrypt": ("tls_per_byte", units),
+            "record_decrypt": ("tls_per_byte", units),
+        }
+        cost_kind, cost_units = mapping[kind]
+        self.resources.cpu.charge(cost_kind, cost_units)
+
+    def _serve_axfr(self, wire_query: bytes, conn: TcpConnection) -> bool:
+        """Serve an AXFR stream if this is a transfer request."""
+        handle = getattr(self.engine, "handle_axfr", None)
+        if handle is None:
+            return False
+        try:
+            query = Message.from_wire(wire_query)
+        except WireError:
+            return False
+        from .axfr import AXFR
+        if not query.question or query.question[0].rrtype != AXFR:
+            return False
+        messages = handle(query, source=conn.remote_addr)
+        if messages is None:
+            return False
+        try:
+            for message in messages:
+                conn.send(frame_message(message.to_wire()))
+        except NetworkError:
+            self.responses_dropped_on_closed += 1
+        return True
+
+    # -- engine dispatch -------------------------------------------------
+
+    def _serve(self, wire_query: bytes, source: str, transport: str,
+               send: Callable[[bytes], None]) -> None:
+        try:
+            query = Message.from_wire(wire_query)
+        except WireError:
+            self.decode_errors += 1
+            return
+
+        def respond(response: Optional[Message]) -> None:
+            if response is None:
+                return
+            encode = getattr(self.engine, "encode_response", None)
+            if encode is not None:
+                send(encode(query, response, transport))
+            else:
+                limit = None
+                if transport == "udp":
+                    limit = (query.edns.payload_size
+                             if query.edns is not None else 512)
+                send(response.to_wire(max_size=limit))
+
+        handle_async = getattr(self.engine, "handle_query_async", None)
+        if handle_async is not None:
+            handle_async(query, source, transport, respond)
+        else:
+            respond(self.engine.handle_query(query, source=source,
+                                             transport=transport))

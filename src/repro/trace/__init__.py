@@ -1,0 +1,37 @@
+"""Traces: record model, formats (pcap/text/binary), mutation,
+synthetic workloads, and statistics."""
+
+from .binfmt import BinaryFormatError, iter_binary, read_binary, write_binary
+from .mutator import (Mutation, QueryMutator, all_protocol,
+                      filter_queries_only, prepend_unique, retarget,
+                      sample_clients, scale_time, set_dnssec_fraction,
+                      set_message_id_sequence, shift_time)
+from .pcap import PcapError, iter_pcap, read_pcap, write_pcap
+from .record import PROTOCOLS, QueryRecord, Trace, make_query_record
+from .stats import (TraceSummary, cdf_points, client_load_cdf,
+                    inactive_client_fraction, interarrivals, mean,
+                    per_client_counts, per_second_rates, percentile,
+                    quartile_summary, stddev, summarize, top_client_share)
+from .synthetic import (BRootWorkload, ClientClassSpec, RecursiveWorkload,
+                        SYNTHETIC_SPECS, fixed_interval_trace,
+                        make_hierarchy_zones, make_root_zone,
+                        table1_synthetic)
+from .textfmt import (TextFormatError, iter_text, line_to_record, read_text,
+                      record_to_line, write_text)
+
+__all__ = [
+    "BRootWorkload", "BinaryFormatError", "ClientClassSpec", "Mutation",
+    "PROTOCOLS", "PcapError", "QueryMutator", "QueryRecord",
+    "RecursiveWorkload", "SYNTHETIC_SPECS", "TextFormatError", "Trace",
+    "TraceSummary", "all_protocol", "cdf_points", "client_load_cdf",
+    "filter_queries_only", "fixed_interval_trace",
+    "inactive_client_fraction", "interarrivals", "iter_binary", "iter_pcap",
+    "iter_text", "line_to_record", "make_hierarchy_zones",
+    "make_query_record", "make_root_zone", "mean", "per_client_counts",
+    "per_second_rates", "percentile", "prepend_unique", "quartile_summary",
+    "read_binary", "read_pcap", "read_text", "record_to_line", "retarget",
+    "sample_clients", "scale_time", "set_dnssec_fraction",
+    "set_message_id_sequence", "shift_time", "stddev", "summarize",
+    "table1_synthetic", "top_client_share", "write_binary", "write_pcap",
+    "write_text",
+]

@@ -1,0 +1,109 @@
+"""The customized binary internal-message format (§2.5, Figure 3).
+
+The replay hot path must not pay text- or pcap-parsing costs, so
+LDplayer pre-converts its input to a stream of length-prefixed internal
+messages.  Layout:
+
+    file header:  magic ``LDPB`` + u16 version + u16 reserved
+    per message:  u32 total_length, f64 timestamp, u32 src, u16 sport,
+                  u32 dst, u16 dport, u8 protocol, u8 reserved,
+                  u16 wire_length, wire bytes
+
+``total_length`` is everything after the length field itself, letting a
+reader skip unknown trailing extensions ("pre-pend the length of each
+message at the beginning of each binary message").
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from typing import BinaryIO, Iterator
+
+from .record import PROTOCOLS, QueryRecord, Trace
+
+MAGIC = b"LDPB"
+VERSION = 1
+_HEADER = struct.Struct("!4sHH")
+_RECORD_FIXED = struct.Struct("!dIHIHBBH")
+
+
+class BinaryFormatError(ValueError):
+    pass
+
+
+def pack_record_body(record: QueryRecord) -> bytes:
+    """The fixed header + wire bytes of one record (no length prefix).
+
+    Shared by the file format and the inter-node replay protocol
+    (:mod:`repro.replay.protocol`), which frame it differently.
+    """
+    fixed = _RECORD_FIXED.pack(
+        record.timestamp,
+        int(ipaddress.IPv4Address(record.src)),
+        record.sport,
+        int(ipaddress.IPv4Address(record.dst)),
+        record.dport,
+        PROTOCOLS.index(record.protocol),
+        0,
+        len(record.wire),
+    )
+    return fixed + record.wire
+
+
+def unpack_record_body(body: bytes) -> QueryRecord:
+    """Inverse of :func:`pack_record_body`."""
+    (timestamp, src, sport, dst, dport, protocol_index, _reserved,
+     wire_length) = _RECORD_FIXED.unpack_from(body)
+    wire = body[_RECORD_FIXED.size : _RECORD_FIXED.size + wire_length]
+    if len(wire) != wire_length:
+        raise BinaryFormatError("truncated message wire data")
+    if protocol_index >= len(PROTOCOLS):
+        raise BinaryFormatError(f"bad protocol index {protocol_index}")
+    return QueryRecord(
+        timestamp,
+        str(ipaddress.IPv4Address(src)), sport,
+        str(ipaddress.IPv4Address(dst)), dport,
+        PROTOCOLS[protocol_index], wire)
+
+
+def _pack_record(record: QueryRecord) -> bytes:
+    body = pack_record_body(record)
+    return struct.pack("!I", len(body)) + body
+
+
+def write_binary(trace: Trace, stream: BinaryIO) -> int:
+    """Serialize a trace; returns the number of records written."""
+    stream.write(_HEADER.pack(MAGIC, VERSION, 0))
+    count = 0
+    for record in trace:
+        stream.write(_pack_record(record))
+        count += 1
+    return count
+
+
+def iter_binary(stream: BinaryIO) -> Iterator[QueryRecord]:
+    """Stream records from a binary trace (the replay input engine)."""
+    header = stream.read(_HEADER.size)
+    if len(header) != _HEADER.size:
+        raise BinaryFormatError("truncated file header")
+    magic, version, _reserved = _HEADER.unpack(header)
+    if magic != MAGIC:
+        raise BinaryFormatError(f"bad magic {magic!r}")
+    if version != VERSION:
+        raise BinaryFormatError(f"unsupported version {version}")
+    while True:
+        length_bytes = stream.read(4)
+        if not length_bytes:
+            return
+        if len(length_bytes) != 4:
+            raise BinaryFormatError("truncated record length")
+        (length,) = struct.unpack("!I", length_bytes)
+        body = stream.read(length)
+        if len(body) != length:
+            raise BinaryFormatError("truncated record body")
+        yield unpack_record_body(body)
+
+
+def read_binary(stream: BinaryIO, name: str = "binary-trace") -> Trace:
+    return Trace(iter_binary(stream), name=name)

@@ -1,0 +1,237 @@
+"""A from-scratch pcap reader/writer (libpcap classic format).
+
+LDplayer's input is "normally network traces in some binary format (for
+example, pcap)".  This module writes standard, tcpdump-compatible pcap
+files — Ethernet II, IPv4 with a correct header checksum, and UDP or TCP
+transport — and reads them back into :class:`QueryRecord` streams.
+
+TCP payloads carry the RFC 1035 2-byte length prefix.  The reader
+performs per-flow stream reassembly (sequence-ordered, tolerant of
+segments split mid-message and of out-of-order arrival), so captures of
+DNS-over-TCP where large messages span several segments parse
+correctly; ``write_pcap(..., tcp_segment_size=N)`` exercises that path
+by chopping framed messages into N-byte segments.  Messages to or from
+port 853 are classified as DNS-over-TLS.
+"""
+
+from __future__ import annotations
+
+import ipaddress
+import struct
+from typing import BinaryIO, Iterator, Optional
+
+from ..dns import DNS_OVER_TLS_PORT
+from .record import QueryRecord, Trace
+
+PCAP_MAGIC = 0xA1B2C3D4          # microsecond-resolution, native order
+PCAP_MAGIC_SWAPPED = 0xD4C3B2A1
+LINKTYPE_ETHERNET = 1
+ETHERTYPE_IPV4 = 0x0800
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+_GLOBAL_HEADER = struct.Struct("<IHHiIII")
+_PACKET_HEADER = struct.Struct("<IIII")
+
+# Fixed synthetic MAC addresses; pcap needs an L2 header but the content
+# is irrelevant to DNS replay.
+_SRC_MAC = bytes.fromhex("02005e000001")
+_DST_MAC = bytes.fromhex("02005e000002")
+
+
+class PcapError(ValueError):
+    pass
+
+
+def _ipv4_checksum(header: bytes) -> int:
+    total = 0
+    for index in range(0, len(header), 2):
+        total += (header[index] << 8) + header[index + 1]
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF
+
+
+def _build_ipv4(src: str, dst: str, protocol: int, payload: bytes) -> bytes:
+    total_length = 20 + len(payload)
+    header = bytearray(struct.pack(
+        "!BBHHHBBH4s4s",
+        0x45, 0, total_length, 0, 0x4000, 64, protocol, 0,
+        ipaddress.IPv4Address(src).packed,
+        ipaddress.IPv4Address(dst).packed))
+    checksum = _ipv4_checksum(bytes(header))
+    struct.pack_into("!H", header, 10, checksum)
+    return bytes(header) + payload
+
+
+def _build_udp(sport: int, dport: int, data: bytes) -> bytes:
+    return struct.pack("!HHHH", sport, dport, 8 + len(data), 0) + data
+
+
+def _build_tcp(sport: int, dport: int, seq: int, data: bytes) -> bytes:
+    # 20-byte header, flags PSH|ACK, synthetic ack/window.
+    return struct.pack("!HHIIBBHHH", sport, dport, seq, 1,
+                       5 << 4, 0x18, 65535, 0, 0) + data
+
+
+def write_pcap(trace: Trace, stream: BinaryIO, snaplen: int = 65535,
+               tcp_segment_size: Optional[int] = None) -> int:
+    """Write records as pcap packets; returns the packet count.
+
+    ``tcp_segment_size`` splits each framed TCP/TLS message across
+    multiple segments of at most that many payload bytes, producing the
+    segment-spanning captures the reader's reassembly handles.
+    """
+    stream.write(_GLOBAL_HEADER.pack(PCAP_MAGIC, 2, 4, 0, 0, snaplen,
+                                     LINKTYPE_ETHERNET))
+    count = 0
+    flow_seq: dict = {}
+
+    def emit(timestamp: float, frame: bytes) -> None:
+        seconds = int(timestamp)
+        microseconds = int(round((timestamp - seconds) * 1e6))
+        stream.write(_PACKET_HEADER.pack(seconds, microseconds,
+                                         len(frame), len(frame)))
+        stream.write(frame)
+
+    for record in trace:
+        if record.protocol == "udp":
+            transport = _build_udp(record.sport, record.dport, record.wire)
+            ip_packet = _build_ipv4(record.src, record.dst, PROTO_UDP,
+                                    transport)
+            emit(record.timestamp, _DST_MAC + _SRC_MAC
+                 + struct.pack("!H", ETHERTYPE_IPV4) + ip_packet)
+            count += 1
+            continue
+        framed = struct.pack("!H", len(record.wire)) + record.wire
+        flow = (record.src, record.sport, record.dst, record.dport)
+        sequence = flow_seq.get(flow, 1)
+        chunk_size = tcp_segment_size if tcp_segment_size else len(framed)
+        for start in range(0, len(framed), chunk_size):
+            chunk = framed[start : start + chunk_size]
+            transport = _build_tcp(record.sport, record.dport,
+                                   sequence, chunk)
+            sequence += len(chunk)
+            ip_packet = _build_ipv4(record.src, record.dst, PROTO_TCP,
+                                    transport)
+            emit(record.timestamp, _DST_MAC + _SRC_MAC
+                 + struct.pack("!H", ETHERTYPE_IPV4) + ip_packet)
+            count += 1
+        flow_seq[flow] = sequence
+    return count
+
+
+class _TcpStreamAssembler:
+    """Per-flow sequence-ordered reassembly of framed DNS messages."""
+
+    def __init__(self) -> None:
+        self.base: Optional[int] = None       # ISN of the stream
+        self.segments: dict = {}              # offset -> bytes
+        self.consumed = 0                     # contiguous bytes drained
+        self.buffer = bytearray()             # drained, unframed bytes
+
+    def add(self, seq: int, data: bytes) -> None:
+        if self.base is None:
+            self.base = seq
+        offset = seq - self.base
+        if offset + len(data) <= self.consumed:
+            return  # full retransmission of old data
+        self.segments[offset] = data
+
+    def drain_messages(self) -> list:
+        # Pull contiguous segments into the linear buffer.
+        while self.consumed in self.segments:
+            data = self.segments.pop(self.consumed)
+            self.buffer += data
+            self.consumed += len(data)
+        messages = []
+        while len(self.buffer) >= 2:
+            (length,) = struct.unpack_from("!H", self.buffer)
+            if len(self.buffer) < 2 + length:
+                break
+            messages.append(bytes(self.buffer[2 : 2 + length]))
+            del self.buffer[: 2 + length]
+        return messages
+
+
+def iter_pcap(stream: BinaryIO) -> Iterator[QueryRecord]:
+    """Parse DNS messages out of a pcap capture (with TCP reassembly)."""
+    header = stream.read(_GLOBAL_HEADER.size)
+    if len(header) != _GLOBAL_HEADER.size:
+        raise PcapError("truncated pcap global header")
+    magic = struct.unpack("<I", header[:4])[0]
+    if magic == PCAP_MAGIC:
+        endian = "<"
+    elif magic == PCAP_MAGIC_SWAPPED:
+        endian = ">"
+    else:
+        raise PcapError(f"bad pcap magic {magic:#x}")
+    fields = struct.unpack(endian + "IHHiIII", header)
+    if fields[6] != LINKTYPE_ETHERNET:
+        raise PcapError(f"unsupported link type {fields[6]}")
+    packet_header = struct.Struct(endian + "IIII")
+    assemblers: dict = {}
+
+    while True:
+        head = stream.read(packet_header.size)
+        if not head:
+            return
+        if len(head) != packet_header.size:
+            raise PcapError("truncated packet header")
+        seconds, microseconds, caplen, _origlen = packet_header.unpack(head)
+        frame = stream.read(caplen)
+        if len(frame) != caplen:
+            raise PcapError("truncated packet body")
+        yield from _parse_frame(seconds + microseconds / 1e6, frame,
+                                assemblers)
+
+
+def _parse_frame(timestamp: float, frame: bytes,
+                 assemblers: dict) -> Iterator[QueryRecord]:
+    if len(frame) < 14 + 20:
+        return
+    ethertype = struct.unpack_from("!H", frame, 12)[0]
+    if ethertype != ETHERTYPE_IPV4:
+        return
+    ip_start = 14
+    version_ihl = frame[ip_start]
+    if version_ihl >> 4 != 4:
+        return
+    ihl = (version_ihl & 0xF) * 4
+    protocol = frame[ip_start + 9]
+    src = str(ipaddress.IPv4Address(frame[ip_start + 12 : ip_start + 16]))
+    dst = str(ipaddress.IPv4Address(frame[ip_start + 16 : ip_start + 20]))
+    transport_start = ip_start + ihl
+
+    if protocol == PROTO_UDP:
+        if len(frame) < transport_start + 8:
+            return
+        sport, dport, _length, _checksum = struct.unpack_from(
+            "!HHHH", frame, transport_start)
+        data = frame[transport_start + 8 :]
+        if len(data) >= 12:
+            yield QueryRecord(timestamp, src, sport, dst, dport, "udp",
+                              data)
+        return
+
+    if protocol != PROTO_TCP:
+        return
+    if len(frame) < transport_start + 20:
+        return
+    sport, dport, seq = struct.unpack_from("!HHI", frame, transport_start)
+    offset = (frame[transport_start + 12] >> 4) * 4
+    payload = frame[transport_start + offset :]
+    if not payload:
+        return
+    flow = (src, sport, dst, dport)
+    assembler = assemblers.setdefault(flow, _TcpStreamAssembler())
+    assembler.add(seq, payload)
+    proto_name = "tls" if DNS_OVER_TLS_PORT in (sport, dport) else "tcp"
+    for wire in assembler.drain_messages():
+        if len(wire) >= 12:
+            yield QueryRecord(timestamp, src, sport, dst, dport,
+                              proto_name, wire)
+
+
+def read_pcap(stream: BinaryIO, name: str = "pcap-trace") -> Trace:
+    return Trace(iter_pcap(stream), name=name)

@@ -1,0 +1,148 @@
+"""The trace record model shared by every trace format and the replayer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, List, Optional, Tuple
+
+from ..dns import DNS_PORT, Edns, Flag, Message, Name, RRClass, RRType
+
+PROTOCOLS = ("udp", "tcp", "tls")
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One captured DNS message: timing, addressing, transport, payload.
+
+    ``wire`` is the DNS message in wire format — payload only, no
+    IP/transport headers (those are regenerated on replay).
+    """
+
+    timestamp: float
+    src: str
+    sport: int
+    dst: str
+    dport: int
+    protocol: str
+    wire: bytes
+
+    def __post_init__(self) -> None:
+        if self.protocol not in PROTOCOLS:
+            raise ValueError(f"unknown protocol {self.protocol!r}")
+
+    def message(self) -> Message:
+        return Message.from_wire(self.wire)
+
+    def is_response(self) -> bool:
+        # Flag word is bytes 2-3; QR is the top bit.
+        return len(self.wire) > 2 and bool(self.wire[2] & 0x80)
+
+    def question(self) -> Optional[Tuple[Name, RRType, RRClass]]:
+        message = self.message()
+        if not message.question:
+            return None
+        q = message.question[0]
+        return (q.name, q.rrtype, q.rrclass)
+
+    def with_(self, **changes) -> "QueryRecord":
+        return replace(self, **changes)
+
+    def size_on_wire(self) -> int:
+        """Approximate bytes on the wire including headers."""
+        transport_header = 8 if self.protocol == "udp" else 20
+        return 20 + transport_header + len(self.wire)
+
+
+class Trace:
+    """An ordered sequence of records plus provenance metadata."""
+
+    def __init__(self, records: Iterable[QueryRecord] = (),
+                 name: str = "trace"):
+        self.records: List[QueryRecord] = list(records)
+        self.name = name
+
+    def append(self, record: QueryRecord) -> None:
+        self.records.append(record)
+
+    def sort(self) -> None:
+        self.records.sort(key=lambda r: r.timestamp)
+
+    def queries(self) -> "Trace":
+        return Trace([r for r in self.records if not r.is_response()],
+                     name=f"{self.name}:queries")
+
+    def responses(self) -> "Trace":
+        return Trace([r for r in self.records if r.is_response()],
+                     name=f"{self.name}:responses")
+
+    def duration(self) -> float:
+        if len(self.records) < 2:
+            return 0.0
+        return self.records[-1].timestamp - self.records[0].timestamp
+
+    def clients(self) -> List[str]:
+        seen = {}
+        for record in self.records:
+            seen.setdefault(record.src, None)
+        return list(seen)
+
+    def merge(self, *others: "Trace") -> "Trace":
+        """Merge traces into one, sorted by timestamp (§2.3's optional
+        multi-trace merge, at the trace level)."""
+        merged = Trace(self.records, name=f"{self.name}:merged")
+        for other in others:
+            merged.records.extend(other.records)
+        merged.sort()
+        return merged
+
+    def filter(self, predicate) -> "Trace":
+        """Records satisfying ``predicate(record)``."""
+        return Trace([r for r in self.records if predicate(r)],
+                     name=f"{self.name}:filtered")
+
+    def split_by_client(self) -> dict:
+        """Records grouped by source address (replay distribution uses
+        the same keying)."""
+        groups: dict = {}
+        for record in self.records:
+            groups.setdefault(record.src, []).append(record)
+        return {src: Trace(records, name=f"{self.name}:{src}")
+                for src, records in groups.items()}
+
+    def time_shifted(self, new_start: float = 0.0) -> "Trace":
+        if not self.records:
+            return Trace(name=self.name)
+        base = self.records[0].timestamp
+        return Trace(
+            [r.with_(timestamp=r.timestamp - base + new_start)
+             for r in self.records],
+            name=self.name)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return Trace(self.records[index], name=self.name)
+        return self.records[index]
+
+    def __repr__(self) -> str:
+        return (f"Trace({self.name!r}, {len(self.records)} records, "
+                f"{self.duration():.1f}s)")
+
+
+def make_query_record(timestamp: float, src: str, qname: str,
+                      qtype: RRType = RRType.A, dst: str = "10.0.0.2",
+                      protocol: str = "udp", sport: int = 40000,
+                      dport: int = DNS_PORT, msg_id: int = 1,
+                      dnssec_ok: bool = False,
+                      edns: bool = True) -> QueryRecord:
+    """Convenience constructor used by generators and tests."""
+    message = Message.make_query(
+        Name.from_text(qname), qtype, msg_id=msg_id,
+        edns=Edns(dnssec_ok=dnssec_ok) if (edns or dnssec_ok) else None)
+    return QueryRecord(timestamp, src, sport, dst, dport, protocol,
+                       message.to_wire())

@@ -1,0 +1,10 @@
+"""Zone construction: rebuild the DNS hierarchy from traces (§2.3)."""
+
+from .constructor import build_zones_from_trace, unique_questions
+from .harvest import (CapturedResponse, HarvestReport, ZoneConstructor,
+                      ZoneLibrary)
+
+__all__ = [
+    "CapturedResponse", "HarvestReport", "ZoneConstructor", "ZoneLibrary",
+    "build_zones_from_trace", "unique_questions",
+]

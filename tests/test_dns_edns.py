@@ -1,0 +1,92 @@
+"""Tests for EDNS(0): OPT record encoding, options, DO-bit handling."""
+
+import pytest
+
+from repro.dns import (DEFAULT_EDNS_PAYLOAD, Edns, EdnsOption, Message,
+                       Name, RRType)
+from repro.dns.edns import parse_opt_record
+from repro.dns.wire import WireReader, WireWriter
+
+
+def encode(edns):
+    writer = WireWriter(compress=False)
+    edns.to_wire(writer)
+    return writer.getvalue()
+
+
+class TestEncoding:
+    def test_default_fields(self):
+        edns = Edns()
+        assert edns.payload_size == DEFAULT_EDNS_PAYLOAD
+        assert not edns.dnssec_ok
+        assert edns.version == 0
+
+    def test_roundtrip_via_message(self):
+        message = Message.make_query(
+            Name.from_text("e.example."), RRType.A,
+            edns=Edns(payload_size=1232, dnssec_ok=True,
+                      extended_rcode=0))
+        decoded = Message.from_wire(message.to_wire())
+        assert decoded.edns.payload_size == 1232
+        assert decoded.edns.dnssec_ok
+
+    def test_do_bit_in_ttl_field(self):
+        wire = encode(Edns(dnssec_ok=True))
+        # OPT layout: root(1) type(2) class(2) ttl(4) rdlen(2)
+        ttl = int.from_bytes(wire[5:9], "big")
+        assert ttl & 0x8000
+
+    def test_payload_in_class_field(self):
+        wire = encode(Edns(payload_size=4096))
+        klass = int.from_bytes(wire[3:5], "big")
+        assert klass == 4096
+
+    def test_wire_size_minimal(self):
+        assert Edns().wire_size() == 11  # 1+2+2+4+2
+
+    def test_version_and_extended_rcode(self):
+        edns = Edns(version=1, extended_rcode=2)
+        reader = WireReader(encode(edns))
+        parsed, was_opt = parse_opt_record(reader)
+        assert was_opt
+        assert parsed.version == 1
+        assert parsed.extended_rcode == 2
+
+
+class TestOptions:
+    def test_options_roundtrip(self):
+        # e.g. an NSID-style option (code 3) and a cookie (code 10)
+        edns = Edns(options=[EdnsOption(3, b"server-id"),
+                             EdnsOption(10, b"\x01" * 8)])
+        reader = WireReader(encode(edns))
+        parsed, _was_opt = parse_opt_record(reader)
+        assert len(parsed.options) == 2
+        assert parsed.options[0].code == 3
+        assert parsed.options[0].data == b"server-id"
+        assert parsed.options[1].code == 10
+
+    def test_empty_option_data(self):
+        edns = Edns(options=[EdnsOption(3, b"")])
+        reader = WireReader(encode(edns))
+        parsed, _was_opt = parse_opt_record(reader)
+        assert parsed.options[0].data == b""
+
+    def test_options_extend_wire_size(self):
+        plain = Edns().wire_size()
+        with_option = Edns(options=[EdnsOption(3, b"12345")]).wire_size()
+        assert with_option == plain + 4 + 5
+
+
+class TestParseOptRecord:
+    def test_non_opt_rewinds(self):
+        # An A record is not OPT: the parser must rewind untouched.
+        from repro.dns import rdata as rd
+        from repro.dns.rrset import RR
+        from repro.dns import RRClass
+        writer = WireWriter(compress=False)
+        RR(Name.from_text("x.example."), 60, RRClass.IN,
+           rd.A("192.0.2.1")).to_wire(writer)
+        reader = WireReader(writer.getvalue())
+        parsed, was_opt = parse_opt_record(reader)
+        assert parsed is None and not was_opt
+        assert reader.tell() == 0

@@ -1,0 +1,157 @@
+"""Tests for the DNS message codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns import (Edns, Flag, Message, Name, Opcode, Question, RRClass,
+                       RRType, Rcode, WireError)
+from repro.dns import rdata as rd
+from repro.dns.rrset import RR
+
+
+def make_sample_response():
+    query = Message.make_query(Name.from_text("www.example.com."),
+                               RRType.A, msg_id=99,
+                               edns=Edns(dnssec_ok=True))
+    response = Message.make_response(query)
+    response.answer.append(RR(Name.from_text("www.example.com."), 300,
+                              RRClass.IN, rd.A("192.0.2.1")))
+    response.authority.append(RR(Name.from_text("example.com."), 3600,
+                                 RRClass.IN,
+                                 rd.NS(Name.from_text("ns1.example.com."))))
+    response.additional.append(RR(Name.from_text("ns1.example.com."), 3600,
+                                  RRClass.IN, rd.A("192.0.2.53")))
+    return query, response
+
+
+class TestQueries:
+    def test_make_query_defaults(self):
+        query = Message.make_query(Name.from_text("a.b."), RRType.AAAA)
+        assert query.flags & Flag.RD
+        assert not query.is_response
+        assert query.question[0].rrtype == RRType.AAAA
+
+    def test_query_roundtrip(self):
+        query = Message.make_query(Name.from_text("x.y."), RRType.MX,
+                                   msg_id=0x1234)
+        decoded = Message.from_wire(query.to_wire())
+        assert decoded.msg_id == 0x1234
+        assert decoded.question == query.question
+        assert decoded.edns is None
+
+    def test_no_rd(self):
+        query = Message.make_query(Name.from_text("x."), RRType.A,
+                                   recursion_desired=False)
+        assert not Message.from_wire(query.to_wire()).flags & Flag.RD
+
+
+class TestResponses:
+    def test_response_roundtrip_sections(self):
+        _query, response = make_sample_response()
+        decoded = Message.from_wire(response.to_wire())
+        assert decoded.is_response
+        assert len(decoded.answer) == 1
+        assert len(decoded.authority) == 1
+        assert len(decoded.additional) == 1
+        assert decoded.answer[0].rdata == rd.A("192.0.2.1")
+
+    def test_response_copies_do_bit(self):
+        query, response = make_sample_response()
+        assert response.edns is not None and response.edns.dnssec_ok
+
+    def test_response_id_matches_query(self):
+        query, response = make_sample_response()
+        assert response.msg_id == query.msg_id
+
+    def test_rcode_roundtrip(self):
+        query = Message.make_query(Name.from_text("x."), RRType.A)
+        response = Message.make_response(query, rcode=Rcode.NXDOMAIN)
+        assert Message.from_wire(response.to_wire()).rcode == Rcode.NXDOMAIN
+
+
+class TestEdns:
+    def test_opt_roundtrip(self):
+        message = Message.make_query(
+            Name.from_text("e."), RRType.A,
+            edns=Edns(payload_size=1232, dnssec_ok=True, version=0))
+        decoded = Message.from_wire(message.to_wire())
+        assert decoded.edns.payload_size == 1232
+        assert decoded.edns.dnssec_ok
+
+    def test_duplicate_opt_rejected(self):
+        message = Message.make_query(Name.from_text("e."), RRType.A,
+                                     edns=Edns())
+        wire = bytearray(message.to_wire())
+        # Duplicate the OPT record and bump ARCOUNT.
+        opt_start = len(wire) - 11
+        wire += wire[opt_start:]
+        wire[11] = 2
+        with pytest.raises(WireError):
+            Message.from_wire(bytes(wire))
+
+    def test_no_edns_means_none(self):
+        message = Message.make_query(Name.from_text("e."), RRType.A)
+        assert Message.from_wire(message.to_wire()).edns is None
+
+
+class TestTruncation:
+    def test_truncates_over_limit(self):
+        _query, response = make_sample_response()
+        full = response.to_wire()
+        truncated_wire = response.to_wire(max_size=len(full) - 1)
+        truncated = Message.from_wire(truncated_wire)
+        assert truncated.flags & Flag.TC
+        assert not truncated.answer
+        assert truncated.question  # question is preserved
+
+    def test_no_truncation_when_fits(self):
+        _query, response = make_sample_response()
+        wire = response.to_wire(max_size=4096)
+        assert not Message.from_wire(wire).flags & Flag.TC
+
+    def test_wire_size(self):
+        _query, response = make_sample_response()
+        assert response.wire_size() == len(response.to_wire())
+
+
+class TestCompressionInMessages:
+    def test_compression_shrinks_message(self):
+        _query, response = make_sample_response()
+        wire = response.to_wire()
+        # Owner names compress against the question; RDATA names are
+        # deliberately uncompressed.  The suffix therefore appears twice
+        # (question + NS rdata) instead of five times.
+        assert wire.count(b"\x07example\x03com") == 2
+        # And at least one compression pointer is present.
+        assert any(byte & 0xC0 == 0xC0 and wire[i + 1] == 0x0C
+                   for i, byte in enumerate(wire[:-1]))
+
+
+class TestText:
+    def test_to_text_contains_sections(self):
+        _query, response = make_sample_response()
+        text = response.to_text()
+        assert "ANSWER" in text and "AUTHORITY" in text
+        assert "www.example.com." in text
+
+
+QNAMES = st.lists(
+    st.text(alphabet="abcdefghijklmnopqrstuvwxyz", min_size=1, max_size=10),
+    min_size=1, max_size=4)
+
+
+@given(QNAMES,
+       st.sampled_from([RRType.A, RRType.AAAA, RRType.NS, RRType.TXT,
+                        RRType.DNSKEY, RRType.ANY]),
+       st.integers(0, 0xFFFF), st.booleans(), st.booleans())
+def test_property_query_roundtrip(labels, rrtype, msg_id, rd_flag, do):
+    name = Name([l.encode() for l in labels])
+    message = Message.make_query(name, rrtype, msg_id=msg_id,
+                                 recursion_desired=rd_flag,
+                                 edns=Edns(dnssec_ok=do) if do else None)
+    decoded = Message.from_wire(message.to_wire())
+    assert decoded.msg_id == msg_id
+    assert decoded.question[0].name == name
+    assert decoded.question[0].rrtype == rrtype
+    assert bool(decoded.flags & Flag.RD) == rd_flag
+    assert decoded.dnssec_ok == do

@@ -1,0 +1,150 @@
+"""Tests for rdata types: wire/text round-trips and invariants."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns import rdata as rd
+from repro.dns.constants import RRType
+from repro.dns.name import Name
+from repro.dns.rdata import (GenericRdata, parse_rdata, rdata_from_text,
+                             _decode_type_bitmap, _encode_type_bitmap)
+from repro.dns.wire import WireError, WireReader, WireWriter
+
+
+def roundtrip_wire(rdata):
+    wire = rdata.wire_bytes()
+    reader = WireReader(wire)
+    return parse_rdata(rdata.rrtype, reader, len(wire))
+
+
+def roundtrip_text(rdata):
+    # Quote-aware tokenization, as the zone-file tokenizer would produce.
+    import re
+    tokens = re.findall(r'"(?:[^"\\]|\\.)*"|\S+', rdata.to_text())
+    return rdata_from_text(rdata.rrtype, tokens)
+
+
+SAMPLES = [
+    rd.A("192.0.2.1"),
+    rd.AAAA("2001:db8::1"),
+    rd.NS(Name.from_text("ns1.example.com.")),
+    rd.CNAME(Name.from_text("target.example.org.")),
+    rd.PTR(Name.from_text("host.example.com.")),
+    rd.SOA(Name.from_text("ns1.example.com."),
+           Name.from_text("admin.example.com."),
+           2024010101, 7200, 900, 1209600, 86400),
+    rd.MX(10, Name.from_text("mail.example.com.")),
+    rd.TXT((b"hello world", b"second string")),
+    rd.SRV(1, 5, 443, Name.from_text("svc.example.com.")),
+    rd.DS(12345, 8, 2, bytes(range(32))),
+    rd.DNSKEY(256, 3, 8, b"\x03\x01\x00\x01" + bytes(64)),
+    rd.RRSIG(RRType.A, 8, 2, 300, 1470000000, 1460000000, 3000,
+             Name.from_text("example.com."), bytes(128)),
+    rd.NSEC(Name.from_text("next.example.com."),
+            (RRType.A, RRType.NS, RRType.RRSIG)),
+    rd.CAA(0, b"issue", b"ca.example.net"),
+    rd.NAPTR(100, 50, b"s", b"SIP+D2T", b"",
+             Name.from_text("_sip._tcp.example.com.")),
+    rd.TLSA(3, 1, 1, bytes(range(32))),
+]
+
+
+@pytest.mark.parametrize("rdata", SAMPLES, ids=lambda r: type(r).__name__)
+def test_wire_roundtrip(rdata):
+    assert roundtrip_wire(rdata) == rdata
+
+
+@pytest.mark.parametrize("rdata", SAMPLES, ids=lambda r: type(r).__name__)
+def test_text_roundtrip(rdata):
+    assert roundtrip_text(rdata) == rdata
+
+
+class TestValidation:
+    def test_a_bad_address(self):
+        with pytest.raises(ValueError):
+            rd.A("999.1.1.1")
+
+    def test_a_wrong_length(self):
+        with pytest.raises(WireError):
+            parse_rdata(RRType.A, WireReader(b"\x01\x02"), 2)
+
+    def test_txt_string_too_long(self):
+        with pytest.raises(ValueError):
+            rd.TXT((b"x" * 256,))
+
+    def test_length_mismatch_detected(self):
+        # declare 5 bytes for an A record
+        with pytest.raises(WireError):
+            parse_rdata(RRType.A, WireReader(b"\x01\x02\x03\x04\x05"), 5)
+
+
+class TestGeneric:
+    def test_unknown_type_wire(self):
+        rrtype = RRType.make(65280)
+        reader = WireReader(b"\xde\xad\xbe\xef")
+        rdata = parse_rdata(rrtype, reader, 4)
+        assert isinstance(rdata, GenericRdata)
+        assert rdata.data == b"\xde\xad\xbe\xef"
+
+    def test_rfc3597_text(self):
+        rdata = rdata_from_text(RRType.make(65280),
+                                ["\\#", "4", "deadbeef"])
+        assert rdata.data == b"\xde\xad\xbe\xef"
+
+    def test_rfc3597_parses_known_type(self):
+        rdata = rdata_from_text(RRType.A, ["\\#", "4", "c0000201"])
+        assert rdata == rd.A("192.0.2.1")
+
+    def test_rfc3597_length_mismatch(self):
+        with pytest.raises(ValueError):
+            rdata_from_text(RRType.make(65280), ["\\#", "3", "deadbeef"])
+
+
+class TestDnskey:
+    def test_key_tag_stable(self):
+        key = rd.DNSKEY(256, 3, 8, b"\x03\x01\x00\x01" + bytes(32))
+        assert 0 <= key.key_tag() <= 0xFFFF
+        assert key.key_tag() == key.key_tag()
+
+    def test_key_tag_distinguishes_keys(self):
+        a = rd.DNSKEY(256, 3, 8, b"\x03\x01\x00\x01" + bytes(32))
+        b = rd.DNSKEY(256, 3, 8, b"\x03\x01\x00\x01" + bytes(31) + b"\x01")
+        assert a.key_tag() != b.key_tag()
+
+
+class TestTypeBitmap:
+    def test_roundtrip_basic(self):
+        types = (RRType.A, RRType.NS, RRType.SOA, RRType.AAAA,
+                 RRType.RRSIG, RRType.NSEC)
+        assert _decode_type_bitmap(_encode_type_bitmap(types)) == \
+            tuple(sorted(types, key=int))
+
+    def test_multi_window(self):
+        types = (RRType.A, RRType.CAA)  # CAA = 257, second window
+        decoded = _decode_type_bitmap(_encode_type_bitmap(types))
+        assert set(decoded) == set(types)
+
+    def test_empty(self):
+        assert _decode_type_bitmap(b"") == ()
+
+
+@given(st.lists(st.integers(min_value=1, max_value=1023), min_size=1,
+                max_size=20, unique=True))
+def test_property_bitmap_roundtrip(values):
+    types = tuple(RRType.make(v) for v in values)
+    decoded = _decode_type_bitmap(_encode_type_bitmap(types))
+    assert set(int(t) for t in decoded) == set(values)
+
+
+@given(st.integers(0, 255), st.integers(0, 255), st.integers(0, 255),
+       st.integers(0, 255))
+def test_property_a_roundtrip(a, b, c, d):
+    rdata = rd.A(f"{a}.{b}.{c}.{d}")
+    assert roundtrip_wire(rdata) == rdata
+    assert roundtrip_text(rdata) == rdata
+
+
+@given(st.binary(min_size=0, max_size=80))
+def test_property_txt_wire_roundtrip(payload):
+    rdata = rd.TXT((payload,))
+    assert roundtrip_wire(rdata) == rdata

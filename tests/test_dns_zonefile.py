@@ -1,0 +1,172 @@
+"""Tests for the master-file parser and serializer."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.dns import (Name, RRType, ZoneError, ZoneFileError, parse_ttl,
+                       read_zone, write_zone)
+from repro.dns import rdata as rd
+
+
+class TestDirectives:
+    def test_origin_directive(self):
+        zone = read_zone("""
+$ORIGIN test.example.
+@ 60 IN SOA ns1 admin 1 2 3 4 5
+@ 60 IN NS ns1
+ns1 60 IN A 192.0.2.1
+""")
+        assert zone.origin == Name.from_text("test.example.")
+
+    def test_ttl_directive(self):
+        zone = read_zone("""
+$ORIGIN t.
+$TTL 1h
+@ IN SOA ns1 admin 1 2 3 4 5
+@ IN NS ns1
+ns1 IN A 192.0.2.1
+""")
+        assert zone.get(Name.from_text("ns1.t."), RRType.A).ttl == 3600
+
+    def test_unknown_directive_rejected(self):
+        with pytest.raises(ZoneFileError):
+            read_zone("$GENERATE 1-10 x A 1.2.3.4\n",
+                      origin=Name.from_text("t."))
+
+
+class TestSyntax:
+    def test_parentheses_continuation(self):
+        zone = read_zone("""
+$ORIGIN t.
+@ 60 IN SOA ns1 admin (
+        1      ; serial
+        7200   ; refresh
+        900 1209600 86400 )
+@ 60 IN NS ns1
+ns1 60 IN A 192.0.2.1
+""")
+        assert zone.soa.rdatas[0].serial == 1
+
+    def test_comments_stripped(self):
+        zone = read_zone("""
+$ORIGIN t. ; this is the origin
+@ 60 IN SOA ns1 admin 1 2 3 4 5 ; soa comment
+@ 60 IN NS ns1
+ns1 60 IN A 192.0.2.1 ; address
+""")
+        assert zone.record_count() == 3
+
+    def test_owner_inheritance(self):
+        zone = read_zone("""
+$ORIGIN t.
+@ 60 IN SOA ns1 admin 1 2 3 4 5
+@ 60 IN NS ns1
+ns1 60 IN A 192.0.2.1
+   60 IN A 192.0.2.2
+""")
+        assert len(zone.get(Name.from_text("ns1.t."), RRType.A)) == 2
+
+    def test_quoted_txt_with_spaces(self):
+        zone = read_zone("""
+$ORIGIN t.
+@ 60 IN SOA ns1 admin 1 2 3 4 5
+@ 60 IN NS ns1
+ns1 60 IN A 192.0.2.1
+txt 60 IN TXT "hello world" "second part"
+""")
+        rrset = zone.get(Name.from_text("txt.t."), RRType.TXT)
+        assert rrset.rdatas[0].strings == (b"hello world", b"second part")
+
+    def test_unterminated_quote_rejected(self):
+        with pytest.raises(ZoneFileError):
+            read_zone('x 60 IN TXT "oops\n', origin=Name.from_text("t."))
+
+    def test_unbalanced_paren_rejected(self):
+        with pytest.raises(ZoneFileError):
+            read_zone("x 60 IN SOA a b ( 1 2 3 4 5\n",
+                      origin=Name.from_text("t."))
+
+    def test_missing_type_rejected(self):
+        with pytest.raises(ZoneFileError):
+            read_zone("x 60 IN\n", origin=Name.from_text("t."))
+
+    def test_relative_names_resolved(self):
+        zone = read_zone("""
+$ORIGIN example.com.
+@ 60 IN SOA ns1 admin 1 2 3 4 5
+@ 60 IN NS ns1
+@ 60 IN MX 10 mail
+ns1 60 IN A 192.0.2.1
+""")
+        mx = zone.get(zone.origin, RRType.MX).rdatas[0]
+        assert mx.exchange == Name.from_text("mail.example.com.")
+
+    def test_absolute_names_untouched(self):
+        zone = read_zone("""
+$ORIGIN example.com.
+@ 60 IN SOA ns1 admin 1 2 3 4 5
+@ 60 IN NS ns.other.net.
+ns1 60 IN A 192.0.2.1
+""")
+        ns = zone.get(zone.origin, RRType.NS).rdatas[0]
+        assert ns.target == Name.from_text("ns.other.net.")
+
+    def test_class_and_ttl_order_flexible(self):
+        zone = read_zone("""
+$ORIGIN t.
+@ IN 60 SOA ns1 admin 1 2 3 4 5
+@ IN 60 NS ns1
+ns1 IN 60 A 192.0.2.1
+""")
+        assert zone.get(Name.from_text("ns1.t."), RRType.A).ttl == 60
+
+    def test_empty_zone_rejected(self):
+        with pytest.raises(ZoneError):
+            read_zone("; nothing here\n", origin=Name.from_text("t."))
+
+
+class TestTtlParsing:
+    @pytest.mark.parametrize("text,expected", [
+        ("300", 300), ("1h", 3600), ("2d", 172800), ("1w", 604800),
+        ("1h30m", 5400), ("90s", 90), ("1d12h", 129600),
+    ])
+    def test_units(self, text, expected):
+        assert parse_ttl(text) == expected
+
+    @pytest.mark.parametrize("bad", ["", "h", "12x", "1h30"])
+    def test_bad_ttl(self, bad):
+        with pytest.raises(ValueError):
+            parse_ttl(bad)
+
+
+class TestRoundTrip:
+    def test_write_then_read(self):
+        zone = read_zone("""
+$ORIGIN rt.example.
+@ 3600 IN SOA ns1 admin 7 7200 900 1209600 86400
+@ 3600 IN NS ns1
+ns1 3600 IN A 192.0.2.1
+www 300 IN A 192.0.2.80
+txt 60 IN TXT "with spaces"
+mx 60 IN MX 5 www
+srv 60 IN SRV 0 5 443 www
+""")
+        text = write_zone(zone)
+        again = read_zone(text)
+        assert again.record_count() == zone.record_count()
+        assert write_zone(again) == text
+
+    def test_soa_written_first(self):
+        zone = read_zone("""
+$ORIGIN rt.
+zzz 60 IN A 192.0.2.1
+@ 60 IN SOA ns admin 1 2 3 4 5
+@ 60 IN NS zzz
+""", origin=Name.from_text("rt."))
+        lines = write_zone(zone).splitlines()
+        assert "SOA" in lines[1]
+
+
+@given(st.integers(min_value=0, max_value=10**7))
+def test_property_numeric_ttl_roundtrip(value):
+    assert parse_ttl(str(value)) == value

@@ -1,0 +1,108 @@
+"""Tests for the DoS-attack application experiment."""
+
+import pytest
+
+from repro.experiments import Scale
+from repro.experiments.dos_attack import (run, run_attack,
+                                          udp_attack_trace)
+from repro.netsim import (EventLoop, Network, TcpFlags, TcpOptions,
+                          TcpStack, make_tcp_packet)
+
+TINY = Scale("dos-tiny", rate=40.0, duration=12.0, monitor_period=4.0)
+
+
+class TestAttackTraceGenerator:
+    def test_rate_and_spoofing(self):
+        trace = udp_attack_trace(500.0, 4.0, "10.0.0.2")
+        assert 1200 < len(trace) < 2800
+        sources = {record.src for record in trace}
+        assert len(sources) > len(trace) * 0.9  # nearly all spoofed-unique
+
+    def test_queries_are_junk(self):
+        trace = udp_attack_trace(100.0, 2.0, "10.0.0.2")
+        names = {str(record.question()[0]) for record in trace}
+        assert all(name.endswith(".flood.") for name in names)
+
+    def test_deterministic(self):
+        a = udp_attack_trace(100.0, 2.0, "10.0.0.2", seed=1)
+        b = udp_attack_trace(100.0, 2.0, "10.0.0.2", seed=1)
+        assert [r.wire for r in a] == [r.wire for r in b]
+
+
+class TestSynFloodMechanics:
+    """Unit-level: the stack behaviours the SYN flood exploits."""
+
+    def setup_pair(self, max_connections=None, syn_timeout=30.0):
+        loop = EventLoop()
+        network = Network(loop)
+        attacker = network.add_host("attacker", "10.60.0.1")
+        victim = network.add_host("victim", "10.60.0.2")
+        stack = TcpStack(victim, max_connections=max_connections)
+        stack.listen("10.60.0.2", 53, lambda conn: None,
+                     TcpOptions(syn_timeout=syn_timeout))
+        return loop, attacker, stack
+
+    def flood(self, loop, attacker, count):
+        for index in range(count):
+            packet = make_tcp_packet(
+                f"172.16.{index // 250}.{index % 250 + 1}", 1024 + index,
+                "10.60.0.2", 53, seq=index, ack=0, flags=TcpFlags.SYN)
+            loop.call_at(index * 0.001, attacker.send_packet, packet)
+
+    def test_half_open_accumulates(self):
+        loop, attacker, stack = self.setup_pair()
+        self.flood(loop, attacker, 200)
+        loop.run(max_time=2)
+        assert stack.half_open_count() == 200
+
+    def test_syn_timeout_reaps(self):
+        loop, attacker, stack = self.setup_pair(syn_timeout=5.0)
+        self.flood(loop, attacker, 100)
+        loop.run(max_time=20)
+        assert stack.half_open_count() == 0
+        assert stack.half_open_reaped == 100
+
+    def test_connection_table_cap_drops_syns(self):
+        loop, attacker, stack = self.setup_pair(max_connections=50)
+        self.flood(loop, attacker, 200)
+        loop.run(max_time=2)
+        assert stack.half_open_count() == 50
+        assert stack.syn_drops == 150
+
+    def test_legit_client_starved_when_table_full(self):
+        loop, attacker, stack = self.setup_pair(max_connections=50,
+                                                syn_timeout=60.0)
+        self.flood(loop, attacker, 60)
+        network = stack.host.network
+        client = network.add_host("legit", "10.60.0.3")
+        client_stack = TcpStack(client)
+        connected = []
+        loop.call_at(1.0, lambda: setattr(
+            client_stack.connect("10.60.0.3", "10.60.0.2", 53),
+            "on_connected", lambda cn: connected.append(True)))
+        loop.run(max_time=5)
+        assert not connected  # SYN silently dropped
+
+
+class TestExperimentRuns:
+    def test_udp_flood_burns_cpu(self):
+        baseline = run_attack(TINY, "none", 0.0)
+        flooded = run_attack(TINY, "udp-flood", 10.0)
+        assert flooded.cpu_percent > baseline.cpu_percent * 3
+        # Legitimate clients unharmed by a CPU-only flood in-sim.
+        assert flooded.legit_answered > 0.95
+
+    def test_syn_flood_starves_legit_tcp(self):
+        baseline = run_attack(TINY, "none", 0.0,
+                              connection_table_limit=120_000)
+        flooded = run_attack(TINY, "syn-flood", 20.0,
+                             connection_table_limit=120_000)
+        assert flooded.half_open > baseline.half_open
+        assert flooded.syn_drops > 0
+        assert flooded.legit_answered < baseline.legit_answered - 0.1
+
+    def test_full_harness_renders(self):
+        output = run(TINY)
+        assert len(output.rows) == 5
+        text = output.render()
+        assert "syn-flood" in text and "udp-flood" in text

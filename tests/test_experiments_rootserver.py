@@ -1,0 +1,93 @@
+"""Tests for the shared root-server harness and its workload builder."""
+
+import pytest
+
+from repro.dns import Name, RRType
+from repro.experiments import Scale
+from repro.experiments.rootserver import (RootRunConfig, build_workload,
+                                          make_signed_root,
+                                          run_root_replay)
+
+TINY = Scale("hrn", rate=30.0, duration=10.0, monitor_period=5.0)
+
+
+class TestSignedRoot:
+    def test_unsigned(self):
+        zone = make_signed_root(RootRunConfig(signed=False))
+        assert zone.get(zone.origin, RRType.DNSKEY) is None
+
+    def test_signed_has_keys_and_nsec(self):
+        zone = make_signed_root(RootRunConfig(zsk_bits=1024))
+        dnskeys = zone.get(zone.origin, RRType.DNSKEY)
+        assert dnskeys is not None and len(dnskeys) == 2
+        assert zone.get(zone.origin, RRType.NSEC) is not None
+
+    def test_rollover_adds_incoming_key(self):
+        normal = make_signed_root(RootRunConfig(zsk_bits=2048))
+        rolling = make_signed_root(RootRunConfig(zsk_bits=2048,
+                                                 rollover=True))
+        assert len(rolling.get(rolling.origin, RRType.DNSKEY)) == \
+            len(normal.get(normal.origin, RRType.DNSKEY)) + 1
+
+    def test_tld_count_respected(self):
+        zone = make_signed_root(RootRunConfig(tld_count=12, signed=False))
+        tlds = [name for name in zone.names()
+                if len(name) == 1 and zone.get(name, RRType.NS)]
+        assert len(tlds) == 12
+
+
+class TestWorkloadBuilder:
+    def test_retargeted_to_server(self):
+        trace = build_workload(RootRunConfig(scale=TINY))
+        assert all(record.dst == "10.0.0.2" for record in trace)
+
+    def test_protocol_mutation(self):
+        trace = build_workload(RootRunConfig(scale=TINY, protocol="tls"))
+        assert all(record.protocol == "tls" for record in trace)
+
+    def test_original_keeps_mixed_protocols(self):
+        trace = build_workload(RootRunConfig(scale=TINY,
+                                             protocol="original"))
+        protocols = {record.protocol for record in trace}
+        assert "udp" in protocols
+
+    def test_do_fraction_override(self):
+        trace = build_workload(RootRunConfig(scale=TINY, do_fraction=0.0))
+        assert not any(record.message().dnssec_ok for record in trace)
+
+    def test_seed_controls_workload(self):
+        a = build_workload(RootRunConfig(scale=TINY, seed=1))
+        b = build_workload(RootRunConfig(scale=TINY, seed=1))
+        c = build_workload(RootRunConfig(scale=TINY, seed=2))
+        assert [r.wire for r in a] == [r.wire for r in b]
+        assert [r.wire for r in a] != [r.wire for r in c]
+
+
+class TestRunOutput:
+    @pytest.fixture(scope="class")
+    def output(self):
+        return run_root_replay(RootRunConfig(scale=TINY, protocol="tcp",
+                                             tcp_timeout=5.0))
+
+    def test_samples_cover_run(self, output):
+        times = [sample.time for sample in output.monitor.samples]
+        assert times == sorted(times)
+        assert times[-1] >= TINY.duration - TINY.monitor_period
+
+    def test_scale_factor_attached(self, output):
+        assert output.scale_factor == pytest.approx(TINY.report_factor)
+        assert output.resources.scale_factor == output.scale_factor
+
+    def test_bandwidth_series_scaled(self, output):
+        series = output.response_mbps_series()
+        assert series
+        # Scaled bandwidth should be in a plausible root-server range
+        # (tens to hundreds of Mb/s), not the raw sampled kb/s.
+        assert 1.0 < max(series) < 2000.0
+
+    def test_cpu_utilization_positive(self, output):
+        assert 0.0 < output.cpu_utilization_scaled() < 1.0
+
+    def test_steady_samples_subset(self, output):
+        steady = output.steady_samples()
+        assert len(steady) <= len(output.monitor.samples)

@@ -1,0 +1,140 @@
+"""Tests for the sharded meta-server extension (paper §2.2/§3)."""
+
+import pytest
+
+from repro.dns import DNS_PORT, Message, Name, RRType, Rcode
+from repro.hierarchy import (HierarchyEmulation, ShardedHierarchyEmulation,
+                             address_to_zones)
+from repro.netsim import EventLoop, Network
+from repro.proxy import PartitioningRecursiveProxy
+from repro.netsim import make_udp_packet
+from repro.trace import make_hierarchy_zones
+
+QUESTIONS = [
+    (f"host{h}.domain00{d}.{tld}.", RRType.A)
+    for tld in ("com", "net") for d in range(3) for h in range(2)
+]
+
+
+def resolve_all(emulation, network, loop):
+    stub = network.add_host("stub", "10.77.0.1")
+    results = {}
+
+    def callback_for(key):
+        def callback(_s, wire, _a, _p):
+            message = Message.from_wire(wire)
+            results[key] = (message.rcode.name, tuple(sorted(
+                rr.to_text() for rr in message.answer)))
+        return callback
+
+    for index, (qname, qtype) in enumerate(QUESTIONS):
+        sock = stub.bind_udp("10.77.0.1", 0,
+                             callback_for((qname, qtype)))
+        sock.sendto(Message.make_query(Name.from_text(qname), qtype,
+                                       msg_id=index + 1).to_wire(),
+                    emulation.recursive_address, DNS_PORT)
+    loop.run(max_time=90)
+    return results
+
+
+@pytest.fixture(scope="module")
+def zones():
+    return make_hierarchy_zones(3, 4)
+
+
+class TestPartitioningProxy:
+    def test_routes_by_forwarding_table(self, zones):
+        loop = EventLoop()
+        network = Network(loop)
+        host = network.add_host("rec", "10.70.0.1")
+        shard_a = network.add_host("shard-a", "10.70.0.2")
+        shard_b = network.add_host("shard-b", "10.70.0.3")
+        got_a, got_b = [], []
+        shard_a.bind_udp("10.70.0.2", 53, lambda s, d, a, p: got_a.append(a))
+        shard_b.bind_udp("10.70.0.3", 53, lambda s, d, a, p: got_b.append(a))
+        tun = host.create_tun()
+        proxy = PartitioningRecursiveProxy(
+            tun, {"198.41.0.4": "10.70.0.2", "192.5.6.30": "10.70.0.3"},
+            processing_delay=0.0)
+        tun.push(make_udp_packet("10.70.0.1", 4000, "198.41.0.4", 53,
+                                 b"to-root"))
+        tun.push(make_udp_packet("10.70.0.1", 4001, "192.5.6.30", 53,
+                                 b"to-com"))
+        loop.run(max_time=1)
+        assert got_a == ["198.41.0.4"]
+        assert got_b == ["192.5.6.30"]
+
+    def test_unroutable_counted(self, zones):
+        loop = EventLoop()
+        network = Network(loop)
+        host = network.add_host("rec", "10.70.0.1")
+        tun = host.create_tun()
+        proxy = PartitioningRecursiveProxy(tun, {}, processing_delay=0.0)
+        tun.push(make_udp_packet("10.70.0.1", 4000, "203.0.113.1", 53,
+                                 b"nowhere"))
+        loop.run(max_time=1)
+        assert proxy.unroutable == 1
+        assert proxy.stats.packets_rewritten == 0
+
+    def test_default_target(self, zones):
+        loop = EventLoop()
+        network = Network(loop)
+        host = network.add_host("rec", "10.70.0.1")
+        target = network.add_host("default", "10.70.0.9")
+        got = []
+        target.bind_udp("10.70.0.9", 53, lambda s, d, a, p: got.append(a))
+        tun = host.create_tun()
+        PartitioningRecursiveProxy(tun, {}, default="10.70.0.9",
+                                   processing_delay=0.0)
+        tun.push(make_udp_packet("10.70.0.1", 4000, "203.0.113.1", 53, b"x"))
+        loop.run(max_time=1)
+        assert got == ["203.0.113.1"]
+
+
+class TestShardedEmulation:
+    def test_equivalent_to_single_meta(self, zones):
+        loop_a = EventLoop()
+        network_a = Network(loop_a)
+        single = HierarchyEmulation(network_a, zones)
+        truth = resolve_all(single, network_a, loop_a)
+
+        loop_b = EventLoop()
+        network_b = Network(loop_b)
+        sharded = ShardedHierarchyEmulation(network_b, zones, shards=3)
+        answers = resolve_all(sharded, network_b, loop_b)
+
+        assert truth == answers
+        assert all(rcode == "NOERROR" for rcode, _ in truth.values())
+
+    def test_every_shard_serves_traffic(self, zones):
+        loop = EventLoop()
+        network = Network(loop)
+        sharded = ShardedHierarchyEmulation(network, zones, shards=3)
+        resolve_all(sharded, network, loop)
+        assert all(count > 0 for count in sharded.queries_per_shard())
+
+    def test_forwarding_covers_every_address(self, zones):
+        loop = EventLoop()
+        network = Network(loop)
+        sharded = ShardedHierarchyEmulation(network, zones, shards=2)
+        assert set(sharded.forwarding) == set(address_to_zones(zones))
+        assert set(sharded.forwarding.values()) == \
+            set(sharded.shard_addresses)
+
+    def test_single_shard_degenerates_gracefully(self, zones):
+        loop = EventLoop()
+        network = Network(loop)
+        sharded = ShardedHierarchyEmulation(network, zones, shards=1)
+        answers = resolve_all(sharded, network, loop)
+        assert all(rcode == "NOERROR" for rcode, _ in answers.values())
+
+    def test_zero_shards_rejected(self, zones):
+        with pytest.raises(ValueError):
+            ShardedHierarchyEmulation(Network(EventLoop()), zones, shards=0)
+
+    def test_no_unroutable_leaks(self, zones):
+        loop = EventLoop()
+        network = Network(loop)
+        sharded = ShardedHierarchyEmulation(network, zones, shards=2)
+        resolve_all(sharded, network, loop)
+        assert sharded.recursive_proxy.unroutable == 0

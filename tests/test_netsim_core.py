@@ -1,0 +1,113 @@
+"""Tests for the discrete-event loop."""
+
+import pytest
+
+from repro.netsim import EventLoop, SimulationError
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(3.0, fired.append, "c")
+        loop.call_at(1.0, fired.append, "a")
+        loop.call_at(2.0, fired.append, "b")
+        loop.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_same_time_fifo(self):
+        loop = EventLoop()
+        fired = []
+        for label in "abc":
+            loop.call_at(1.0, fired.append, label)
+        loop.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances(self):
+        loop = EventLoop()
+        seen = []
+        loop.call_at(5.0, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [5.0]
+        assert loop.now == 5.0
+
+    def test_call_later_relative(self):
+        loop = EventLoop(start_time=10.0)
+        seen = []
+        loop.call_later(2.5, lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [12.5]
+
+    def test_past_scheduling_rejected(self):
+        loop = EventLoop(start_time=5.0)
+        with pytest.raises(SimulationError):
+            loop.call_at(1.0, lambda: None)
+
+    def test_call_soon(self):
+        loop = EventLoop(start_time=7.0)
+        seen = []
+        loop.call_soon(lambda: seen.append(loop.now))
+        loop.run()
+        assert seen == [7.0]
+
+
+class TestCancellation:
+    def test_cancelled_timer_skipped(self):
+        loop = EventLoop()
+        fired = []
+        timer = loop.call_at(1.0, fired.append, "x")
+        timer.cancel()
+        loop.run()
+        assert fired == []
+
+    def test_pending_counts_exclude_cancelled(self):
+        loop = EventLoop()
+        keep = loop.call_at(1.0, lambda: None)
+        cancel = loop.call_at(2.0, lambda: None)
+        cancel.cancel()
+        assert loop.pending_events() == 1
+
+
+class TestRunControl:
+    def test_run_until_stops_at_deadline(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(1.0, fired.append, 1)
+        loop.call_at(5.0, fired.append, 5)
+        loop.run_until(2.0)
+        assert fired == [1]
+        assert loop.now == 2.0
+        loop.run_until(10.0)
+        assert fired == [1, 5]
+
+    def test_run_max_events(self):
+        loop = EventLoop()
+        fired = []
+        for i in range(10):
+            loop.call_at(float(i), fired.append, i)
+        processed = loop.run(max_events=3)
+        assert processed == 3
+        assert fired == [0, 1, 2]
+
+    def test_run_max_time(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(1.0, fired.append, 1)
+        loop.call_at(3.0, fired.append, 3)
+        loop.run(max_time=2.0)
+        assert fired == [1]
+        assert loop.now == 2.0
+
+    def test_events_scheduling_events(self):
+        loop = EventLoop()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                loop.call_later(1.0, chain, n + 1)
+
+        loop.call_at(0.0, chain, 0)
+        loop.run()
+        assert fired == [0, 1, 2, 3]
+        assert loop.now == 3.0

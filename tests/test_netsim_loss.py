@@ -1,0 +1,146 @@
+"""Tests for packet loss and TCP retransmission."""
+
+import pytest
+
+from repro.netsim import (EventLoop, Network, TcpOptions, TcpStack)
+
+
+def make_pair(loss_rate=0.0, loss_seed=0, rtt=0.02):
+    loop = EventLoop()
+    network = Network(loop, loss_rate=loss_rate, loss_seed=loss_seed)
+    client_host = network.add_host("c", "10.55.0.1")
+    server_host = network.add_host("s", "10.55.0.2")
+    network.latency.set_rtt("c", "s", rtt)
+    return loop, network, TcpStack(client_host), TcpStack(server_host)
+
+
+def echo(server, **options):
+    def on_accept(conn):
+        conn.on_data = lambda cn, data: cn.send(data)
+        conn.on_close = lambda cn: cn.close()
+    server.listen("10.55.0.2", 53, on_accept,
+                  TcpOptions(nagle=False, **options))
+
+
+class TestLossModel:
+    def test_lossless_by_default(self):
+        loop, network, client, server = make_pair()
+        assert network.loss_rate == 0.0
+
+    def test_udp_loss_drops_fraction(self):
+        loop, network, client, server = make_pair(loss_rate=0.3,
+                                                  loss_seed=7)
+        received = []
+        network.host("s").bind_udp("10.55.0.2", 99,
+                                   lambda s, d, a, p: received.append(d))
+        sock = network.host("c").bind_udp("10.55.0.1", 0)
+        for i in range(200):
+            loop.call_at(i * 0.01, sock.sendto, b"x", "10.55.0.2", 99)
+        loop.run()
+        assert 100 < len(received) < 180  # ~70% delivered
+        assert network.dropped_by_loss == 200 - len(received)
+
+    def test_loss_deterministic_by_seed(self):
+        counts = []
+        for _ in range(2):
+            loop, network, client, server = make_pair(loss_rate=0.2,
+                                                      loss_seed=3)
+            received = []
+            network.host("s").bind_udp("10.55.0.2", 99,
+                                       lambda s, d, a, p:
+                                       received.append(d))
+            sock = network.host("c").bind_udp("10.55.0.1", 0)
+            for i in range(100):
+                loop.call_at(i * 0.01, sock.sendto, b"x",
+                             "10.55.0.2", 99)
+            loop.run()
+            counts.append(len(received))
+        assert counts[0] == counts[1]
+
+    def test_loopback_never_lossy(self):
+        loop, network, client, server = make_pair(loss_rate=1.0)
+        got = []
+        host = network.host("c")
+        host.bind_udp("10.55.0.1", 88, lambda s, d, a, p: got.append(d))
+        sock = host.bind_udp("10.55.0.1", 0)
+        sock.sendto(b"self", "10.55.0.1", 88)
+        loop.run()
+        assert got == [b"self"]
+
+
+class TestTcpRetransmission:
+    def test_data_survives_loss(self):
+        loop, network, client, server = make_pair(loss_rate=0.25,
+                                                  loss_seed=11)
+        echo(server)
+        received = bytearray()
+        conn = client.connect("10.55.0.1", "10.55.0.2", 53,
+                              TcpOptions(nagle=False))
+        payload = bytes(range(256)) * 40
+        conn.on_connected = lambda cn: cn.send(payload)
+        conn.on_data = lambda cn, d: received.extend(d)
+        loop.run(max_time=120)
+        assert bytes(received) == payload
+        total_retransmissions = (
+            conn.retransmissions
+            + sum(c.retransmissions for c in server.connections()))
+        assert total_retransmissions + server.retransmitted_segments \
+            + client.retransmitted_segments >= 0  # counters exist
+        assert network.dropped_by_loss > 0
+
+    def test_handshake_survives_syn_loss(self):
+        # Seed chosen so the first packet (the SYN) is dropped.
+        loop, network, client, server = make_pair(loss_rate=0.9,
+                                                  loss_seed=1)
+        echo(server)
+        connected = []
+        conn = client.connect("10.55.0.1", "10.55.0.2", 53,
+                              TcpOptions(nagle=False))
+        conn.on_connected = lambda cn: connected.append(loop.now)
+        network.loss_rate = 0.0  # let retries through
+        loop.run(max_time=30)
+        assert connected
+        assert connected[0] >= 1.0  # at least one RTO elapsed
+
+    def test_gives_up_after_max_retransmits(self):
+        loop, network, client, server = make_pair(loss_rate=1.0)
+        echo(server)
+        failed = []
+        conn = client.connect("10.55.0.1", "10.55.0.2", 53,
+                              TcpOptions(nagle=False))
+        conn.on_reset = lambda cn: failed.append(loop.now)
+        loop.run(max_time=300)
+        assert failed
+        from repro.netsim.tcp import TcpState
+        assert conn.state == TcpState.CLOSED
+        assert conn.retransmissions == 6
+
+    def test_no_retransmissions_on_clean_link(self):
+        loop, network, client, server = make_pair(loss_rate=0.0)
+        echo(server)
+        conn = client.connect("10.55.0.1", "10.55.0.2", 53,
+                              TcpOptions(nagle=False))
+        conn.on_connected = lambda cn: cn.send(b"q" * 5000)
+        loop.run(max_time=30)
+        assert conn.retransmissions == 0
+        assert client.retransmitted_segments == 0
+
+    def test_rto_backoff_doubles(self):
+        loop, network, client, server = make_pair(loss_rate=1.0)
+        sent_times = []
+        original_send = network.host("c").send_packet
+
+        def spy(packet, **kwargs):
+            sent_times.append(loop.now)
+            return original_send(packet, **kwargs)
+
+        network.host("c").send_packet = spy
+        client.connect("10.55.0.1", "10.55.0.2", 53,
+                       TcpOptions(nagle=False))
+        loop.run(max_time=300)
+        gaps = [b - a for a, b in zip(sent_times, sent_times[1:])]
+        # 1, 2, 4, 8, 16, 16 (capped)
+        assert gaps[0] == pytest.approx(1.0, abs=0.01)
+        assert gaps[1] == pytest.approx(2.0, abs=0.01)
+        assert gaps[2] == pytest.approx(4.0, abs=0.01)
+        assert gaps[-1] <= 16.01

@@ -1,0 +1,279 @@
+"""Tests for hosts, links, netfilter diversion, TUN devices, meters."""
+
+import pytest
+
+from repro.netsim import (EventLoop, FilterRule, LatencyModel, Network,
+                          NetworkError, UdpSegment, make_udp_packet)
+
+
+@pytest.fixture
+def net():
+    loop = EventLoop()
+    network = Network(loop)
+    network.add_host("a", "10.0.0.1")
+    network.add_host("b", "10.0.0.2")
+    return loop, network
+
+
+class TestUdpDelivery:
+    def test_one_way_latency(self, net):
+        loop, network = net
+        network.latency.set_rtt("a", "b", 0.050)
+        received = []
+        network.host("b").bind_udp("10.0.0.2", 5000,
+                                   lambda s, d, a, p: received.append(
+                                       (loop.now, d, a, p)))
+        sender = network.host("a").bind_udp("10.0.0.1", 0)
+        sender.sendto(b"ping", "10.0.0.2", 5000)
+        loop.run()
+        assert received[0][1] == b"ping"
+        assert abs(received[0][0] - 0.025) < 1e-9  # half the RTT
+
+    def test_reply_addressing(self, net):
+        loop, network = net
+        network.host("b").bind_udp(
+            "10.0.0.2", 53,
+            lambda s, d, a, p: s.sendto(b"re:" + d, a, p))
+        got = []
+        sock = network.host("a").bind_udp("10.0.0.1", 0,
+                                          lambda s, d, a, p: got.append(d))
+        sock.sendto(b"q", "10.0.0.2", 53)
+        loop.run()
+        assert got == [b"re:q"]
+
+    def test_unbound_port_drops(self, net):
+        loop, network = net
+        sock = network.host("a").bind_udp("10.0.0.1", 0)
+        sock.sendto(b"x", "10.0.0.2", 9999)
+        loop.run()
+        assert network.host("b").counters.unreachable_drops == 1
+
+    def test_no_route_drop(self, net):
+        loop, network = net
+        sock = network.host("a").bind_udp("10.0.0.1", 0)
+        sock.sendto(b"x", "203.0.113.99", 53)
+        loop.run()
+        assert network.dropped_no_route == 1
+        assert network.host("a").counters.no_route_drops == 1
+
+    def test_loopback_delivery(self, net):
+        loop, network = net
+        got = []
+        network.host("a").bind_udp("10.0.0.1", 777,
+                                   lambda s, d, a, p: got.append(loop.now))
+        sock = network.host("a").bind_udp("10.0.0.1", 0)
+        sock.sendto(b"self", "10.0.0.1", 777)
+        loop.run()
+        assert got and got[0] < 0.001  # loopback is fast
+
+    def test_wildcard_bind(self, net):
+        loop, network = net
+        got = []
+        network.host("b").bind_udp("0.0.0.0", 53,
+                                   lambda s, d, a, p: got.append(d))
+        # 0.0.0.0 bind needs host to own it? we allow the wildcard key
+        # only via direct demux; sending to the host's real address:
+        sock = network.host("a").bind_udp("10.0.0.1", 0)
+        sock.sendto(b"w", "10.0.0.2", 53)
+        loop.run()
+        assert got == [b"w"]
+
+
+class TestChecksums:
+    def test_bad_checksum_dropped(self, net):
+        loop, network = net
+        got = []
+        network.host("b").bind_udp("10.0.0.2", 53,
+                                   lambda s, d, a, p: got.append(d))
+        packet = make_udp_packet("10.0.0.1", 40000, "10.0.0.2", 53, b"ok")
+        corrupted = packet.rewritten(src="10.0.0.9",
+                                     recompute_checksum=False)
+        network.host("a").send_packet(corrupted)
+        loop.run()
+        assert got == []
+        assert network.host("b").counters.checksum_drops == 1
+
+    def test_rewrite_with_recompute_accepted(self, net):
+        loop, network = net
+        got = []
+        network.host("b").bind_udp("10.0.0.2", 53,
+                                   lambda s, d, a, p: got.append(a))
+        packet = make_udp_packet("10.0.0.1", 40000, "10.0.0.9", 53, b"ok")
+        fixed = packet.rewritten(dst="10.0.0.2")  # recompute by default
+        network.host("a").send_packet(fixed)
+        loop.run()
+        assert got == ["10.0.0.1"]
+
+
+class TestNetfilterAndTun:
+    def test_output_rule_diverts(self, net):
+        loop, network = net
+        host_a = network.host("a")
+        tun = host_a.create_tun()
+        captured = []
+        tun.set_reader(captured.append)
+        host_a.netfilter.add_rule(FilterRule(chain="output", protocol="udp",
+                                             dport=53, divert_to=tun))
+        sock = host_a.bind_udp("10.0.0.1", 0)
+        sock.sendto(b"dns", "10.0.0.2", 53)
+        sock.sendto(b"web", "10.0.0.2", 80)
+        loop.run()
+        assert len(captured) == 1
+        assert captured[0].segment.dport == 53
+        assert tun.packets_diverted == 1
+        # The port-80 packet went through normally.
+        assert network.host("b").counters.unreachable_drops == 1
+
+    def test_tun_write_bypasses_output_chain(self, net):
+        loop, network = net
+        host_a = network.host("a")
+        tun = host_a.create_tun()
+        got = []
+        network.host("b").bind_udp("10.0.0.2", 53,
+                                   lambda s, d, a, p: got.append(d))
+        host_a.netfilter.add_rule(FilterRule(chain="output", protocol="udp",
+                                             dport=53, divert_to=tun))
+        # A reader that reinjects the same packet must not loop forever.
+        tun.set_reader(lambda packet: tun.write(packet))
+        sock = host_a.bind_udp("10.0.0.1", 0)
+        sock.sendto(b"once", "10.0.0.2", 53)
+        loop.run()
+        assert got == [b"once"]
+        assert tun.packets_diverted == 1
+        assert tun.packets_written == 1
+
+    def test_input_rule(self, net):
+        loop, network = net
+        host_b = network.host("b")
+        tun = host_b.create_tun()
+        seen = []
+        tun.set_reader(seen.append)
+        host_b.netfilter.add_rule(FilterRule(chain="input", protocol="udp",
+                                             sport=4242, divert_to=tun))
+        sock = network.host("a").bind_udp("10.0.0.1", 4242)
+        sock.sendto(b"in", "10.0.0.2", 53)
+        loop.run()
+        assert len(seen) == 1
+        assert host_b.counters.packets_in == 0  # diverted before counting
+
+    def test_unattached_tun_drops(self, net):
+        loop, network = net
+        host_a = network.host("a")
+        tun = host_a.create_tun()
+        host_a.netfilter.add_rule(FilterRule(chain="output", divert_to=tun))
+        sock = host_a.bind_udp("10.0.0.1", 0)
+        sock.sendto(b"gone", "10.0.0.2", 53)
+        loop.run()
+        assert tun.packets_diverted == 1
+        assert network.host("b").counters.packets_in == 0
+
+
+class TestMetersAndAddressing:
+    def test_traffic_meter_buckets(self, net):
+        loop, network = net
+        network.host("b").bind_udp("10.0.0.2", 53, lambda *a: None)
+        sock = network.host("a").bind_udp("10.0.0.1", 0)
+        for i in range(5):
+            loop.call_at(float(i), sock.sendto, b"x" * 10, "10.0.0.2", 53)
+        loop.run()
+        series = network.host("b").meter_in.series()
+        assert len(series) == 5
+        assert all(packets == 1 for _s, _b, packets in series)
+
+    def test_duplicate_address_rejected(self, net):
+        _loop, network = net
+        with pytest.raises(NetworkError):
+            network.add_host("c", "10.0.0.1")
+
+    def test_duplicate_name_rejected(self, net):
+        _loop, network = net
+        with pytest.raises(NetworkError):
+            network.add_host("a", "10.0.0.99")
+
+    def test_port_allocation_unique(self, net):
+        _loop, network = net
+        host = network.host("a")
+        ports = {host.allocate_port() for _ in range(100)}
+        assert len(ports) == 100
+
+    def test_bind_foreign_address_rejected(self, net):
+        _loop, network = net
+        with pytest.raises(NetworkError):
+            network.host("a").bind_udp("10.0.0.2", 0)
+
+    def test_double_bind_rejected(self, net):
+        _loop, network = net
+        network.host("a").bind_udp("10.0.0.1", 53)
+        with pytest.raises(NetworkError):
+            network.host("a").bind_udp("10.0.0.1", 53)
+
+    def test_close_unbinds(self, net):
+        _loop, network = net
+        sock = network.host("a").bind_udp("10.0.0.1", 53)
+        sock.close()
+        network.host("a").bind_udp("10.0.0.1", 53)  # rebind works
+
+
+class TestLatencyModel:
+    def test_symmetric(self):
+        model = LatencyModel(default_rtt=0.1)
+        model.set_rtt("x", "y", 0.2)
+        assert model.rtt("x", "y") == model.rtt("y", "x") == 0.2
+        assert model.rtt("x", "z") == 0.1
+
+    def test_jitter_bounded_and_deterministic(self):
+        a = LatencyModel(default_rtt=0.1, jitter_fraction=0.2, seed=1)
+        b = LatencyModel(default_rtt=0.1, jitter_fraction=0.2, seed=1)
+        delays_a = [a.one_way("x", "y") for _ in range(50)]
+        delays_b = [b.one_way("x", "y") for _ in range(50)]
+        assert delays_a == delays_b
+        assert all(0.04 <= d <= 0.06 for d in delays_a)
+
+
+class TestBandwidth:
+    """Optional link serialization (the testbed's 1 Gb/s, Figure 5)."""
+
+    def test_serialization_delay_queues_packets(self, net):
+        loop, network = net
+        sender = network.host("a")
+        sender.egress_bandwidth_bps = 8000.0  # 1000 bytes/second
+        arrivals = []
+        network.host("b").bind_udp("10.0.0.2", 53,
+                                   lambda s, d, a, p: arrivals.append(
+                                       loop.now))
+        sock = sender.bind_udp("10.0.0.1", 0)
+        payload = b"x" * (500 - 28)  # 500 bytes on the wire
+        sock.sendto(payload, "10.0.0.2", 53)   # 0.5 s to serialize
+        sock.sendto(payload, "10.0.0.2", 53)   # queued behind the first
+        loop.run()
+        assert len(arrivals) == 2
+        assert arrivals[0] == pytest.approx(0.5, abs=0.01)
+        assert arrivals[1] == pytest.approx(1.0, abs=0.01)
+
+    def test_no_bandwidth_means_no_serialization(self, net):
+        loop, network = net
+        arrivals = []
+        network.host("b").bind_udp("10.0.0.2", 53,
+                                   lambda s, d, a, p: arrivals.append(
+                                       loop.now))
+        sock = network.host("a").bind_udp("10.0.0.1", 0)
+        sock.sendto(b"a" * 400, "10.0.0.2", 53)
+        sock.sendto(b"b" * 400, "10.0.0.2", 53)
+        loop.run()
+        assert arrivals[0] == pytest.approx(arrivals[1])
+
+    def test_link_idles_between_bursts(self, net):
+        loop, network = net
+        sender = network.host("a")
+        sender.egress_bandwidth_bps = 8000.0
+        arrivals = []
+        network.host("b").bind_udp("10.0.0.2", 53,
+                                   lambda s, d, a, p: arrivals.append(
+                                       loop.now))
+        sock = sender.bind_udp("10.0.0.1", 0)
+        payload = b"x" * (100 - 28)  # 100 bytes -> 0.1 s serialization
+        sock.sendto(payload, "10.0.0.2", 53)
+        loop.call_at(5.0, sock.sendto, payload, "10.0.0.2", 53)
+        loop.run()
+        # Second packet pays only its own serialization, not a queue.
+        assert arrivals[1] == pytest.approx(5.1, abs=0.01)

@@ -1,0 +1,85 @@
+"""Tests for the packet model: checksums, rewriting, sizes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.netsim import (IpPacket, TcpFlags, TcpSegment, UdpSegment,
+                          make_tcp_packet, make_udp_packet)
+from repro.netsim.packet import IP_HEADER_SIZE, validate_address
+
+
+class TestSegments:
+    def test_udp_sizes(self):
+        segment = UdpSegment(1000, 53, b"x" * 40)
+        assert segment.header_size() == 8
+        assert segment.wire_size() == 48
+
+    def test_tcp_sizes(self):
+        segment = TcpSegment(1000, 53, 1, 0, TcpFlags.SYN, b"y" * 10)
+        assert segment.header_size() == 20
+        assert segment.wire_size() == 30
+
+    def test_tcp_describe(self):
+        segment = TcpSegment(1, 2, 100, 50, TcpFlags.SYN | TcpFlags.ACK,
+                             b"abc")
+        text = segment.describe()
+        assert "SYN" in text and "ACK" in text and "len=3" in text
+
+
+class TestChecksum:
+    def test_checksum_valid_after_construction(self):
+        packet = make_udp_packet("10.0.0.1", 1000, "10.0.0.2", 53, b"hi")
+        assert packet.checksum_ok()
+
+    def test_checksum_covers_addresses(self):
+        packet = make_udp_packet("10.0.0.1", 1000, "10.0.0.2", 53, b"hi")
+        moved = packet.rewritten(src="10.0.0.9", recompute_checksum=False)
+        assert not moved.checksum_ok()
+
+    def test_checksum_covers_payload(self):
+        a = make_udp_packet("10.0.0.1", 1, "10.0.0.2", 53, b"aaaa")
+        b = make_udp_packet("10.0.0.1", 1, "10.0.0.2", 53, b"aaab")
+        assert a.checksum != b.checksum
+
+    def test_rewrite_recomputes_by_default(self):
+        packet = make_udp_packet("10.0.0.1", 1000, "10.0.0.2", 53, b"hi")
+        moved = packet.rewritten(src="192.0.2.7", dst="192.0.2.8")
+        assert moved.checksum_ok()
+        assert moved.src == "192.0.2.7" and moved.dst == "192.0.2.8"
+
+    def test_rewrite_preserves_payload(self):
+        packet = make_tcp_packet("10.0.0.1", 1, "10.0.0.2", 53, 5, 6,
+                                 TcpFlags.ACK, b"data")
+        moved = packet.rewritten(dst="203.0.113.1")
+        assert moved.segment == packet.segment
+
+
+class TestPacket:
+    def test_protocol_property(self):
+        udp = make_udp_packet("10.0.0.1", 1, "10.0.0.2", 53, b"")
+        tcp = make_tcp_packet("10.0.0.1", 1, "10.0.0.2", 53, 0, 0,
+                              TcpFlags.SYN)
+        assert udp.protocol == "udp"
+        assert tcp.protocol == "tcp"
+
+    def test_wire_size(self):
+        packet = make_udp_packet("10.0.0.1", 1, "10.0.0.2", 53, b"12345")
+        assert packet.wire_size() == IP_HEADER_SIZE + 8 + 5
+
+    def test_flow_tuple(self):
+        packet = make_udp_packet("10.0.0.1", 1234, "10.0.0.2", 53, b"")
+        assert packet.flow() == ("10.0.0.1", 1234, "10.0.0.2", 53, "udp")
+
+    def test_validate_address(self):
+        assert validate_address("192.0.2.1") == "192.0.2.1"
+        with pytest.raises(ValueError):
+            validate_address("not-an-ip")
+
+
+@given(st.binary(max_size=100), st.integers(1, 65535),
+       st.integers(1, 65535))
+def test_property_checksum_deterministic(payload, sport, dport):
+    a = make_udp_packet("10.0.0.1", sport, "10.0.0.2", dport, payload)
+    b = make_udp_packet("10.0.0.1", sport, "10.0.0.2", dport, payload)
+    assert a.checksum == b.checksum
+    assert a.checksum_ok()

@@ -1,0 +1,132 @@
+"""Tests for the server resource models (memory, CPU, monitoring)."""
+
+import pytest
+
+from repro.netsim import (CostModel, CpuMeter, EventLoop, Network,
+                          ResourceMonitor, ServerResourceModel, TcpOptions,
+                          TcpStack)
+from repro.netsim.resources import (GIB, OS_BASE_BYTES, SERVER_BASE_BYTES,
+                                    TCP_RECV_BUFFER_BYTES,
+                                    TCP_SEND_BUFFER_BYTES,
+                                    TCP_SOCK_STRUCT_BYTES,
+                                    TLS_SESSION_BYTES)
+
+
+class TestCpuMeter:
+    def test_charges_accumulate(self):
+        loop = EventLoop()
+        meter = CpuMeter(loop, cores=4)
+        meter.charge("udp_query")
+        meter.charge("udp_query", 9)
+        assert meter.total_busy() == pytest.approx(10 * meter.cost.udp_query)
+
+    def test_unknown_kind_rejected(self):
+        meter = CpuMeter(EventLoop())
+        with pytest.raises(ValueError):
+            meter.charge("quantum_decrypt")
+
+    def test_utilization_math(self):
+        loop = EventLoop()
+        meter = CpuMeter(loop, cores=2,
+                         cost_model=CostModel(udp_query=0.5))
+        meter.charge("udp_query")  # 0.5 core-seconds
+        loop.run_until(1.0)
+        # 0.5 busy over 1 s on 2 cores = 25 %.
+        assert meter.utilization_since(0.0) == pytest.approx(0.25)
+
+    def test_window_sampling_resets(self):
+        loop = EventLoop()
+        meter = CpuMeter(loop, cores=1,
+                         cost_model=CostModel(udp_query=0.1))
+        meter.charge("udp_query")
+        loop.run_until(1.0)
+        first = meter.sample_window()
+        assert first == pytest.approx(0.1)
+        loop.run_until(2.0)
+        assert meter.sample_window() == pytest.approx(0.0)
+
+
+class TestMemoryModel:
+    def make_stack_with_connections(self, count):
+        loop = EventLoop()
+        network = Network(loop)
+        client = network.add_host("c", "10.3.0.1")
+        server = network.add_host("s", "10.3.0.2")
+        client_stack = TcpStack(client)
+        server_stack = TcpStack(server)
+        server_stack.listen("10.3.0.2", 53, lambda conn: None,
+                            TcpOptions(nagle=False))
+        for _ in range(count):
+            client_stack.connect("10.3.0.1", "10.3.0.2", 53,
+                                 TcpOptions(nagle=False))
+        loop.run(max_time=2)
+        return loop, server_stack
+
+    def test_baseline_without_connections(self):
+        loop = EventLoop()
+        model = ServerResourceModel(loop)
+        assert model.memory_total() == OS_BASE_BYTES + SERVER_BASE_BYTES
+
+    def test_per_connection_memory(self):
+        loop, stack = self.make_stack_with_connections(10)
+        model = ServerResourceModel(loop, stack)
+        per_conn = (TCP_SOCK_STRUCT_BYTES + TCP_RECV_BUFFER_BYTES
+                    + TCP_SEND_BUFFER_BYTES)
+        expected_kernel = per_conn * 10
+        assert model.memory_kernel() == expected_kernel
+
+    def test_tls_sessions_add_memory(self):
+        loop = EventLoop()
+        model = ServerResourceModel(loop)
+        base = model.memory_process()
+        model.tls_sessions = 100
+        assert model.memory_process() == base + 100 * TLS_SESSION_BYTES
+
+    def test_scale_factor_multiplies_counts(self):
+        loop, stack = self.make_stack_with_connections(4)
+        model = ServerResourceModel(loop, stack)
+        model.scale_factor = 10.0
+        _open, established, _tw = model.connection_counts()
+        assert established == 40
+
+    def test_calibration_lands_near_paper(self):
+        """60 k established should cost roughly the paper's 13 GB extra."""
+        loop = EventLoop()
+        model = ServerResourceModel(loop)
+        per_conn = (TCP_SOCK_STRUCT_BYTES + TCP_RECV_BUFFER_BYTES
+                    + TCP_SEND_BUFFER_BYTES)
+        extra = 60000 * per_conn
+        assert 10 * GIB < extra < 16 * GIB
+
+
+class TestMonitor:
+    def test_periodic_samples(self):
+        loop = EventLoop()
+        model = ServerResourceModel(loop)
+        monitor = ResourceMonitor(loop, model, period=10.0)
+        monitor.start()
+        loop.run_until(55.0)
+        monitor.stop()
+        assert len(monitor.samples) == 5
+        assert [s.time for s in monitor.samples] == [10, 20, 30, 40, 50]
+
+    def test_steady_state_skips_warmup(self):
+        loop = EventLoop()
+        model = ServerResourceModel(loop)
+        monitor = ResourceMonitor(loop, model, period=10.0)
+        monitor.start()
+        loop.run_until(100.0)
+        monitor.stop()
+        steady = monitor.steady_state(skip=50.0)
+        assert all(s.time >= 60.0 for s in steady)
+        assert steady
+
+    def test_stop_prevents_further_samples(self):
+        loop = EventLoop()
+        model = ServerResourceModel(loop)
+        monitor = ResourceMonitor(loop, model, period=5.0)
+        monitor.start()
+        loop.run_until(12.0)
+        monitor.stop()
+        loop.run_until(50.0)
+        assert len(monitor.samples) == 2

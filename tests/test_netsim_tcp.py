@@ -1,0 +1,250 @@
+"""Tests for the simulated TCP state machine."""
+
+import pytest
+
+from repro.netsim import (EventLoop, Network, NetworkError, TcpOptions,
+                          TcpStack, TcpState)
+
+RTT = 0.100
+
+
+@pytest.fixture
+def pair():
+    loop = EventLoop()
+    network = Network(loop)
+    client_host = network.add_host("client", "10.1.0.1")
+    server_host = network.add_host("server", "10.1.0.2")
+    network.latency.set_rtt("client", "server", RTT)
+    return loop, TcpStack(client_host), TcpStack(server_host)
+
+
+def echo_listener(server, port=53, raw=False, **options):
+    def on_accept(conn):
+        if raw:
+            conn.on_data = lambda cn, data: cn.send(data)
+        else:
+            conn.on_data = lambda cn, data: cn.send(b"echo:" + data)
+        conn.on_close = lambda cn: cn.close()  # close when peer closes
+    return server.listen("10.1.0.2", port, on_accept,
+                         TcpOptions(**options))
+
+
+class TestHandshake:
+    def test_connect_takes_one_rtt(self, pair):
+        loop, client, server = pair
+        echo_listener(server)
+        connected = []
+        conn = client.connect("10.1.0.1", "10.1.0.2", 53)
+        conn.on_connected = lambda cn: connected.append(loop.now)
+        loop.run(max_time=5)
+        assert connected and abs(connected[0] - RTT) < 1e-9
+
+    def test_fresh_query_takes_two_rtt(self, pair):
+        loop, client, server = pair
+        echo_listener(server, nagle=False)
+        events = []
+        conn = client.connect("10.1.0.1", "10.1.0.2", 53,
+                              TcpOptions(nagle=False))
+        conn.on_connected = lambda cn: cn.send(b"q")
+        conn.on_data = lambda cn, d: events.append(loop.now)
+        loop.run(max_time=5)
+        assert events and abs(events[0] - 2 * RTT) < 2e-3
+
+    def test_data_queued_before_connect_flushes(self, pair):
+        loop, client, server = pair
+        echo_listener(server, nagle=False)
+        got = []
+        conn = client.connect("10.1.0.1", "10.1.0.2", 53,
+                              TcpOptions(nagle=False))
+        conn.send(b"early")  # before ESTABLISHED
+        conn.on_data = lambda cn, d: got.append(d)
+        loop.run(max_time=5)
+        assert got == [b"echo:early"]
+
+    def test_connect_to_closed_port_resets(self, pair):
+        loop, client, server = pair
+        reset = []
+        conn = client.connect("10.1.0.1", "10.1.0.2", 53)
+        conn.on_reset = lambda cn: reset.append(loop.now)
+        loop.run(max_time=5)
+        assert reset
+        assert conn.state == TcpState.CLOSED
+        assert server.resets_sent == 1
+
+    def test_accept_callback_runs(self, pair):
+        loop, client, server = pair
+        accepted = []
+        server.listen("10.1.0.2", 53, accepted.append)
+        client.connect("10.1.0.1", "10.1.0.2", 53).send(b"x")
+        loop.run(max_time=5)
+        assert len(accepted) == 1
+        assert accepted[0].remote_addr == "10.1.0.1"
+        assert server.total_accepted == 1
+
+
+class TestDataTransfer:
+    def test_large_message_segmented_and_reassembled(self, pair):
+        loop, client, server = pair
+        echo_listener(server, raw=True, nagle=False)
+        payload = bytes(range(256)) * 20  # 5120 bytes > 3 MSS
+        received = bytearray()
+        conn = client.connect("10.1.0.1", "10.1.0.2", 53,
+                              TcpOptions(nagle=False))
+        conn.on_connected = lambda cn: cn.send(payload)
+        conn.on_data = lambda cn, d: received.extend(d)
+        loop.run(max_time=10)
+        assert bytes(received) == payload
+        assert conn.segments_sent > 3
+
+    def test_sequencing_multiple_sends(self, pair):
+        loop, client, server = pair
+        echo_listener(server, nagle=False)
+        received = bytearray()
+        conn = client.connect("10.1.0.1", "10.1.0.2", 53,
+                              TcpOptions(nagle=False))
+
+        def go(cn):
+            cn.send(b"111")
+            cn.send(b"222")
+            cn.send(b"333")
+
+        conn.on_connected = go
+        conn.on_data = lambda cn, d: received.extend(d)
+        loop.run(max_time=10)
+        assert b"111" in received and b"333" in received
+        assert received.index(b"111") < received.index(b"222")
+
+    def test_send_on_closed_raises(self, pair):
+        loop, client, server = pair
+        conn = client.connect("10.1.0.1", "10.1.0.2", 53)
+        conn.abort()
+        with pytest.raises(NetworkError):
+            conn.send(b"late")
+
+
+class TestNagle:
+    def test_nagle_delays_second_small_write(self, pair):
+        loop, client, server = pair
+        echo_listener(server, nagle=False)
+        arrivals = []
+        conn = client.connect("10.1.0.1", "10.1.0.2", 53,
+                              TcpOptions(nagle=True))
+
+        def go(cn):
+            cn.send(b"first")   # flies immediately
+            cn.send(b"second")  # held: small and unacked data in flight
+
+        conn.on_connected = go
+        conn.on_data = lambda cn, d: arrivals.append((loop.now, bytes(d)))
+        loop.run(max_time=10)
+        combined = b"".join(d for _t, d in arrivals)
+        assert b"first" in combined and b"second" in combined
+        # The second write needed the first's ACK: > 2.5 RTT total.
+        assert arrivals[-1][0] > 2.5 * RTT
+
+    def test_nodelay_sends_back_to_back(self, pair):
+        loop, client, server = pair
+        echo_listener(server, nagle=False)
+        arrivals = []
+        conn = client.connect("10.1.0.1", "10.1.0.2", 53,
+                              TcpOptions(nagle=False))
+
+        def go(cn):
+            cn.send(b"first")
+            cn.send(b"second")
+
+        conn.on_connected = go
+        conn.on_data = lambda cn, d: arrivals.append(loop.now)
+        loop.run(max_time=10)
+        assert arrivals and arrivals[-1] < 2.3 * RTT
+
+
+class TestTimeoutsAndClose:
+    def test_idle_timeout_closes(self, pair):
+        loop, client, server = pair
+        echo_listener(server, nagle=False, idle_timeout=1.0)
+        closed = []
+        conn = client.connect("10.1.0.1", "10.1.0.2", 53,
+                              TcpOptions(nagle=False))
+        conn.on_connected = lambda cn: cn.send(b"q")
+        conn.on_close = lambda cn: (closed.append(loop.now), cn.close())
+        loop.run(max_time=30)
+        assert closed and 1.0 <= closed[0] <= 2.0
+        assert server.idle_closes == 1
+
+    def test_activity_defers_idle_timeout(self, pair):
+        loop, client, server = pair
+        echo_listener(server, nagle=False, idle_timeout=1.0)
+        closed = []
+        conn = client.connect("10.1.0.1", "10.1.0.2", 53,
+                              TcpOptions(nagle=False))
+        conn.on_close = lambda cn: (closed.append(loop.now), cn.close())
+        for i in range(5):
+            loop.call_at(0.2 + 0.8 * i, conn.send, b"keepalive")
+        loop.run(max_time=30)
+        # Last activity ~3.4s; close fires >= 4.4s.
+        assert closed and closed[0] >= 4.3
+
+    def test_server_holds_time_wait_then_expires(self, pair):
+        loop, client, server = pair
+        echo_listener(server, nagle=False, idle_timeout=1.0)
+        conn = client.connect("10.1.0.1", "10.1.0.2", 53,
+                              TcpOptions(nagle=False))
+        conn.on_connected = lambda cn: cn.send(b"q")
+        conn.on_close = lambda cn: cn.close()
+        loop.run(max_time=10)
+        assert server.time_wait_count() == 1
+        assert client.count_by_state() == {}
+        loop.run(max_time=100)  # TIME_WAIT (60 s) expires
+        assert server.time_wait_count() == 0
+        assert server.count_by_state() == {}
+
+    def test_client_active_close(self, pair):
+        loop, client, server = pair
+        echo_listener(server, nagle=False)
+        conn = client.connect("10.1.0.1", "10.1.0.2", 53,
+                              TcpOptions(nagle=False, time_wait_duration=5.0))
+        conn.on_connected = lambda cn: cn.send(b"q")
+        conn.on_data = lambda cn, d: cn.close()
+        loop.run(max_time=4)
+        # Client closed actively: client in TIME_WAIT, not the server.
+        assert client.time_wait_count() == 1
+        assert server.time_wait_count() == 0
+        loop.run(max_time=60)
+        assert client.count_by_state() == {}
+
+    def test_close_flushes_pending_data_first(self, pair):
+        loop, client, server = pair
+        got = []
+
+        def on_accept(conn):
+            conn.on_data = lambda cn, d: got.append(bytes(d))
+        server.listen("10.1.0.2", 53, on_accept, TcpOptions(nagle=False))
+        conn = client.connect("10.1.0.1", "10.1.0.2", 53,
+                              TcpOptions(nagle=True))
+        conn.on_connected = lambda cn: (cn.send(b"a"), cn.send(b"b"),
+                                        cn.close())
+        loop.run(max_time=10)
+        assert b"".join(got) == b"ab"
+
+
+class TestAccounting:
+    def test_buffer_memory_scales_with_connections(self, pair):
+        loop, client, server = pair
+        echo_listener(server, nagle=False)
+        for i in range(5):
+            conn = client.connect("10.1.0.1", "10.1.0.2", 53,
+                                  TcpOptions(nagle=False))
+            conn.on_connected = lambda cn: cn.send(b"q")
+        loop.run(max_time=3)
+        assert server.established_count() == 5
+        per_conn = server.buffer_memory_bytes() / 5
+        assert per_conn > 100_000  # ~216 KB calibration
+
+    def test_history_counter(self, pair):
+        loop, client, server = pair
+        echo_listener(server, nagle=False)
+        for _ in range(3):
+            client.connect("10.1.0.1", "10.1.0.2", 53).send(b"x")
+        loop.run(max_time=3)
+        assert server.history_established == 3

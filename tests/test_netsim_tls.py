@@ -1,0 +1,162 @@
+"""Tests for the simulated TLS layer."""
+
+import pytest
+
+from repro.netsim import (EventLoop, Network, SessionCache, TcpOptions,
+                          TcpStack, TlsEndpoint, TlsState)
+from repro.netsim.tls import APPDATA_OVERHEAD, RECORD_HEADER_SIZE
+
+RTT = 0.100
+
+
+@pytest.fixture
+def pair():
+    loop = EventLoop()
+    network = Network(loop)
+    client_host = network.add_host("client", "10.2.0.1")
+    server_host = network.add_host("server", "10.2.0.2")
+    network.latency.set_rtt("client", "server", RTT)
+    return loop, TcpStack(client_host), TcpStack(server_host)
+
+
+def tls_echo(server, session_cache=None, crypto_hook=None, raw=False):
+    endpoints = []
+
+    def on_accept(conn):
+        ep = TlsEndpoint(conn, "server", crypto_hook=crypto_hook)
+        if raw:
+            ep.on_data = lambda e, d: e.send(d)
+        else:
+            ep.on_data = lambda e, d: e.send(b"tls:" + d)
+        conn.on_close = lambda cn: cn.close()
+        endpoints.append(ep)
+
+    server.listen("10.2.0.2", 853, on_accept, TcpOptions(nagle=False))
+    return endpoints
+
+
+def tls_connect(loop, client, session_cache=None, crypto_hook=None):
+    conn = client.connect("10.2.0.1", "10.2.0.2", 853,
+                          TcpOptions(nagle=False))
+    return TlsEndpoint(conn, "client", session_cache=session_cache,
+                       crypto_hook=crypto_hook)
+
+
+class TestHandshake:
+    def test_full_handshake_three_rtt(self, pair):
+        loop, client, server = pair
+        tls_echo(server)
+        endpoint = tls_connect(loop, client)
+        established = []
+        endpoint.on_established = lambda ep: established.append(loop.now)
+        loop.run(max_time=5)
+        assert established and abs(established[0] - 3 * RTT) < 5e-3
+
+    def test_fresh_query_four_rtt(self, pair):
+        loop, client, server = pair
+        tls_echo(server)
+        endpoint = tls_connect(loop, client)
+        endpoint.send(b"q")
+        answers = []
+        endpoint.on_data = lambda ep, d: answers.append((loop.now, d))
+        loop.run(max_time=5)
+        assert answers and answers[0][1] == b"tls:q"
+        assert abs(answers[0][0] - 4 * RTT) < 5e-3
+
+    def test_handshake_bytes_accounted(self, pair):
+        loop, client, server = pair
+        servers = tls_echo(server)
+        endpoint = tls_connect(loop, client)
+        loop.run(max_time=5)
+        assert endpoint.handshake_bytes > 500
+        assert servers[0].handshake_bytes > 1000  # cert-bearing flight
+
+    def test_resumption_shortens_handshake(self, pair):
+        loop, client, server = pair
+        tls_echo(server)
+        cache = SessionCache()
+        first = tls_connect(loop, client, session_cache=cache)
+        first.send(b"a")
+        done = []
+        first.on_data = lambda ep, d: (done.append(loop.now), ep.close())
+        loop.run(max_time=5)
+        assert len(cache) == 1
+        start = loop.now
+        second = tls_connect(loop, client, session_cache=cache)
+        second.send(b"b")
+        answers = []
+        second.on_data = lambda ep, d: answers.append(loop.now - start)
+        loop.run(max_time=20)
+        assert second.resumed
+        assert answers and answers[0] < 3.5 * RTT  # 3 RTT abbreviated
+
+
+class TestRecords:
+    def test_appdata_roundtrip_exact(self, pair):
+        loop, client, server = pair
+        tls_echo(server)
+        endpoint = tls_connect(loop, client)
+        payload = bytes(range(200))
+        endpoint.send(payload)
+        got = []
+        endpoint.on_data = lambda ep, d: got.append(d)
+        loop.run(max_time=5)
+        assert got == [b"tls:" + payload]
+
+    def test_record_overhead_on_wire(self, pair):
+        loop, client, server = pair
+        tls_echo(server)
+        endpoint = tls_connect(loop, client)
+        loop.run(max_time=5)
+        before = endpoint.tcp.bytes_sent
+        endpoint.send(b"x" * 100)
+        loop.run(max_time=10)
+        sent = endpoint.tcp.bytes_sent - before
+        assert sent == RECORD_HEADER_SIZE + 100 + APPDATA_OVERHEAD
+
+    def test_large_appdata_split_into_records(self, pair):
+        loop, client, server = pair
+        tls_echo(server, raw=True)
+        endpoint = tls_connect(loop, client)
+        payload = b"z" * 40000  # > 2 records of 16 KiB
+        endpoint.send(payload)
+        received = bytearray()
+        endpoint.on_data = lambda ep, d: received.extend(d)
+        loop.run(max_time=20)
+        assert bytes(received) == payload
+
+    def test_queued_before_established(self, pair):
+        loop, client, server = pair
+        tls_echo(server)
+        endpoint = tls_connect(loop, client)
+        endpoint.send(b"queued")
+        assert endpoint.state != TlsState.ESTABLISHED
+        got = []
+        endpoint.on_data = lambda ep, d: got.append(d)
+        loop.run(max_time=5)
+        assert got == [b"tls:queued"]
+
+
+class TestCryptoHooks:
+    def test_server_charged_for_private_key_op(self, pair):
+        loop, client, server = pair
+        charges = []
+        tls_echo(server, crypto_hook=lambda kind, size:
+                 charges.append((kind, size)))
+        endpoint = tls_connect(loop, client)
+        endpoint.send(b"q")
+        loop.run(max_time=5)
+        kinds = [kind for kind, _size in charges]
+        assert "handshake_private_key" in kinds
+        assert "record_decrypt" in kinds and "record_encrypt" in kinds
+
+    def test_close_propagates(self, pair):
+        loop, client, server = pair
+        tls_echo(server)
+        endpoint = tls_connect(loop, client)
+        closed = []
+        endpoint.on_close = lambda ep: closed.append(True)
+        loop.run(max_time=2)
+        endpoint.close()
+        loop.run(max_time=10)
+        assert endpoint.state == TlsState.CLOSED

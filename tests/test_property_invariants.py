@@ -1,0 +1,128 @@
+"""Property-based tests on cross-module invariants."""
+
+import struct
+
+from hypothesis import given, settings, strategies as st
+
+from repro.dns import Name, RRClass, RRType, Zone, AnswerKind, make_soa
+from repro.dns import rdata as rd
+from repro.dns.rrset import RR
+from repro.netsim import EventLoop, Network, TcpOptions, TcpStack
+from repro.trace.pcap import _TcpStreamAssembler
+
+# ---------------------------------------------------------------------------
+# TCP: any payload, any MSS -> exact in-order delivery.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=25, deadline=None)
+@given(payloads=st.lists(st.binary(min_size=1, max_size=4000),
+                         min_size=1, max_size=5),
+       mss=st.integers(min_value=64, max_value=2000))
+def test_tcp_delivers_any_payload_sequence_exactly(payloads, mss):
+    loop = EventLoop()
+    network = Network(loop)
+    client_host = network.add_host("c", "10.50.0.1")
+    server_host = network.add_host("s", "10.50.0.2")
+    client = TcpStack(client_host)
+    server = TcpStack(server_host)
+
+    received = bytearray()
+
+    def on_accept(conn):
+        conn.on_data = lambda _cn, data: received.extend(data)
+
+    server.listen("10.50.0.2", 53, on_accept,
+                  TcpOptions(nagle=False, mss=mss))
+    conn = client.connect("10.50.0.1", "10.50.0.2", 53,
+                          TcpOptions(nagle=False, mss=mss))
+
+    def send_all(cn):
+        for payload in payloads:
+            cn.send(payload)
+
+    conn.on_connected = send_all
+    loop.run(max_time=60)
+    assert bytes(received) == b"".join(payloads)
+
+
+# ---------------------------------------------------------------------------
+# pcap reassembly: any chunking of a framed stream yields the messages.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=50, deadline=None)
+@given(messages=st.lists(st.binary(min_size=1, max_size=200),
+                         min_size=1, max_size=6),
+       chunk=st.integers(min_value=1, max_value=64))
+def test_assembler_invariant_under_chunking(messages, chunk):
+    stream = b"".join(struct.pack("!H", len(m)) + m for m in messages)
+    assembler = _TcpStreamAssembler()
+    out = []
+    for start in range(0, len(stream), chunk):
+        assembler.add(1000 + start, stream[start : start + chunk])
+        out.extend(assembler.drain_messages())
+    assert out == messages
+
+
+# ---------------------------------------------------------------------------
+# Zone lookups: classification is total and consistent.
+# ---------------------------------------------------------------------------
+
+LABEL = st.text(alphabet="abcdxyz", min_size=1, max_size=6)
+
+
+@st.composite
+def zone_and_query(draw):
+    origin = Name.from_text("prop.example.")
+    zone = Zone(origin)
+    zone.add_rr(make_soa(origin))
+    zone.add_rr(RR(origin, 300, RRClass.IN,
+                   rd.NS(Name.from_text("ns.prop.example."))))
+    zone.add_rr(RR(Name.from_text("ns.prop.example."), 300, RRClass.IN,
+                   rd.A("192.0.2.1")))
+    hosts = draw(st.lists(LABEL, min_size=0, max_size=6, unique=True))
+    for label in hosts:
+        zone.add_rr(RR(Name((label.encode(),) + origin.labels), 300,
+                       RRClass.IN, rd.A("192.0.2.2")))
+    qlabel = draw(LABEL)
+    return zone, hosts, qlabel
+
+
+@settings(max_examples=100, deadline=None)
+@given(zone_and_query())
+def test_zone_lookup_classification_consistent(case):
+    zone, hosts, qlabel = case
+    qname = Name((qlabel.encode(),) + zone.origin.labels)
+    result = zone.lookup(qname, RRType.A)
+    if qlabel in hosts or qlabel == "ns":
+        assert result.kind == AnswerKind.ANSWER
+        assert result.rrsets[0].name == qname
+    else:
+        assert result.kind == AnswerKind.NXDOMAIN
+    # A covering name always exists for in-zone queries.
+    covering = zone.covering_name(qname)
+    assert covering is not None
+    # AAAA at an existing name is NODATA, never NXDOMAIN.
+    if qlabel in hosts:
+        assert zone.lookup(qname, RRType.AAAA).kind == AnswerKind.NODATA
+
+
+# ---------------------------------------------------------------------------
+# Canonical DNS ordering is a total order consistent with subdomain-ness.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(st.lists(LABEL, min_size=0, max_size=3), min_size=2,
+                max_size=8))
+def test_canonical_order_sorts_parents_before_children(names_labels):
+    names = [Name([l.encode() for l in labels])
+             for labels in names_labels]
+    ordered = sorted(names)
+    for index, name in enumerate(ordered):
+        parent_positions = [ordered.index(other) for other in ordered
+                            if other != name
+                            and name.is_subdomain_of(other)]
+        # RFC 4034 canonical order sorts every ancestor before the child.
+        assert all(pos < index for pos in parent_positions)

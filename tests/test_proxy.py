@@ -1,0 +1,168 @@
+"""Tests for the address-rewriting proxies (Figure 2 machinery)."""
+
+import pytest
+
+from repro.dns import DNS_PORT, Message, Name, RRType, Rcode, read_zone
+from repro.netsim import (EventLoop, FilterRule, Network, UdpSegment,
+                          make_udp_packet)
+from repro.proxy import (AddressRewritingProxy, install_authoritative_proxy,
+                         install_recursive_proxy)
+from repro.server import AuthoritativeServer, HostedDnsServer, View, ZoneSet
+
+
+class TestRewriteRules:
+    def setup_method(self):
+        self.loop = EventLoop()
+        self.network = Network(self.loop)
+        self.host = self.network.add_host("proxy-host", "10.6.0.1")
+        self.target = self.network.add_host("target", "10.6.0.2")
+
+    def test_source_becomes_old_destination(self):
+        tun = self.host.create_tun()
+        proxy = AddressRewritingProxy(tun, "10.6.0.2",
+                                      processing_delay=0.0)
+        seen = []
+        self.target.bind_udp("10.6.0.2", 53,
+                             lambda s, d, a, p: seen.append((a, p)))
+        packet = make_udp_packet("10.6.0.1", 40000, "198.41.0.4", 53, b"q")
+        tun.push(packet)
+        self.loop.run(max_time=1)
+        # The OQDA (198.41.0.4) became the source address.
+        assert seen == [("198.41.0.4", 40000)]
+        assert proxy.stats.packets_rewritten == 1
+        assert proxy.stats.rewrites_by_oqda == {"198.41.0.4": 1}
+
+    def test_checksum_recomputed(self):
+        tun = self.host.create_tun()
+        AddressRewritingProxy(tun, "10.6.0.2", processing_delay=0.0)
+        got = []
+        self.target.bind_udp("10.6.0.2", 53, lambda s, d, a, p: got.append(d))
+        tun.push(make_udp_packet("10.6.0.1", 40000, "198.41.0.4", 53, b"ok"))
+        self.loop.run(max_time=1)
+        assert got == [b"ok"]
+        assert self.target.counters.checksum_drops == 0
+
+    def test_broken_proxy_without_recompute_is_dropped(self):
+        # §2.4: "after recalculating the checksum" — skip it and the
+        # receiving host discards the packet.
+        tun = self.host.create_tun()
+        AddressRewritingProxy(tun, "10.6.0.2", processing_delay=0.0,
+                              recompute_checksum=False)
+        got = []
+        self.target.bind_udp("10.6.0.2", 53, lambda s, d, a, p: got.append(d))
+        tun.push(make_udp_packet("10.6.0.1", 40000, "198.41.0.4", 53, b"x"))
+        self.loop.run(max_time=1)
+        assert got == []
+        assert self.target.counters.checksum_drops == 1
+
+    def test_processing_delay_applied(self):
+        tun = self.host.create_tun()
+        AddressRewritingProxy(tun, "10.6.0.2", processing_delay=0.010)
+        times = []
+        self.target.bind_udp("10.6.0.2", 53,
+                             lambda s, d, a, p: times.append(self.loop.now))
+        tun.push(make_udp_packet("10.6.0.1", 1, "9.9.9.9", 53, b"z"))
+        self.loop.run(max_time=1)
+        assert times and times[0] >= 0.010
+
+
+class TestInstallers:
+    def test_recursive_proxy_rules(self):
+        loop = EventLoop()
+        network = Network(loop)
+        host = network.add_host("rec", "10.7.0.1")
+        proxy = install_recursive_proxy(host, "10.7.0.2")
+        # dport-53 UDP and TCP rules on the output chain.
+        sock = host.bind_udp("10.7.0.1", 0)
+        sock.sendto(b"query", "203.0.113.1", 53)
+        sock.sendto(b"not-dns", "203.0.113.1", 80)
+        loop.run(max_time=1)
+        assert proxy.tun.packets_diverted == 1
+
+    def test_authoritative_proxy_rules(self):
+        loop = EventLoop()
+        network = Network(loop)
+        host = network.add_host("auth", "10.7.0.3")
+        proxy = install_authoritative_proxy(host, "10.7.0.1")
+        sock = host.bind_udp("10.7.0.3", 53)
+        sock.sendto(b"response", "203.0.113.1", 40000)
+        loop.run(max_time=1)
+        assert proxy.tun.packets_diverted == 1
+
+
+class TestFigure2EndToEnd:
+    """The complete Figure 2 flow with a hand-rolled resolver side."""
+
+    def test_query_and_reply_traverse_both_proxies(self):
+        loop = EventLoop()
+        network = Network(loop)
+        rec_host = network.add_host("recursive", "172.16.9.1")
+        meta_host = network.add_host("meta", "172.16.9.2")
+
+        root = read_zone("""
+$ORIGIN .
+@ 3600 IN SOA a.root-servers.net. n. 1 2 3 4 5
+@ 3600 IN NS a.root-servers.net.
+a.root-servers.net. 3600 IN A 198.41.0.4
+com. 172800 IN NS a.gtld-servers.net.
+a.gtld-servers.net. 172800 IN A 192.5.6.30
+""", origin=Name.from_text("."))
+        engine = AuthoritativeServer([
+            View("root", ZoneSet([root]), match_clients=("198.41.0.4",)),
+        ])
+        HostedDnsServer(meta_host, engine)
+
+        recursive_proxy = install_recursive_proxy(rec_host, "172.16.9.2",
+                                                  processing_delay=0.0)
+        authoritative_proxy = install_authoritative_proxy(
+            meta_host, "172.16.9.1", processing_delay=0.0)
+
+        replies = []
+        sock = rec_host.bind_udp(
+            "172.16.9.1", 0,
+            lambda s, d, a, p: replies.append((a, Message.from_wire(d))))
+        # The "resolver" queries the root's PUBLIC address...
+        query = Message.make_query(Name.from_text("www.example.com."),
+                                   RRType.A, msg_id=3,
+                                   recursion_desired=False)
+        sock.sendto(query.to_wire(), "198.41.0.4", DNS_PORT)
+        loop.run(max_time=2)
+
+        # ...and receives a referral that APPEARS to come from it.
+        assert replies, "no reply traversed the proxy pair"
+        source, message = replies[0]
+        assert source == "198.41.0.4"
+        assert message.msg_id == 3
+        ns_targets = [rr.rdata.target for rr in message.authority
+                      if rr.rrtype == RRType.NS]
+        assert Name.from_text("a.gtld-servers.net.") in ns_targets
+        assert recursive_proxy.stats.packets_rewritten == 1
+        assert authoritative_proxy.stats.packets_rewritten == 1
+
+    def test_wrong_view_refused_through_proxies(self):
+        loop = EventLoop()
+        network = Network(loop)
+        rec_host = network.add_host("recursive", "172.16.9.1")
+        meta_host = network.add_host("meta", "172.16.9.2")
+        root = read_zone("""
+$ORIGIN .
+@ 3600 IN SOA a.root-servers.net. n. 1 2 3 4 5
+@ 3600 IN NS a.root-servers.net.
+a.root-servers.net. 3600 IN A 198.41.0.4
+""", origin=Name.from_text("."))
+        engine = AuthoritativeServer([
+            View("root", ZoneSet([root]), match_clients=("198.41.0.4",)),
+        ])
+        HostedDnsServer(meta_host, engine)
+        install_recursive_proxy(rec_host, "172.16.9.2", processing_delay=0.0)
+        install_authoritative_proxy(meta_host, "172.16.9.1",
+                                    processing_delay=0.0)
+        replies = []
+        sock = rec_host.bind_udp(
+            "172.16.9.1", 0,
+            lambda s, d, a, p: replies.append(Message.from_wire(d)))
+        query = Message.make_query(Name.from_text("x."), RRType.A, msg_id=9)
+        # Addressed to an IP no view matches:
+        sock.sendto(query.to_wire(), "203.0.113.77", DNS_PORT)
+        loop.run(max_time=2)
+        assert replies and replies[0].rcode == Rcode.REFUSED

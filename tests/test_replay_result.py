@@ -1,0 +1,117 @@
+"""Tests for ReplayResult analysis and the wire reader/writer edges."""
+
+import pytest
+
+from repro.replay import ReplayResult, SentQuery
+from repro.dns.wire import WireError, WireReader, WireWriter
+
+
+def query(index, source, trace_time, sent_at, answered_at=None,
+          protocol="udp", fresh=False):
+    return SentQuery(index=index, source=source, trace_time=trace_time,
+                     scheduled_at=trace_time, sent_at=sent_at,
+                     protocol=protocol, qname="q.example.com.",
+                     answered_at=answered_at, fresh_connection=fresh)
+
+
+class TestReplayResult:
+    def make_result(self):
+        result = ReplayResult()
+        result.start_clock = 100.0
+        result.trace_start = 0.0
+        result.add(query(0, "10.0.0.1", 0.0, 100.0, answered_at=100.01))
+        result.add(query(1, "10.0.0.2", 1.0, 101.002,
+                         answered_at=101.05, protocol="tcp", fresh=True))
+        result.add(query(2, "10.0.0.1", 2.0, 101.999, protocol="tcp"))
+        result.add(query(3, "10.0.0.2", 3.0, 103.0, answered_at=103.2,
+                         protocol="tls", fresh=False))
+        return result
+
+    def test_send_time_errors(self):
+        result = self.make_result()
+        errors = result.send_time_errors()
+        assert errors[0] == pytest.approx(0.0)
+        assert errors[1] == pytest.approx(0.002)
+        assert errors[2] == pytest.approx(-0.001)
+
+    def test_skip_seconds(self):
+        result = self.make_result()
+        errors = result.send_time_errors(skip_seconds=1.5)
+        assert len(errors) == 2  # trace times 2.0 and 3.0 survive
+
+    def test_latency_properties(self):
+        result = self.make_result()
+        latencies = result.latencies()
+        assert len(latencies) == 3  # one query unanswered
+        assert result.sent[2].latency is None
+        assert result.answered_fraction() == pytest.approx(0.75)
+
+    def test_latency_filter_by_source(self):
+        result = self.make_result()
+        only = result.latencies(sources={"10.0.0.2"})
+        assert len(only) == 2
+
+    def test_reuse_fraction_counts_stream_only(self):
+        result = self.make_result()
+        # stream queries: tcp fresh, tcp (non-fresh), tls (non-fresh)
+        assert result.reuse_fraction() == pytest.approx(2 / 3)
+
+    def test_interarrivals_sorted(self):
+        result = self.make_result()
+        gaps = result.interarrivals()
+        assert len(gaps) == 3
+        assert all(g >= 0 for g in gaps)
+
+    def test_per_second_rates(self):
+        result = self.make_result()
+        rates = dict(result.per_second_rates())
+        assert rates[0] == 1
+        assert rates[1] == 2  # 101.002 and 101.999
+
+    def test_empty_result(self):
+        result = ReplayResult()
+        assert result.send_time_errors() == []
+        assert result.answered_fraction() == 0.0
+        assert result.reuse_fraction() == 0.0
+        assert result.error_summary() == {}
+        assert len(result) == 0
+
+
+class TestWireReaderWriter:
+    def test_patch_u16(self):
+        writer = WireWriter(compress=False)
+        writer.write_u16(0)
+        writer.write_bytes(b"abc")
+        writer.patch_u16(0, 3)
+        assert writer.getvalue() == b"\x00\x03abc"
+
+    def test_reader_bounds(self):
+        reader = WireReader(b"\x01\x02")
+        assert reader.read_u16() == 0x0102
+        with pytest.raises(WireError):
+            reader.read_u8()
+
+    def test_seek_bounds(self):
+        reader = WireReader(b"abcd")
+        reader.seek(2)
+        assert reader.read_bytes(2) == b"cd"
+        with pytest.raises(WireError):
+            reader.seek(5)
+        with pytest.raises(WireError):
+            reader.seek(-1)
+
+    def test_remaining(self):
+        reader = WireReader(b"abcd")
+        reader.read_u8()
+        assert reader.remaining() == 3
+
+    def test_u32_roundtrip(self):
+        writer = WireWriter(compress=False)
+        writer.write_u32(0xDEADBEEF)
+        assert WireReader(writer.getvalue()).read_u32() == 0xDEADBEEF
+
+    def test_tell_tracks_position(self):
+        writer = WireWriter(compress=False)
+        assert writer.tell() == 0
+        writer.write_bytes(b"12345")
+        assert writer.tell() == 5

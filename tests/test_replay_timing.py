@@ -1,0 +1,80 @@
+"""Tests for replay timing: the Δt̄ − Δt discipline and the jitter model."""
+
+import pytest
+
+from repro.replay import TimerJitterModel, TimingController
+from repro.trace import quartile_summary
+
+
+class TestTimingController:
+    def test_delay_is_trace_minus_clock(self):
+        timing = TimingController()
+        timing.synchronize(trace_time=100.0, clock_time=5.0)
+        # 2 s into the trace, 0.5 s of clock already burned -> wait 1.5 s.
+        assert timing.send_delay(102.0, 5.5) == pytest.approx(1.5)
+
+    def test_negative_delay_clamped(self):
+        # §2.6: "if the input processing falls behind (ΔT <= 0) LDplayer
+        # sends the query immediately".
+        timing = TimingController()
+        timing.synchronize(100.0, 5.0)
+        assert timing.send_delay(100.1, 6.0) == 0.0
+
+    def test_target_clock_time(self):
+        timing = TimingController()
+        timing.synchronize(100.0, 5.0)
+        assert timing.target_clock_time(107.0) == pytest.approx(12.0)
+
+    def test_unsynchronized_raises(self):
+        timing = TimingController()
+        assert not timing.synchronized
+        with pytest.raises(RuntimeError):
+            timing.send_delay(1.0, 1.0)
+
+
+class TestJitterModel:
+    def test_deterministic_per_seed(self):
+        a = TimerJitterModel(0.01, seed=5)
+        b = TimerJitterModel(0.01, seed=5)
+        assert [a.draw() for _ in range(100)] == \
+            [b.draw() for _ in range(100)]
+
+    def test_seed_changes_sequence(self):
+        a = TimerJitterModel(0.01, seed=5)
+        b = TimerJitterModel(0.01, seed=6)
+        assert [a.draw() for _ in range(50)] != \
+            [b.draw() for _ in range(50)]
+
+    def test_clamped_to_paper_extremes(self):
+        model = TimerJitterModel(0.1, seed=1)
+        values = [model.draw() for _ in range(5000)]
+        assert all(abs(v) <= 0.017 + 1e-12 for v in values)
+
+    def test_stationary_quartiles_near_calibration(self):
+        # The 0.1 s interarrival anomaly: quartiles near ±8 ms (Fig 6).
+        model = TimerJitterModel(0.1, seed=3)
+        values = [model.draw() for _ in range(20000)]
+        summary = quartile_summary(values)
+        assert 0.004 < summary["p75"] < 0.014
+        assert -0.014 < summary["p25"] < -0.004
+
+    def test_small_interval_small_error(self):
+        fast = TimerJitterModel(0.0001, seed=2)
+        slow = TimerJitterModel(0.1, seed=2)
+        fast_spread = quartile_summary([fast.draw() for _ in range(5000)])
+        slow_spread = quartile_summary([slow.draw() for _ in range(5000)])
+        assert fast_spread["p75"] < slow_spread["p75"]
+
+    def test_consecutive_errors_strongly_correlated(self):
+        # Figures 7/8 require correlated timer error (see timing.py).
+        model = TimerJitterModel(0.0001, seed=7)
+        values = [model.draw() for _ in range(10000)]
+        diffs = [b - a for a, b in zip(values, values[1:])]
+        spread = quartile_summary(values)
+        diff_spread = quartile_summary(diffs)
+        assert diff_spread["p75"] < spread["p75"] * 0.5
+
+    def test_mean_near_zero(self):
+        model = TimerJitterModel(None, seed=11)
+        values = [model.draw() for _ in range(20000)]
+        assert abs(sum(values) / len(values)) < 0.002

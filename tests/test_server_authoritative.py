@@ -1,0 +1,243 @@
+"""Tests for the authoritative engine and split-horizon views."""
+
+import pytest
+
+from repro.dns import (Edns, Flag, Message, Name, RRType, Rcode, read_zone,
+                       dnssec)
+from repro.server import AuthoritativeServer, ConfigError, View, ZoneSet
+
+ROOT_TEXT = """
+$ORIGIN .
+@ 3600 IN SOA a.root-servers.net. nstld. 1 1800 900 604800 86400
+@ 3600 IN NS a.root-servers.net.
+a.root-servers.net. 3600 IN A 198.41.0.4
+com. 172800 IN NS a.gtld-servers.net.
+a.gtld-servers.net. 172800 IN A 192.5.6.30
+"""
+
+COM_TEXT = """
+$ORIGIN com.
+@ 3600 IN SOA a.gtld-servers.net. n. 1 1800 900 604800 86400
+@ 3600 IN NS a.gtld-servers.net.
+example.com. 172800 IN NS ns1.example.com.
+ns1.example.com. 172800 IN A 192.0.2.53
+"""
+
+EXAMPLE_TEXT = """
+$ORIGIN example.com.
+@ 3600 IN SOA ns1 h. 1 1800 900 604800 86400
+@ 3600 IN NS ns1
+ns1 IN A 192.0.2.53
+www 300 IN A 192.0.2.80
+alias 300 IN CNAME www
+"""
+
+
+@pytest.fixture
+def zones():
+    return (read_zone(ROOT_TEXT, origin=Name.from_text(".")),
+            read_zone(COM_TEXT, origin=Name.from_text("com.")),
+            read_zone(EXAMPLE_TEXT, origin=Name.from_text("example.com.")))
+
+
+def ask(server, qname, qtype=RRType.A, source="0.0.0.0", dnssec_ok=False,
+        transport="udp"):
+    query = Message.make_query(Name.from_text(qname), qtype, msg_id=1,
+                               edns=Edns(dnssec_ok=True) if dnssec_ok
+                               else None)
+    return server.handle_query(query, source=source, transport=transport)
+
+
+class TestZoneSet:
+    def test_longest_match(self, zones):
+        zone_set = ZoneSet(zones)
+        assert zone_set.find(Name.from_text("www.example.com.")).origin == \
+            Name.from_text("example.com.")
+        assert zone_set.find(Name.from_text("other.com.")).origin == \
+            Name.from_text("com.")
+        assert zone_set.find(Name.from_text("org.")).origin == Name(())
+
+    def test_duplicate_rejected(self, zones):
+        zone_set = ZoneSet([zones[0]])
+        with pytest.raises(ConfigError):
+            zone_set.add(zones[0])
+
+
+class TestBasicAnswers:
+    def test_positive(self, zones):
+        server = AuthoritativeServer.single_view([zones[2]])
+        response = ask(server, "www.example.com.")
+        assert response.rcode == Rcode.NOERROR
+        assert response.flags & Flag.AA
+        assert response.answer[0].rdata.address == "192.0.2.80"
+
+    def test_cname_chased_in_zone(self, zones):
+        server = AuthoritativeServer.single_view([zones[2]])
+        response = ask(server, "alias.example.com.")
+        types = [rr.rrtype for rr in response.answer]
+        assert RRType.CNAME in types and RRType.A in types
+
+    def test_nxdomain_carries_soa(self, zones):
+        server = AuthoritativeServer.single_view([zones[2]])
+        response = ask(server, "missing.example.com.")
+        assert response.rcode == Rcode.NXDOMAIN
+        assert any(rr.rrtype == RRType.SOA for rr in response.authority)
+
+    def test_nodata_carries_soa(self, zones):
+        server = AuthoritativeServer.single_view([zones[2]])
+        response = ask(server, "www.example.com.", RRType.AAAA)
+        assert response.rcode == Rcode.NOERROR
+        assert not response.answer
+        assert any(rr.rrtype == RRType.SOA for rr in response.authority)
+
+    def test_refused_outside_zones(self, zones):
+        server = AuthoritativeServer.single_view([zones[2]])
+        response = ask(server, "elsewhere.org.")
+        assert response.rcode == Rcode.REFUSED
+
+    def test_ns_answer_includes_glue(self, zones):
+        server = AuthoritativeServer.single_view([zones[2]])
+        response = ask(server, "example.com.", RRType.NS)
+        assert any(rr.rrtype == RRType.A for rr in response.additional)
+
+
+class TestReferrals:
+    def test_referral_from_root(self, zones):
+        server = AuthoritativeServer.single_view([zones[0]])
+        response = ask(server, "www.example.com.")
+        assert response.rcode == Rcode.NOERROR
+        assert not response.answer
+        assert not response.flags & Flag.AA
+        ns_names = [rr.rdata.target for rr in response.authority
+                    if rr.rrtype == RRType.NS]
+        assert Name.from_text("a.gtld-servers.net.") in ns_names
+        glue = [rr for rr in response.additional if rr.rrtype == RRType.A]
+        assert glue and glue[0].rdata.address == "192.5.6.30"
+
+    def test_single_server_many_zones_gives_final_answer(self, zones):
+        # The §2.4 motivation: all zones in ONE view short-circuits the
+        # hierarchy and returns the final answer directly.
+        server = AuthoritativeServer.single_view(zones)
+        response = ask(server, "www.example.com.")
+        assert response.answer  # no referral round trips
+
+
+class TestSplitHorizon:
+    def make_meta(self, zones):
+        return AuthoritativeServer([
+            View("root-view", ZoneSet([zones[0]]),
+                 match_clients=("198.41.0.4",)),
+            View("com-view", ZoneSet([zones[1]]),
+                 match_clients=("192.5.6.30",)),
+            View("example-view", ZoneSet([zones[2]]),
+                 match_clients=("192.0.2.53",)),
+        ])
+
+    def test_same_query_different_views(self, zones):
+        server = self.make_meta(zones)
+        from_root = ask(server, "www.example.com.", source="198.41.0.4")
+        from_com = ask(server, "www.example.com.", source="192.5.6.30")
+        from_child = ask(server, "www.example.com.", source="192.0.2.53")
+        # Root and com views refer; the child view answers.
+        assert not from_root.answer and from_root.authority
+        assert not from_com.answer and from_com.authority
+        assert from_child.answer
+        root_ns = {rr.rdata.target for rr in from_root.authority
+                   if rr.rrtype == RRType.NS}
+        com_ns = {rr.rdata.target for rr in from_com.authority
+                  if rr.rrtype == RRType.NS}
+        assert root_ns != com_ns  # different levels, different referrals
+
+    def test_unmatched_source_refused(self, zones):
+        server = self.make_meta(zones)
+        response = ask(server, "www.example.com.", source="203.0.113.1")
+        assert response.rcode == Rcode.REFUSED
+
+    def test_catch_all_view(self, zones):
+        server = AuthoritativeServer([
+            View("specific", ZoneSet([zones[0]]),
+                 match_clients=("198.41.0.4",)),
+            View("any", ZoneSet([zones[2]])),
+        ])
+        response = ask(server, "www.example.com.", source="10.9.9.9")
+        assert response.answer
+
+
+class TestDnssecAnswers:
+    def test_do_bit_adds_rrsigs(self, zones):
+        signed = dnssec.sign_zone(zones[2])
+        server = AuthoritativeServer.single_view([signed])
+        plain = ask(server, "www.example.com.")
+        with_do = ask(server, "www.example.com.", dnssec_ok=True)
+        assert not any(rr.rrtype == RRType.RRSIG for rr in plain.answer)
+        assert any(rr.rrtype == RRType.RRSIG for rr in with_do.answer)
+
+    def test_nxdomain_denial_has_nsec(self, zones):
+        signed = dnssec.sign_zone(zones[2])
+        server = AuthoritativeServer.single_view([signed])
+        response = ask(server, "zzz.example.com.", dnssec_ok=True)
+        assert any(rr.rrtype == RRType.NSEC for rr in response.authority)
+        assert any(rr.rrtype == RRType.RRSIG for rr in response.authority)
+
+    def test_do_responses_larger(self, zones):
+        signed = dnssec.sign_zone(zones[2],
+                                  dnssec.SigningConfig(zsk_bits=2048))
+        server = AuthoritativeServer.single_view([signed])
+        plain = ask(server, "www.example.com.").to_wire()
+        with_do = ask(server, "www.example.com.", dnssec_ok=True).to_wire()
+        assert len(with_do) > len(plain) + 200  # the 256-byte signature
+
+    def test_key_size_changes_response_size(self, zones):
+        small = dnssec.sign_zone(zones[2],
+                                 dnssec.SigningConfig(zsk_bits=1024))
+        large = dnssec.sign_zone(zones[2],
+                                 dnssec.SigningConfig(zsk_bits=2048))
+        response_small = ask(AuthoritativeServer.single_view([small]),
+                             "www.example.com.", dnssec_ok=True).to_wire()
+        response_large = ask(AuthoritativeServer.single_view([large]),
+                             "www.example.com.", dnssec_ok=True).to_wire()
+        assert len(response_large) - len(response_small) == 128
+
+
+class TestTruncation:
+    def test_udp_truncates_without_edns(self, zones):
+        signed = dnssec.sign_zone(zones[2])
+        server = AuthoritativeServer.single_view([signed])
+        query = Message.make_query(Name.from_text("example.com."),
+                                   RRType.ANY, msg_id=5)
+        response = server.handle_query(query, transport="udp")
+        wire = server.encode_response(query, response, "udp")
+        assert len(wire) <= 512
+        decoded = Message.from_wire(wire)
+        assert decoded.flags & Flag.TC
+        assert server.stats.truncated == 1
+
+    def test_tcp_never_truncates(self, zones):
+        signed = dnssec.sign_zone(zones[2])
+        server = AuthoritativeServer.single_view([signed])
+        query = Message.make_query(Name.from_text("example.com."),
+                                   RRType.ANY, msg_id=5)
+        response = server.handle_query(query, transport="tcp")
+        wire = server.encode_response(query, response, "tcp")
+        assert not Message.from_wire(wire).flags & Flag.TC
+
+    def test_edns_payload_respected(self, zones):
+        signed = dnssec.sign_zone(zones[2])
+        server = AuthoritativeServer.single_view([signed])
+        query = Message.make_query(Name.from_text("example.com."),
+                                   RRType.ANY, msg_id=5,
+                                   edns=Edns(payload_size=4096))
+        response = server.handle_query(query, transport="udp")
+        wire = server.encode_response(query, response, "udp")
+        assert not Message.from_wire(wire).flags & Flag.TC
+
+
+class TestStats:
+    def test_counters(self, zones):
+        server = AuthoritativeServer.single_view(zones)
+        ask(server, "www.example.com.")
+        ask(server, "missing.example.com.", source="1.2.3.4")
+        ask(server, "www.example.com.", transport="tcp")
+        assert server.stats.queries == 3
+        assert server.stats.nxdomain == 1
+        assert server.stats.queries_by_transport == {"udp": 2, "tcp": 1}

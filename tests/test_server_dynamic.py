@@ -1,0 +1,128 @@
+"""Tests for CDN-style dynamic answers (paper future work, §2.3)."""
+
+import pytest
+
+from repro.dns import Edns, Message, Name, RRClass, RRType, Rcode, read_zone
+from repro.server import AuthoritativeServer, CdnPolicy, DynamicOverlay
+
+ZONE = """
+$ORIGIN cdn.example.
+@ 3600 IN SOA ns1 h. 1 1800 900 604800 86400
+@ 3600 IN NS ns1
+ns1 IN A 192.0.2.1
+static IN A 192.0.2.50
+www IN A 192.0.2.99
+"""
+
+POOL = ["203.0.113.1", "203.0.113.2", "203.0.113.3"]
+
+
+def make_server(policy):
+    zone = read_zone(ZONE, origin=Name.from_text("cdn.example."))
+    overlay = DynamicOverlay()
+    overlay.add(Name.from_text("www.cdn.example."), policy)
+    server = AuthoritativeServer.single_view([zone])
+    server.dynamic = overlay
+    return server, overlay
+
+
+def ask(server, qname="www.cdn.example.", source="10.0.0.1"):
+    query = Message.make_query(Name.from_text(qname), RRType.A, msg_id=1)
+    response = server.handle_query(query, source=source)
+    return [rr.rdata.address for rr in response.answer
+            if rr.rrtype == RRType.A]
+
+
+class TestPolicies:
+    def test_round_robin_rotates(self):
+        policy = CdnPolicy(POOL, strategy="round_robin")
+        picks = [policy.pick("10.0.0.1", 0.0) for _ in range(6)]
+        assert picks == POOL + POOL
+
+    def test_source_hash_sticky(self):
+        policy = CdnPolicy(POOL, strategy="source_hash")
+        a = [policy.pick("10.0.0.1", 0.0) for _ in range(5)]
+        assert len(set(a)) == 1
+        others = {policy.pick(f"10.0.9.{i}", 0.0) for i in range(40)}
+        assert len(others) > 1  # different clients steer differently
+
+    def test_time_window_switches(self):
+        policy = CdnPolicy(POOL, strategy="time_window", window=10.0)
+        assert policy.pick("x", 0.0) == policy.pick("x", 9.9)
+        assert policy.pick("x", 0.0) != policy.pick("x", 10.1)
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            CdnPolicy([])
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(ValueError):
+            CdnPolicy(POOL, strategy="geo-dns")
+
+
+class TestServerIntegration:
+    def test_dynamic_name_rotates_per_query(self):
+        server, overlay = make_server(CdnPolicy(POOL))
+        answers = [ask(server)[0] for _ in range(3)]
+        assert answers == POOL
+        assert overlay.answers_synthesized == 3
+
+    def test_static_names_unaffected(self):
+        server, _overlay = make_server(CdnPolicy(POOL))
+        assert ask(server, "static.cdn.example.") == ["192.0.2.50"]
+
+    def test_non_a_queries_fall_through(self):
+        server, _overlay = make_server(CdnPolicy(POOL))
+        query = Message.make_query(Name.from_text("www.cdn.example."),
+                                   RRType.AAAA, msg_id=2)
+        response = server.handle_query(query)
+        assert response.rcode == Rcode.NOERROR
+        assert not response.answer  # NODATA from the static zone
+
+    def test_policy_ttl_used(self):
+        server, _overlay = make_server(CdnPolicy(POOL, ttl=7))
+        query = Message.make_query(Name.from_text("www.cdn.example."),
+                                   RRType.A, msg_id=3)
+        response = server.handle_query(query)
+        assert response.answer[0].ttl == 7
+
+    def test_source_hash_through_server(self):
+        server, _overlay = make_server(CdnPolicy(POOL,
+                                                 strategy="source_hash"))
+        a = {ask(server, source="10.1.1.1")[0] for _ in range(4)}
+        assert len(a) == 1
+
+
+class TestZoneConstructionWithCdn:
+    """§2.3: inconsistent (CDN) replies must still yield one consistent
+    zone snapshot — first answer wins."""
+
+    def test_first_answer_wins_against_rotation(self):
+        from repro.zonegen import ZoneConstructor
+
+        server, _overlay = make_server(CdnPolicy(POOL))
+        constructor = ZoneConstructor()
+        # Tell the constructor who serves cdn.example.
+        from repro.dns import rdata as rd
+        from repro.dns.rrset import RR
+        parent = Message.make_response(Message.make_query(
+            Name.from_text("www.cdn.example."), RRType.A, msg_id=1))
+        parent.authority.append(RR(Name.from_text("cdn.example."), 3600,
+                                   RRClass.IN,
+                                   rd.NS(Name.from_text("ns1.cdn.example."))))
+        parent.additional.append(RR(Name.from_text("ns1.cdn.example."),
+                                    3600, RRClass.IN, rd.A("192.0.2.1")))
+        constructor.add_response("198.41.0.4", parent)
+        # Three fetches hit the rotating CDN: three different answers.
+        for attempt in range(3):
+            query = Message.make_query(Name.from_text("www.cdn.example."),
+                                       RRType.A, msg_id=attempt + 2)
+            constructor.add_response("192.0.2.1",
+                                     server.handle_query(query))
+        library = constructor.build(root_addresses=["198.41.0.4"])
+        zone = library.zones[Name.from_text("cdn.example.")]
+        rrset = zone.get(Name.from_text("www.cdn.example."), RRType.A)
+        # One consistent answer — the first — survives.
+        assert rrset is not None
+        assert [r.address for r in rrset.rdatas] == [POOL[0]]
+        assert library.report.conflicts_dropped == 2

@@ -1,0 +1,275 @@
+"""Tests for the iterative recursive resolver."""
+
+import pytest
+
+from repro.dns import (DNS_PORT, Message, Name, RRType, Rcode, read_zone)
+from repro.netsim import EventLoop, Network
+from repro.server import (AuthoritativeServer, HostedDnsServer,
+                          RecursiveResolver)
+
+ROOT_TEXT = """
+$ORIGIN .
+@ 3600 IN SOA a.root-servers.net. n. 1 1800 900 604800 86400
+@ 3600 IN NS a.root-servers.net.
+a.root-servers.net. 3600 IN A 198.41.0.4
+com. 172800 IN NS a.gtld-servers.net.
+a.gtld-servers.net. 172800 IN A 192.5.6.30
+"""
+
+COM_TEXT = """
+$ORIGIN com.
+@ 3600 IN SOA a.gtld-servers.net. n. 1 1800 900 604800 86400
+@ 3600 IN NS a.gtld-servers.net.
+example.com. 172800 IN NS ns1.example.com.
+ns1.example.com. 172800 IN A 192.0.2.53
+noglue.com. 172800 IN NS ns.example.com.
+"""
+
+EXAMPLE_TEXT = """
+$ORIGIN example.com.
+@ 3600 IN SOA ns1 h. 1 1800 900 604800 86400
+@ 3600 IN NS ns1
+ns1 IN A 192.0.2.53
+ns IN A 192.0.2.54
+www 300 IN A 192.0.2.80
+alias 300 IN CNAME www
+external 300 IN CNAME www.noglue.com.
+"""
+
+NOGLUE_TEXT = """
+$ORIGIN noglue.com.
+@ 3600 IN SOA ns.example.com. h. 1 1800 900 604800 86400
+@ 3600 IN NS ns.example.com.
+www 300 IN A 203.0.113.80
+"""
+
+
+class Deployment:
+    def __init__(self, drop_root=False):
+        self.loop = EventLoop()
+        self.network = Network(self.loop)
+        root = read_zone(ROOT_TEXT, origin=Name.from_text("."))
+        com = read_zone(COM_TEXT, origin=Name.from_text("com."))
+        example = read_zone(EXAMPLE_TEXT,
+                            origin=Name.from_text("example.com."))
+        noglue = read_zone(NOGLUE_TEXT, origin=Name.from_text("noglue.com."))
+        if not drop_root:
+            HostedDnsServer(self.network.add_host("root", "198.41.0.4"),
+                            AuthoritativeServer.single_view([root]))
+        HostedDnsServer(self.network.add_host("com", "192.5.6.30"),
+                        AuthoritativeServer.single_view([com]))
+        # ns.example.com (192.0.2.54) also serves noglue.com.
+        host = self.network.add_host("example", "192.0.2.53")
+        host.add_address("192.0.2.54")
+        engine = AuthoritativeServer.single_view([example, noglue])
+        HostedDnsServer(host, engine)
+        HostedDnsServer(host, engine, address="192.0.2.54")
+
+        rec_host = self.network.add_host("recursive", "10.0.0.53")
+        self.resolver = RecursiveResolver(
+            rec_host,
+            {Name.from_text("a.root-servers.net."): ["198.41.0.4"]},
+            query_timeout=1.0)
+        HostedDnsServer(rec_host, self.resolver)
+
+        self.stub = self.network.add_host("stub", "10.0.0.1")
+        self.answers = []
+        self._sock = self.stub.bind_udp(
+            "10.0.0.1", 0,
+            lambda s, d, a, p: self.answers.append(Message.from_wire(d)))
+
+    def query(self, qname, qtype=RRType.A, msg_id=1):
+        message = Message.make_query(Name.from_text(qname), qtype,
+                                     msg_id=msg_id)
+        self._sock.sendto(message.to_wire(), "10.0.0.53", DNS_PORT)
+
+    def run(self, seconds=30.0):
+        self.loop.run(max_time=self.loop.now + seconds)
+
+
+class TestResolution:
+    def test_walks_hierarchy(self):
+        dep = Deployment()
+        dep.query("www.example.com.")
+        dep.run()
+        assert dep.answers[0].rcode == Rcode.NOERROR
+        addresses = [rr.rdata.address for rr in dep.answers[0].answer
+                     if rr.rrtype == RRType.A]
+        assert addresses == ["192.0.2.80"]
+        # root -> com -> example: exactly three upstream queries.
+        assert dep.resolver.stats.upstream_queries == 3
+
+    def test_cache_answers_second_query(self):
+        dep = Deployment()
+        dep.query("www.example.com.", msg_id=1)
+        dep.run()
+        upstream = dep.resolver.stats.upstream_queries
+        dep.query("www.example.com.", msg_id=2)
+        dep.run()
+        assert len(dep.answers) == 2
+        assert dep.resolver.stats.upstream_queries == upstream
+
+    def test_cached_delegation_shortcuts(self):
+        dep = Deployment()
+        dep.query("www.example.com.", msg_id=1)
+        dep.run()
+        upstream = dep.resolver.stats.upstream_queries
+        dep.query("alias.example.com.", msg_id=2)
+        dep.run()
+        # example.com's NS is cached: only one more upstream query.
+        assert dep.resolver.stats.upstream_queries == upstream + 1
+
+    def test_nxdomain_propagates(self):
+        dep = Deployment()
+        dep.query("missing.example.com.")
+        dep.run()
+        assert dep.answers[0].rcode == Rcode.NXDOMAIN
+
+    def test_negative_cache(self):
+        dep = Deployment()
+        dep.query("missing.example.com.", msg_id=1)
+        dep.run()
+        upstream = dep.resolver.stats.upstream_queries
+        dep.query("missing.example.com.", msg_id=2)
+        dep.run()
+        assert dep.answers[1].rcode == Rcode.NXDOMAIN
+        assert dep.resolver.stats.upstream_queries == upstream
+
+    def test_cname_chase(self):
+        dep = Deployment()
+        dep.query("alias.example.com.")
+        dep.run()
+        answer = dep.answers[0]
+        types = [rr.rrtype for rr in answer.answer]
+        assert RRType.CNAME in types and RRType.A in types
+
+    def test_cross_zone_cname(self):
+        dep = Deployment()
+        dep.query("external.example.com.")
+        dep.run()
+        answer = dep.answers[0]
+        assert answer.rcode == Rcode.NOERROR
+        addresses = [rr.rdata.address for rr in answer.answer
+                     if rr.rrtype == RRType.A]
+        assert "203.0.113.80" in addresses
+
+    def test_glueless_delegation_resolved(self):
+        dep = Deployment()
+        dep.query("www.noglue.com.")
+        dep.run()
+        answer = dep.answers[0]
+        assert answer.rcode == Rcode.NOERROR
+        addresses = [rr.rdata.address for rr in answer.answer
+                     if rr.rrtype == RRType.A]
+        assert "203.0.113.80" in addresses
+
+
+class TestFailureHandling:
+    def test_unreachable_root_servfails(self):
+        dep = Deployment(drop_root=True)
+        dep.query("www.example.com.")
+        dep.run(60.0)
+        assert dep.answers and dep.answers[0].rcode == Rcode.SERVFAIL
+        assert dep.resolver.stats.upstream_timeouts >= 1
+
+    def test_ra_flag_set(self):
+        dep = Deployment()
+        dep.query("www.example.com.")
+        dep.run()
+        from repro.dns import Flag
+        assert dep.answers[0].flags & Flag.RA
+
+
+class TestQueryAggregation:
+    """Duplicate in-flight questions share one resolution."""
+
+    def test_concurrent_duplicates_aggregate(self):
+        dep = Deployment()
+        dep.query("www.example.com.", msg_id=1)
+        dep.query("www.example.com.", msg_id=2)
+        dep.query("www.example.com.", msg_id=3)
+        dep.run()
+        assert len(dep.answers) == 3
+        assert {m.msg_id for m in dep.answers} == {1, 2, 3}
+        assert all(m.rcode == Rcode.NOERROR for m in dep.answers)
+        # Only one hierarchy walk happened.
+        assert dep.resolver.stats.upstream_queries == 3
+        assert dep.resolver.stats.aggregated_queries == 2
+
+    def test_different_questions_not_aggregated(self):
+        dep = Deployment()
+        dep.query("www.example.com.", msg_id=1)
+        dep.query("alias.example.com.", msg_id=2)
+        dep.run()
+        assert dep.resolver.stats.aggregated_queries == 0
+
+    def test_answers_carry_full_sections(self):
+        dep = Deployment()
+        dep.query("www.example.com.", msg_id=1)
+        dep.query("www.example.com.", msg_id=2)
+        dep.run()
+        for message in dep.answers:
+            addresses = [rr.rdata.address for rr in message.answer
+                         if rr.rrtype == RRType.A]
+            assert addresses == ["192.0.2.80"]
+
+
+class TestTcpFallback:
+    """RFC 7766: truncated UDP answers are re-asked over TCP."""
+
+    def test_truncated_answer_retried_over_tcp(self):
+        from repro.dns import Flag, Question
+        import repro.server.recursive as recursive_module
+
+        dep = Deployment()
+        results = []
+        resolution = recursive_module._Resolution(
+            question=Question(Name.from_text("www.example.com."),
+                              RRType.A),
+            on_complete=results.append, dnssec_ok=False)
+        truncated = Message(msg_id=77)
+        truncated.set_flag(Flag.QR)
+        truncated.set_flag(Flag.TC)
+        # The resolver received a TC=1 reply from 192.0.2.53: it must
+        # re-ask that server over TCP and get the full answer.
+        dep.resolver._retry_over_tcp(resolution, "192.0.2.53", truncated)
+        dep.run()
+        assert dep.resolver.stats.tcp_fallbacks == 1
+        assert results and results[0].rcode == Rcode.NOERROR
+        addresses = [rr.rdata.address for rr in results[0].answer
+                     if rr.rrtype == RRType.A]
+        assert addresses == ["192.0.2.80"]
+
+    def test_tc_response_triggers_fallback_path(self):
+        from repro.dns import Flag, Question
+        import repro.server.recursive as recursive_module
+
+        dep = Deployment()
+        calls = []
+        dep.resolver._retry_over_tcp = \
+            lambda resolution, address, response: calls.append(address)
+        resolution = recursive_module._Resolution(
+            question=Question(Name.from_text("www.example.com."),
+                              RRType.A),
+            on_complete=lambda m: None, dnssec_ok=False)
+        truncated = Message(msg_id=5)
+        truncated.set_flag(Flag.QR)
+        truncated.set_flag(Flag.TC)
+        dep.resolver._process_response(resolution, truncated,
+                                       source="198.41.0.4")
+        assert calls == ["198.41.0.4"]
+
+    def test_tc_without_source_processed_normally(self):
+        from repro.dns import Flag, Question
+        import repro.server.recursive as recursive_module
+
+        dep = Deployment()
+        resolution = recursive_module._Resolution(
+            question=Question(Name.from_text("www.example.com."),
+                              RRType.A),
+            on_complete=lambda m: None, dnssec_ok=False)
+        truncated = Message(msg_id=5, rcode=Rcode.NXDOMAIN)
+        truncated.set_flag(Flag.QR)
+        truncated.set_flag(Flag.TC)
+        dep.resolver._process_response(resolution, truncated)
+        assert dep.resolver.stats.tcp_fallbacks == 0

@@ -1,0 +1,107 @@
+"""Tests for pcap TCP stream reassembly."""
+
+import io
+import struct
+
+import pytest
+
+from repro.trace import Trace, make_query_record, read_pcap, write_pcap
+from repro.trace.pcap import _TcpStreamAssembler
+
+
+def tcp_record(timestamp, qname, sport=5000, src="10.0.0.1"):
+    return make_query_record(timestamp, src, qname, protocol="tcp",
+                             sport=sport)
+
+
+class TestAssembler:
+    def test_in_order(self):
+        assembler = _TcpStreamAssembler()
+        message = b"M" * 30
+        framed = struct.pack("!H", len(message)) + message
+        assembler.add(100, framed[:10])
+        assert assembler.drain_messages() == []
+        assembler.add(110, framed[10:])
+        assert assembler.drain_messages() == [message]
+
+    def test_out_of_order(self):
+        assembler = _TcpStreamAssembler()
+        message = b"x" * 20
+        framed = struct.pack("!H", len(message)) + message
+        assembler.add(100, framed[:5])          # first chunk fixes the ISN
+        assembler.add(115, framed[15:])          # tail arrives early
+        assert assembler.drain_messages() == []
+        assembler.add(105, framed[5:15])         # gap fills
+        assert assembler.drain_messages() == [message]
+
+    def test_retransmission_ignored(self):
+        assembler = _TcpStreamAssembler()
+        message = b"y" * 8
+        framed = struct.pack("!H", len(message)) + message
+        assembler.add(1, framed)
+        assert assembler.drain_messages() == [message]
+        assembler.add(1, framed)  # full retransmit
+        assert assembler.drain_messages() == []
+
+    def test_multiple_messages_in_stream(self):
+        assembler = _TcpStreamAssembler()
+        first = b"a" * 5
+        second = b"b" * 7
+        stream = (struct.pack("!H", 5) + first
+                  + struct.pack("!H", 7) + second)
+        assembler.add(1, stream)
+        assert assembler.drain_messages() == [first, second]
+
+
+class TestPcapReassembly:
+    def test_message_split_across_segments(self):
+        trace = Trace([tcp_record(1.0, "split.example.com.")])
+        buffer = io.BytesIO()
+        count = write_pcap(trace, buffer, tcp_segment_size=9)
+        assert count > 2  # really was split
+        buffer.seek(0)
+        again = read_pcap(buffer)
+        assert len(again) == 1
+        assert again[0].wire == trace[0].wire
+        assert again[0].protocol == "tcp"
+
+    def test_multiple_messages_one_connection(self):
+        records = [tcp_record(float(i), f"q{i}.example.com.")
+                   for i in range(5)]
+        buffer = io.BytesIO()
+        write_pcap(Trace(records), buffer, tcp_segment_size=16)
+        buffer.seek(0)
+        again = read_pcap(buffer)
+        assert [r.wire for r in again] == [r.wire for r in records]
+
+    def test_interleaved_flows(self):
+        records = [
+            tcp_record(0.0, "flow-a-1.example.com.", sport=1111),
+            tcp_record(0.1, "flow-b-1.example.com.", sport=2222),
+            tcp_record(0.2, "flow-a-2.example.com.", sport=1111),
+            tcp_record(0.3, "flow-b-2.example.com.", sport=2222),
+        ]
+        buffer = io.BytesIO()
+        write_pcap(Trace(records), buffer, tcp_segment_size=12)
+        buffer.seek(0)
+        again = read_pcap(buffer)
+        assert {r.wire for r in again} == {r.wire for r in records}
+        assert len(again) == 4
+
+    def test_mixed_udp_and_segmented_tcp(self):
+        records = [
+            make_query_record(0.0, "10.0.0.1", "udp.example.com."),
+            tcp_record(0.5, "tcp.example.com."),
+        ]
+        buffer = io.BytesIO()
+        write_pcap(Trace(records), buffer, tcp_segment_size=8)
+        buffer.seek(0)
+        again = read_pcap(buffer)
+        assert sorted(r.protocol for r in again) == ["tcp", "udp"]
+
+    def test_unsegmented_write_still_one_packet_per_message(self):
+        records = [tcp_record(float(i), f"q{i}.example.com.")
+                   for i in range(3)]
+        buffer = io.BytesIO()
+        count = write_pcap(Trace(records), buffer)
+        assert count == 3

@@ -1,0 +1,123 @@
+"""Tests for trace statistics utilities."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.trace import (Trace, cdf_points, client_load_cdf,
+                         fixed_interval_trace, inactive_client_fraction,
+                         interarrivals, make_query_record, mean,
+                         per_client_counts, per_second_rates, percentile,
+                         quartile_summary, stddev, summarize,
+                         top_client_share)
+
+
+def trace_with_counts(counts):
+    """Build a trace where client i sends counts[i] queries."""
+    records = []
+    t = 0.0
+    for index, count in enumerate(counts):
+        for _ in range(count):
+            records.append(make_query_record(t, f"10.0.0.{index + 1}",
+                                             "q.example.com."))
+            t += 0.001
+    return Trace(records)
+
+
+class TestSummarize:
+    def test_fixed_interval_summary(self):
+        trace = fixed_interval_trace(0.5, 10.0, client_count=3)
+        summary = summarize(trace)
+        assert summary.records == 20
+        assert summary.client_ips == 3
+        assert summary.interarrival_mean == pytest.approx(0.5)
+        assert summary.interarrival_std == pytest.approx(0.0)
+        assert summary.unique_names == 20
+
+    def test_row_renders(self):
+        trace = fixed_interval_trace(0.5, 5.0)
+        assert "records" in summarize(trace).row()
+
+
+class TestRates:
+    def test_per_second_buckets(self):
+        records = [make_query_record(t, "10.0.0.1", "q.example.com.")
+                   for t in (0.1, 0.2, 1.5, 2.9)]
+        rates = per_second_rates(Trace(records))
+        # Buckets are relative to the first timestamp.
+        assert dict(rates) == {0: 2, 1: 1, 2: 1}
+
+    def test_interarrivals_sorted(self):
+        records = [make_query_record(t, "10.0.0.1", "q.example.com.")
+                   for t in (3.0, 1.0, 2.0)]
+        assert interarrivals(Trace(records)) == [1.0, 1.0]
+
+
+class TestClientLoad:
+    def test_counts(self):
+        trace = trace_with_counts([5, 3, 1])
+        counts = per_client_counts(trace)
+        assert sorted(counts.values()) == [1, 3, 5]
+
+    def test_top_share(self):
+        # 100 clients; the busiest sends 901 of 1000 queries.
+        trace = trace_with_counts([901] + [1] * 99)
+        assert top_client_share(trace, 0.01) == pytest.approx(0.901)
+
+    def test_inactive_fraction(self):
+        trace = trace_with_counts([100, 50, 3, 2, 1])
+        assert inactive_client_fraction(trace, threshold=10) == \
+            pytest.approx(3 / 5)
+
+    def test_load_cdf_monotone(self):
+        trace = trace_with_counts([10, 5, 1, 1])
+        points = client_load_cdf(trace)
+        fractions = [f for _count, f in points]
+        assert fractions == sorted(fractions)
+        assert fractions[-1] == 1.0
+
+
+class TestNumerics:
+    def test_percentile_interpolates(self):
+        values = [0.0, 10.0]
+        assert percentile(values, 0.5) == 5.0
+        assert percentile(values, 0.0) == 0.0
+        assert percentile(values, 1.0) == 10.0
+
+    def test_percentile_empty_raises(self):
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+
+    def test_quartile_summary_keys(self):
+        summary = quartile_summary(list(range(101)))
+        assert summary["median"] == 50
+        assert summary["p25"] == 25
+        assert summary["p95"] == 95
+        assert summary["min"] == 0 and summary["max"] == 100
+
+    def test_mean_stddev(self):
+        assert mean([1.0, 2.0, 3.0]) == 2.0
+        assert stddev([1.0, 2.0, 3.0]) == pytest.approx(1.0)
+        assert stddev([5.0]) == 0.0
+
+    def test_cdf_points(self):
+        points = cdf_points([3.0, 1.0, 2.0])
+        assert points == [(1.0, 1 / 3), (2.0, 2 / 3), (3.0, 1.0)]
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                          allow_nan=False), min_size=1, max_size=50),
+       st.floats(min_value=0.0, max_value=1.0))
+def test_property_percentile_within_range(values, fraction):
+    ordered = sorted(values)
+    result = percentile(ordered, fraction)
+    assert ordered[0] - 1e-9 <= result <= ordered[-1] + 1e-9
+
+
+@given(st.lists(st.floats(min_value=0, max_value=1e3, allow_nan=False),
+                min_size=2, max_size=50))
+def test_property_quartiles_ordered(values):
+    summary = quartile_summary(values)
+    epsilon = 1e-9 * (1 + max(abs(v) for v in values))
+    ordered = [summary["min"], summary["p25"], summary["median"],
+               summary["p75"], summary["p95"], summary["max"]]
+    assert all(a <= b + epsilon for a, b in zip(ordered, ordered[1:]))

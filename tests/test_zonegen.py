@@ -1,0 +1,222 @@
+"""Tests for zone construction from traces (§2.3)."""
+
+import pytest
+
+from repro.dns import (Flag, Message, Name, RRClass, RRType, Rcode)
+from repro.dns import rdata as rd
+from repro.dns.rrset import RR
+from repro.trace import RecursiveWorkload, make_hierarchy_zones
+from repro.zonegen import (ZoneConstructor, build_zones_from_trace,
+                           unique_questions)
+
+
+def response(source, qname, answers=(), authority=(), additional=(),
+             rcode=Rcode.NOERROR):
+    query = Message.make_query(Name.from_text(qname), RRType.A, msg_id=1)
+    message = Message.make_response(query, rcode=rcode)
+    message.answer.extend(answers)
+    message.authority.extend(authority)
+    message.additional.extend(additional)
+    return source, message
+
+
+def a(name, address, ttl=300):
+    return RR(Name.from_text(name), ttl, RRClass.IN, rd.A(address))
+
+
+def ns(owner, target, ttl=3600):
+    return RR(Name.from_text(owner), ttl, RRClass.IN,
+              rd.NS(Name.from_text(target)))
+
+
+def cname(owner, target, ttl=300):
+    return RR(Name.from_text(owner), ttl, RRClass.IN,
+              rd.CNAME(Name.from_text(target)))
+
+
+class TestHarvest:
+    def build(self, observations, root_addresses=("198.41.0.4",)):
+        constructor = ZoneConstructor()
+        for source, message in observations:
+            constructor.add_response(source, message)
+        return constructor.build(root_addresses=root_addresses)
+
+    def test_referral_data_lands_in_parent_zone(self):
+        library = self.build([
+            response("198.41.0.4", "www.example.com.",
+                     authority=[ns("com.", "a.gtld-servers.net.")],
+                     additional=[a("a.gtld-servers.net.", "192.5.6.30",
+                                   172800)]),
+        ])
+        root = library.zones[Name(())]
+        assert root.get(Name.from_text("com."), RRType.NS) is not None
+        assert root.get(Name.from_text("a.gtld-servers.net."),
+                        RRType.A) is not None
+
+    def test_answer_data_lands_in_child_zone(self):
+        library = self.build([
+            response("198.41.0.4", "www.example.com.",
+                     authority=[ns("com.", "a.gtld-servers.net.")],
+                     additional=[a("a.gtld-servers.net.", "192.5.6.30")]),
+            response("192.5.6.30", "www.example.com.",
+                     authority=[ns("example.com.", "ns1.example.com.")],
+                     additional=[a("ns1.example.com.", "192.0.2.53")]),
+            response("192.0.2.53", "www.example.com.",
+                     answers=[a("www.example.com.", "192.0.2.80")]),
+        ])
+        example = library.zones[Name.from_text("example.com.")]
+        rrset = example.get(Name.from_text("www.example.com."), RRType.A)
+        assert rrset is not None
+        assert rrset.rdatas[0].address == "192.0.2.80"
+        # And the com zone holds the delegation, not the address record.
+        com = library.zones[Name.from_text("com.")]
+        assert com.get(Name.from_text("www.example.com."), RRType.A) is None
+
+    def test_missing_soa_recovered(self):
+        library = self.build([
+            response("198.41.0.4", "x.example.",
+                     authority=[ns("example.", "ns.example.")],
+                     additional=[a("ns.example.", "203.0.113.5")]),
+        ])
+        assert library.zones[Name.from_text("example.")].soa is not None
+        assert "example." in library.report.soa_recovered
+
+    def test_apex_ns_recovered_from_delegation(self):
+        library = self.build([
+            response("198.41.0.4", "x.example.",
+                     authority=[ns("example.", "ns.example.")],
+                     additional=[a("ns.example.", "203.0.113.5")]),
+        ])
+        child = library.zones[Name.from_text("example.")]
+        assert child.get(child.origin, RRType.NS) is not None
+
+    def test_conflicting_cnames_first_wins(self):
+        first = cname("www.cdn.example.", "edge1.cdn.example.")
+        second = cname("www.cdn.example.", "edge2.cdn.example.")
+        library = self.build([
+            response("198.41.0.4", "www.cdn.example.",
+                     authority=[ns("cdn.example.", "ns.cdn.example.")],
+                     additional=[a("ns.cdn.example.", "203.0.113.9")]),
+            response("203.0.113.9", "www.cdn.example.", answers=[first]),
+            response("203.0.113.9", "www.cdn.example.", answers=[second]),
+        ])
+        zone = library.zones[Name.from_text("cdn.example.")]
+        rrset = zone.get(Name.from_text("www.cdn.example."), RRType.CNAME)
+        assert len(rrset) == 1
+        assert rrset.rdatas[0].target == Name.from_text(
+            "edge1.cdn.example.")
+        assert library.report.conflicts_dropped == 1
+
+    def test_multi_address_rrset_within_one_response(self):
+        # A multi-record answer arrives as ONE response; it is kept
+        # whole.  A later DIFFERING response is dropped (first wins).
+        library = self.build([
+            response("198.41.0.4", "multi.example.",
+                     authority=[ns("example.", "ns.example.")],
+                     additional=[a("ns.example.", "203.0.113.5")]),
+            response("203.0.113.5", "multi.example.",
+                     answers=[a("multi.example.", "192.0.2.1"),
+                              a("multi.example.", "192.0.2.2")]),
+            response("203.0.113.5", "multi.example.",
+                     answers=[a("multi.example.", "192.0.2.9")]),
+        ])
+        zone = library.zones[Name.from_text("example.")]
+        rrset = zone.get(Name.from_text("multi.example."), RRType.A)
+        assert len(rrset) == 2
+        assert {r.address for r in rrset.rdatas} == \
+            {"192.0.2.1", "192.0.2.2"}
+        assert library.report.conflicts_dropped == 1
+
+    def test_unattributed_source_counted(self):
+        library = self.build([
+            response("203.0.113.222", "x.example.",
+                     answers=[a("x.example.", "192.0.2.1")]),
+        ], root_addresses=["198.41.0.4"])
+        assert library.report.unattributed_responses == 1
+
+    def test_queries_ignored(self):
+        constructor = ZoneConstructor()
+        query = Message.make_query(Name.from_text("q.example."), RRType.A)
+        constructor.add_response("198.41.0.4", query)
+        assert constructor.report.responses == 0
+
+    def test_merge_combines_traces(self):
+        first = ZoneConstructor()
+        src, msg = response("198.41.0.4", "a.example.",
+                            authority=[ns("example.", "ns.example.")],
+                            additional=[a("ns.example.", "203.0.113.5")])
+        first.add_response(src, msg)
+        second = ZoneConstructor()
+        src2, msg2 = response("203.0.113.5", "a.example.",
+                              answers=[a("a.example.", "192.0.2.7")])
+        second.add_response(src2, msg2)
+        first.merge(second)
+        library = first.build(root_addresses=["198.41.0.4"])
+        zone = library.zones[Name.from_text("example.")]
+        assert zone.get(Name.from_text("a.example."), RRType.A) is not None
+
+    def test_nameserver_map(self):
+        library = self.build([
+            response("198.41.0.4", "x.example.",
+                     authority=[ns("example.", "ns.example.")],
+                     additional=[a("ns.example.", "203.0.113.5")]),
+        ])
+        assert library.nameservers[Name.from_text("example.")] == \
+            ["203.0.113.5"]
+
+
+class TestUniqueQuestions:
+    def test_dedupes(self):
+        zones = make_hierarchy_zones(2, 2)
+        trace = RecursiveWorkload(duration=10, total_queries=200,
+                                  zones=zones).generate()
+        questions = unique_questions(trace)
+        assert len(set(questions)) == len(questions)
+        assert len(questions) < 200
+
+
+class TestOneTimeFetch:
+    @pytest.fixture(scope="class")
+    def library(self):
+        zones = make_hierarchy_zones(2, 3)
+        trace = RecursiveWorkload(duration=20, total_queries=150,
+                                  zones=zones).generate()
+        return build_zones_from_trace(trace, zones), zones, trace
+
+    def test_builds_all_levels(self, library):
+        lib, zones, _trace = library
+        assert Name(()) in lib
+        assert any(len(origin) == 1 for origin in lib.zones)  # TLDs
+        assert any(len(origin) == 2 for origin in lib.zones)  # SLDs
+
+    def test_zones_are_valid(self, library):
+        lib, _zones, _trace = library
+        for zone in lib.zone_list():
+            zone.validate()
+
+    def test_rebuilt_hierarchy_answers_original_queries(self, library):
+        lib, _zones, trace = library
+        from repro.hierarchy import HierarchyEmulation
+        from repro.netsim import EventLoop, Network
+        loop = EventLoop()
+        network = Network(loop)
+        emulation = HierarchyEmulation(network, lib.zone_list())
+        stub = network.add_host("stub", "10.9.0.1")
+        results = {}
+
+        def callback_for(key):
+            def callback(_s, data, _a, _p):
+                results[key] = Message.from_wire(data).rcode
+            return callback
+
+        questions = unique_questions(trace)[:25]
+        for index, (qname, qtype) in enumerate(questions):
+            sock = stub.bind_udp("10.9.0.1", 0, callback_for((qname, qtype)))
+            sock.sendto(Message.make_query(qname, qtype,
+                                           msg_id=index + 1).to_wire(),
+                        emulation.recursive_address, 53)
+        loop.run(max_time=120)
+        answered = [results.get(key) for key in questions]
+        assert all(rcode is not None for rcode in answered)
+        noerror = sum(1 for rcode in answered if rcode == Rcode.NOERROR)
+        assert noerror >= len(questions) * 0.8
