@@ -28,3 +28,15 @@ def test_fig6_query_timing_error(benchmark, bench_scale):
     live_rows = [row for row in output.rows if row[0].startswith("live")]
     if live_rows:
         assert abs(live_rows[0][2]) < 20.0
+
+
+def test_fig6_lossless_replay_leaves_nothing_unanswered():
+    # Satellite check: on the clean testbed every query must complete —
+    # ReplayResult.unanswered() is the lie detector for "looks done".
+    from repro.trace import fixed_interval_trace
+
+    trace = fixed_interval_trace(0.01, 10.0, name="syn-complete")
+    result = fig6_timing.replay_one(trace, 0.01)
+    assert len(result) == len(trace.records)
+    assert result.unanswered() == 0
+    assert result.failure_counts()["gave_up"] == 0

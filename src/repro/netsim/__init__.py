@@ -8,6 +8,7 @@ and calibrated server resource models.
 """
 
 from .core import EventLoop, SimulationError, Timer
+from .faults import (FaultInjector, FaultPlan, FaultSpec, RetryPolicy)
 from .network import (FilterRule, Host, LatencyModel, Netfilter, Network,
                       NetworkError, TrafficMeter, TunDevice, UdpSocket)
 from .packet import (Address, IpPacket, TcpFlags, TcpSegment, UdpSegment,
@@ -20,9 +21,11 @@ from .tls import SessionCache, TlsEndpoint, TlsState
 
 __all__ = [
     "Address", "CostModel", "CpuMeter", "DELAYED_ACK_TIMEOUT", "EventLoop",
-    "FilterRule", "Host", "IpPacket", "LatencyModel", "MSS", "Netfilter",
+    "FaultInjector", "FaultPlan", "FaultSpec", "FilterRule", "Host",
+    "IpPacket", "LatencyModel", "MSS", "Netfilter",
     "Network", "NetworkError", "ResourceMonitor", "ResourceSample",
-    "ServerResourceModel", "SessionCache", "SimulationError", "TcpConnection",
+    "RetryPolicy", "ServerResourceModel", "SessionCache", "SimulationError",
+    "TcpConnection",
     "TcpFlags", "TcpListener", "TcpOptions", "TcpSegment", "TcpStack",
     "TcpState", "TIME_WAIT_DURATION", "Timer", "TlsEndpoint", "TlsState",
     "TrafficMeter", "TunDevice", "UdpSegment", "UdpSocket",

@@ -220,6 +220,9 @@ class Host:
         self._udp_sockets: Dict[Tuple[Address, int], UdpSocket] = {}
         self._next_ephemeral = 32768
         self.tcp_stack = None  # attached lazily by repro.netsim.tcp
+        # Crash state driven by repro.netsim.faults: a down host neither
+        # sends nor receives until its restart event clears the flag.
+        self.down = False
         # Optional egress link rate in bits/second (the testbed's links
         # are 1 Gb/s, Figure 5).  None disables serialization delay.
         self.egress_bandwidth_bps: Optional[float] = None
@@ -343,6 +346,9 @@ class Network:
         self.loss_rate = loss_rate
         self.dropped_by_loss = 0
         self._loss_rng = random.Random(loss_seed)
+        # Scheduled fault windows (loss bursts, partitions, crashes, …);
+        # installed by repro.netsim.faults.FaultInjector.
+        self.fault_injector = None
 
     def add_host(self, name: str, *addresses: Address) -> Host:
         if name in self._hosts:
@@ -377,6 +383,12 @@ class Network:
                 and self._loss_rng.random() < self.loss_rate:
             self.dropped_by_loss += 1
             return
+        deliveries = [(0.0, packet)]
+        if self.fault_injector is not None:
+            deliveries = self.fault_injector.process(packet, sender,
+                                                     receiver)
+            if not deliveries:
+                return
         if receiver is sender:
             delay = LOOPBACK_DELAY
         else:
@@ -388,4 +400,6 @@ class Network:
                 / sender.egress_bandwidth_bps
             sender._egress_busy_until = finish
             delay += finish - self.loop.now
-        self.loop.call_later(delay, receiver.receive_packet, packet)
+        for extra_delay, delivered in deliveries:
+            self.loop.call_later(delay + extra_delay,
+                                 receiver.receive_packet, delivered)

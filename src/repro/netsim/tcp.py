@@ -587,6 +587,20 @@ class TcpStack:
             self.host.send_packet(
                 IpPacket(packet.dst, packet.src, reset).with_checksum())
 
+    # -- crash/restart -----------------------------------------------------
+
+    def crash(self) -> None:
+        """Drop every connection silently, as a killed server process.
+
+        No FIN or RST leaves the host (it is down); peers discover the
+        loss through retransmission timeouts, or through the RST this
+        stack sends when a stale segment arrives after restart.
+        Listeners survive — a restarting server rebinds its ports.
+        """
+        for conn in list(self._connections.values()):
+            conn._enter_closed()
+        self._connections.clear()
+
     # -- bookkeeping ------------------------------------------------------
 
     def _note_established(self, conn: TcpConnection) -> None:

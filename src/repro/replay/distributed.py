@@ -146,12 +146,16 @@ class _LiveDistributor(threading.Thread):
     """Forwards records to queriers, sticky by source address."""
 
     def __init__(self, distributor_id: int, inbound: MessageSocket,
-                 querier_sockets: List[MessageSocket]):
+                 querier_sockets: List[MessageSocket],
+                 result: Optional[ReplayResult] = None,
+                 lock: Optional[threading.Lock] = None):
         super().__init__(daemon=True)
         self.distributor_id = distributor_id
         self.inbound = inbound
         self.querier_sockets = querier_sockets
         self.assigner = StickyAssigner(querier_sockets)
+        self.result = result
+        self.lock = lock
         self.records_routed = 0
 
     def run(self) -> None:
@@ -161,9 +165,36 @@ class _LiveDistributor(threading.Thread):
                     outbound.send_time_sync(payload)
             elif kind == MSG_RECORD:
                 self.records_routed += 1
-                self.assigner.assign(payload.src).send_record(payload)
+                self._route(payload)
         for outbound in self.querier_sockets:
-            outbound.send_end()
+            try:
+                outbound.send_end()
+            except OSError:
+                pass
+
+    def _route(self, record: QueryRecord) -> None:
+        """Send to the sticky querier; on a dead socket, reroute.
+
+        A querier that crashed shows up as a broken pipe on its message
+        socket.  The dead entity is dropped from the sticky map and the
+        record re-assigned, so its sources fail over to live queriers.
+        """
+        first_try = True
+        while self.assigner.entities:
+            outbound = self.assigner.assign(record.src)
+            try:
+                outbound.send_record(record)
+            except OSError:
+                self.assigner.remove(outbound)
+                first_try = False
+                continue
+            if not first_try and self.result is not None:
+                with self.lock:
+                    self.result.reassigned_queries += 1
+            return
+        if self.result is not None:
+            with self.lock:
+                self.result.send_failures += 1
 
 
 class LiveDistributedReplay:
@@ -197,7 +228,8 @@ class LiveDistributedReplay:
                     + querier_index, querier_side,
                     self.server, self.result, self._lock))
             distributors.append(_LiveDistributor(
-                distributor_id, distributor_side, querier_sockets))
+                distributor_id, distributor_side, querier_sockets,
+                result=self.result, lock=self._lock))
 
         for thread in queriers + distributors:
             thread.start()
@@ -211,9 +243,23 @@ class LiveDistributedReplay:
         for outbound in distributor_sockets:
             outbound.send_time_sync(trace_start)
         for record in records:
-            assigner.assign(record.src).send_record(record)
+            while assigner.entities:
+                outbound = assigner.assign(record.src)
+                try:
+                    outbound.send_record(record)
+                    break
+                except OSError:   # distributor died: fail its sources over
+                    assigner.remove(outbound)
+                    with self._lock:
+                        self.result.reassigned_queries += 1
+            else:
+                with self._lock:
+                    self.result.send_failures += 1
         for outbound in distributor_sockets:
-            outbound.send_end()
+            try:
+                outbound.send_end()
+            except OSError:
+                pass
 
         duration = records[-1].timestamp - trace_start
         deadline = time.monotonic() + duration \

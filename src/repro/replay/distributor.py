@@ -40,6 +40,13 @@ class StickyAssigner(Generic[T]):
             self._assignments[source] = entity
         return entity
 
+    def remove(self, entity: T) -> None:
+        """Forget a dead entity: sticky routes to it are re-assigned."""
+        self.entities = [e for e in self.entities if e is not entity]
+        self._assignments = {
+            src: ent for src, ent in self._assignments.items()
+            if ent is not entity}
+
     def assignment_count(self) -> int:
         return len(self._assignments)
 

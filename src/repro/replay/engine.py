@@ -114,8 +114,50 @@ class SimReplayEngine:
                 send_at = max(available, target, self.loop.now)
             else:
                 send_at = max(available, start_clock + index * fast_gap)
-            self.loop.call_at(send_at, querier.send, index, record, send_at)
+            self.loop.call_at(send_at, self._dispatch_send, querier, index,
+                              record, send_at)
         return self.result
+
+    # -- failover ---------------------------------------------------------
+
+    def _dispatch_send(self, querier: SimQuerier, index: int, record,
+                       send_at: float) -> None:
+        """Send via ``querier`` unless its host crashed; then fail over.
+
+        With no fault injection this is a plain pass-through at the same
+        sim time, so fault-free replays are unchanged.
+        """
+        if querier.host.down:
+            replacement = self._reassign(querier, record.src)
+            if replacement is None:
+                self.result.send_failures += 1
+                return
+            self.result.reassigned_queries += 1
+            querier = replacement
+        querier.send(index, record, send_at)
+
+    def _reassign(self, dead: SimQuerier, source: str) \
+            -> Optional[SimQuerier]:
+        """Route ``source`` to a live querier, evicting crashed ones."""
+        self._evict(dead)
+        for _ in range(len(self.queriers) + 1):
+            if not self.controller.assigner.entities:
+                return None
+            candidate = self.controller.dispatch(source)
+            if not candidate.host.down:
+                return candidate
+            self._evict(candidate)
+        return None
+
+    def _evict(self, dead: SimQuerier) -> None:
+        """Remove a crashed querier from the distribution tree."""
+        for distributor in self.controller.distributors:
+            if dead in distributor.queriers:
+                distributor.queriers.remove(dead)
+                distributor.assigner.remove(dead)
+                if not distributor.queriers:
+                    self.controller.assigner.remove(distributor)
+                return
 
     def replay(self, trace: Trace, extra_time: float = 10.0) -> ReplayResult:
         """Schedule and run to completion (plus settle time)."""

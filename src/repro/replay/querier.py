@@ -6,20 +6,55 @@ the same open connection (TCP/TLS) — "same-source queries use the same
 socket if it is still open; new sources start new sockets".  For
 connection-oriented replay this is what makes connection *reuse* happen,
 the effect Figure 15 measures.
+
+With a :class:`~repro.netsim.RetryPolicy` configured, the querier also
+recovers from injected faults: UDP queries time out and are re-sent
+with exponential backoff (optionally falling back to TCP), and stream
+channels that reset or close with queries in flight are reopened and
+the stranded queries re-sent.  Every such event is counted in
+:class:`~repro.replay.result.ReplayResult`.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
 
-from ..dns import DNS_OVER_TLS_PORT, DNS_PORT, Message
-from ..netsim import (EventLoop, Host, NetworkError, SessionCache,
-                      TcpConnection, TcpOptions, TcpStack, TlsEndpoint,
-                      UdpSocket)
+from ..dns import DNS_OVER_TLS_PORT, DNS_PORT, Message, WireError
+from ..netsim import (EventLoop, Host, NetworkError, RetryPolicy,
+                      SessionCache, TcpConnection, TcpOptions, TcpStack,
+                      Timer, TlsEndpoint, UdpSocket)
 from ..server.dnsio import StreamFramer, frame_message
 from ..trace import QueryRecord
 from .result import ReplayResult, SentQuery
+
+# Response-matching key: (message id, qname, qtype).  Matching on the id
+# alone mismatches when two in-flight queries share an id on one
+# connection; the question section disambiguates, as a real stub does.
+MatchKey = Tuple[int, str, int]
+
+
+def _record_key(record: QueryRecord) -> MatchKey:
+    message_id = int.from_bytes(record.wire[:2], "big")
+    question = record.question()
+    if question is None:
+        return (message_id, "-", 0)
+    return (message_id, question[0].to_text().lower(), int(question[1]))
+
+
+def _response_key(wire: bytes) -> Optional[MatchKey]:
+    if len(wire) < 2:
+        return None
+    message_id = int.from_bytes(wire[:2], "big")
+    try:
+        message = Message.from_wire(wire)
+    except WireError:
+        return None
+    if not message.question:
+        return (message_id, "-", 0)
+    question = message.question[0]
+    return (message_id, question.name.to_text().lower(),
+            int(question.rrtype))
 
 
 @dataclass
@@ -30,6 +65,21 @@ class QuerierConfig:
     tls_session_resumption: bool = False
     connection_close_timeout: Optional[float] = None  # client-side close
     respond_to_server_close: bool = True
+    # Recovery budget; None preserves the fire-and-forget seed behaviour
+    # (no timeouts, no re-sends, no reconnects).
+    retry: Optional[RetryPolicy] = None
+
+
+@dataclass
+class _PendingUdp:
+    """One in-flight UDP query awaiting its response (or timeout)."""
+
+    entry: SentQuery
+    record: QueryRecord
+    sock: UdpSocket
+    tries: int = 0          # re-sends performed so far
+    timeouts: int = 0       # consecutive per-try timeouts
+    timer: Optional[Timer] = None
 
 
 class _StreamChannel:
@@ -39,9 +89,12 @@ class _StreamChannel:
                  dport: int, protocol: str):
         self.querier = querier
         self.source = source
+        self.dst = dst
+        self.dport = dport
         self.protocol = protocol
         self.framer = StreamFramer()
-        self.pending: Dict[int, List[SentQuery]] = {}
+        self.pending: Dict[MatchKey, List[Tuple[SentQuery, QueryRecord]]] = {}
+        self._answered: Set[MatchKey] = set()
         self.open = True
         self.ever_used = False
 
@@ -65,8 +118,9 @@ class _StreamChannel:
 
     def send(self, record: QueryRecord, entry: SentQuery) -> None:
         self.ever_used = True
-        message_id = int.from_bytes(record.wire[:2], "big")
-        self.pending.setdefault(message_id, []).append(entry)
+        key = _record_key(record)
+        self.pending.setdefault(key, []).append((entry, record))
+        self._answered.discard(key)
         framed = frame_message(record.wire)
         if self.tls is not None:
             self.tls.send(framed)
@@ -75,23 +129,35 @@ class _StreamChannel:
 
     def _on_bytes(self, data: bytes) -> None:
         for wire in self.framer.feed(data):
-            message_id = int.from_bytes(wire[:2], "big")
-            waiting = self.pending.get(message_id)
+            key = _response_key(wire)
+            waiting = self.pending.get(key) if key is not None else None
             if waiting:
-                entry = waiting.pop(0)
+                entry, _record = waiting.pop(0)
                 entry.answered_at = self.querier.loop.now
                 if not waiting:
-                    del self.pending[message_id]
+                    del self.pending[key]
+                    self._answered.add(key)
+            elif key is not None and key in self._answered:
+                self.querier.result.duplicate_responses += 1
             else:
                 self.querier.result.unmatched_responses += 1
+
+    def take_pending(self) -> List[Tuple[SentQuery, QueryRecord]]:
+        """Drain the in-flight queries (for re-send on a new channel)."""
+        stranded = [pair for waiting in self.pending.values()
+                    for pair in waiting]
+        self.pending.clear()
+        return stranded
 
     def _on_server_close(self, conn: TcpConnection) -> None:
         self.open = False
         if self.querier.config.respond_to_server_close:
             conn.close()
+        self.querier._channel_lost(self)
 
     def _on_closed(self) -> None:
         self.open = False
+        self.querier._channel_lost(self)
 
 
 class SimQuerier:
@@ -108,7 +174,8 @@ class SimQuerier:
             TcpStack(host)
         self.tls_cache = SessionCache()
         self._udp_sockets: Dict[str, UdpSocket] = {}
-        self._udp_pending: Dict[Tuple[int, int], List[SentQuery]] = {}
+        self._udp_pending: Dict[Tuple[int, int], List[_PendingUdp]] = {}
+        self._udp_answered: Set[Tuple[int, int]] = set()
         self._channels: Dict[Tuple[str, str], _StreamChannel] = {}
         self.queries_sent = 0
 
@@ -132,6 +199,8 @@ class SimQuerier:
         question = record.question()
         return question[0].to_text() if question else "-"
 
+    # -- UDP with timeout/retry ---------------------------------------------
+
     def _send_udp(self, record: QueryRecord, entry: SentQuery) -> None:
         sock = self._udp_sockets.get(record.src)
         if sock is None:
@@ -139,33 +208,95 @@ class SimQuerier:
                                       self._on_udp_response)
             self._udp_sockets[record.src] = sock
         message_id = int.from_bytes(record.wire[:2], "big")
-        self._udp_pending.setdefault((sock.port, message_id),
-                                     []).append(entry)
+        key = (sock.port, message_id)
+        pending = _PendingUdp(entry, record, sock)
+        self._udp_pending.setdefault(key, []).append(pending)
+        self._udp_answered.discard(key)
         sock.sendto(record.wire, record.dst, record.dport)
+        policy = self.config.retry
+        if policy is not None:
+            pending.timer = self.loop.call_later(
+                policy.timeout_for(0), self._udp_timeout_fire, key, pending)
 
     def _on_udp_response(self, sock: UdpSocket, data: bytes, _src: str,
                          _sport: int) -> None:
         if len(data) < 2:
             return
         message_id = int.from_bytes(data[:2], "big")
-        waiting = self._udp_pending.get((sock.port, message_id))
+        key = (sock.port, message_id)
+        waiting = self._udp_pending.get(key)
         if waiting:
-            entry = waiting.pop(0)
-            entry.answered_at = self.loop.now
+            pending = waiting.pop(0)
+            pending.entry.answered_at = self.loop.now
+            if pending.timer is not None:
+                pending.timer.cancel()
+                pending.timer = None
             if not waiting:
-                del self._udp_pending[(sock.port, message_id)]
+                del self._udp_pending[key]
+                self._udp_answered.add(key)
+        elif key in self._udp_answered:
+            self.result.duplicate_responses += 1
         else:
             self.result.unmatched_responses += 1
 
-    def _send_stream(self, record: QueryRecord, entry: SentQuery) -> None:
+    def _udp_timeout_fire(self, key: Tuple[int, int],
+                          pending: _PendingUdp) -> None:
+        pending.timer = None
+        if pending.entry.answered_at is not None:
+            return
+        policy = self.config.retry
+        pending.timeouts += 1
+        pending.entry.timeouts += 1
+        self.result.udp_timeouts += 1
+        if policy.tcp_fallback_after is not None \
+                and pending.timeouts >= policy.tcp_fallback_after:
+            self._drop_pending(key, pending)
+            pending.entry.tcp_fallback = True
+            self.result.tcp_fallbacks += 1
+            self.result.retries += 1
+            pending.entry.retries += 1
+            self._send_stream(pending.record, pending.entry,
+                              protocol="tcp")
+            return
+        if pending.tries >= policy.max_retries:
+            self._drop_pending(key, pending)
+            pending.entry.gave_up = True
+            self.result.gave_up += 1
+            return
+        pending.tries += 1
+        pending.entry.retries += 1
+        self.result.retries += 1
+        try:
+            pending.sock.sendto(pending.record.wire, pending.record.dst,
+                                pending.record.dport)
+        except NetworkError:
+            self.result.send_failures += 1
+            return
+        pending.timer = self.loop.call_later(
+            policy.timeout_for(pending.tries), self._udp_timeout_fire,
+            key, pending)
+
+    def _drop_pending(self, key: Tuple[int, int],
+                      pending: _PendingUdp) -> None:
+        waiting = self._udp_pending.get(key)
+        if waiting and pending in waiting:
+            waiting.remove(pending)
+            if not waiting:
+                del self._udp_pending[key]
+
+    # -- TCP/TLS with reconnection -------------------------------------------
+
+    def _send_stream(self, record: QueryRecord, entry: SentQuery,
+                     protocol: Optional[str] = None) -> None:
+        protocol = protocol if protocol is not None else record.protocol
         dport = record.dport
-        if record.protocol == "tls" and dport == DNS_PORT:
+        if protocol == "tls" and dport == DNS_PORT:
             dport = DNS_OVER_TLS_PORT
-        key = (record.src, record.protocol)
+        key = (record.src, protocol)
         channel = self._channels.get(key)
         if channel is None or not channel.open:
             channel = _StreamChannel(self, record.src, record.dst, dport,
-                                     record.protocol)
+                                     protocol)
             self._channels[key] = channel
             entry.fresh_connection = True
         try:
@@ -174,10 +305,45 @@ class SimQuerier:
             # The server's idle close raced with this send: retry once
             # on a fresh connection, as a real stub/resolver would.
             channel = _StreamChannel(self, record.src, record.dst, dport,
-                                     record.protocol)
+                                     protocol)
             self._channels[key] = channel
             entry.fresh_connection = True
             channel.send(record, entry)
+
+    def _channel_lost(self, channel: _StreamChannel) -> None:
+        """Re-send a dead channel's in-flight queries on a new one.
+
+        Only runs with a retry policy configured; the seed behaviour
+        (stranded queries stay stranded) is kept otherwise so lossless
+        benchmark outputs are reproducible.
+        """
+        policy = self.config.retry
+        if policy is None:
+            return  # seed behaviour: stranded queries stay stranded
+        stranded = channel.take_pending()
+        if not stranded:
+            return
+        live = [(entry, record) for entry, record in stranded
+                if entry.answered_at is None]
+        retryable = []
+        for entry, record in live:
+            if entry.retries >= policy.max_retries:
+                if not entry.gave_up:
+                    entry.gave_up = True
+                    self.result.gave_up += 1
+            else:
+                retryable.append((entry, record))
+        if not retryable:
+            return
+        self.result.reconnects += 1
+        replacement = _StreamChannel(self, channel.source, channel.dst,
+                                     channel.dport, channel.protocol)
+        self._channels[(channel.source, channel.protocol)] = replacement
+        for entry, record in retryable:
+            entry.retries += 1
+            self.result.retries += 1
+            entry.fresh_connection = True
+            replacement.send(record, entry)
 
     # -- statistics ----------------------------------------------------------
 

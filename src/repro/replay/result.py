@@ -22,6 +22,11 @@ class SentQuery:
     answered_at: Optional[float] = None
     fresh_connection: bool = False
     querier_id: int = -1
+    # Recovery bookkeeping (repro.netsim.faults.RetryPolicy).
+    retries: int = 0           # times this query was re-sent
+    timeouts: int = 0          # per-try timeouts observed
+    tcp_fallback: bool = False  # UDP query that fell back to TCP
+    gave_up: bool = False      # retry budget exhausted, still unanswered
 
     @property
     def latency(self) -> Optional[float]:
@@ -40,6 +45,14 @@ class ReplayResult:
         self.trace_start: Optional[float] = None
         self.unmatched_responses = 0
         self.send_failures = 0
+        # Failure/recovery event counters (fault injection & recovery).
+        self.udp_timeouts = 0          # per-try UDP timeouts fired
+        self.retries = 0               # query re-sends (UDP and stream)
+        self.duplicate_responses = 0   # responses for already-answered tries
+        self.reconnects = 0            # stream channels reopened mid-flight
+        self.tcp_fallbacks = 0         # UDP queries switched to TCP
+        self.reassigned_queries = 0    # rerouted off a crashed querier
+        self.gave_up = 0               # retry budgets exhausted
 
     def add(self, query: SentQuery) -> None:
         self.sent.append(query)
@@ -90,6 +103,32 @@ class ReplayResult:
             return 0.0
         return sum(1 for q in self.sent
                    if q.answered_at is not None) / len(self.sent)
+
+    def unanswered(self) -> int:
+        """Queries sent but never answered (checked at drain time).
+
+        A lossy run cannot masquerade as complete: any stranded query
+        shows up here even when no retry policy was configured.
+        """
+        return sum(1 for q in self.sent if q.answered_at is None)
+
+    def unanswered_queries(self) -> List[SentQuery]:
+        return [q for q in self.sent if q.answered_at is None]
+
+    def failure_counts(self) -> Dict[str, int]:
+        """Every failure/recovery event counter, for reports."""
+        return {
+            "unanswered": self.unanswered(),
+            "udp_timeouts": self.udp_timeouts,
+            "retries": self.retries,
+            "duplicate_responses": self.duplicate_responses,
+            "reconnects": self.reconnects,
+            "tcp_fallbacks": self.tcp_fallbacks,
+            "reassigned_queries": self.reassigned_queries,
+            "gave_up": self.gave_up,
+            "unmatched_responses": self.unmatched_responses,
+            "send_failures": self.send_failures,
+        }
 
     def reuse_fraction(self) -> float:
         """Share of TCP/TLS queries that reused an open connection."""

@@ -88,8 +88,12 @@ class TimerJitterModel:
     _state: float = field(init=False, repr=False, default=0.0)
 
     def __post_init__(self) -> None:
-        self._rng = random.Random((self.seed << 20)
-                                  ^ hash(self.interval_hint) & 0xFFFFF)
+        # hash(None) is id-based on CPython < 3.12 and varies per
+        # process under ASLR, which would break run-to-run
+        # repeatability (§2.1) for hint-less models.
+        hint_key = (hash(self.interval_hint)
+                    if self.interval_hint is not None else 0x5EED)
+        self._rng = random.Random((self.seed << 20) ^ hint_key & 0xFFFFF)
         self._state = 0.0
         if self.correlation is None:
             # Correlation decays with elapsed *time* between events, not

@@ -15,7 +15,7 @@ from typing import Callable, List, Optional
 
 from ..dns import (DNS_PORT, Flag, Message, Name, Question, RRClass,
                    RRType, Rcode, Zone)
-from ..netsim import Host, TcpOptions, TcpStack
+from ..netsim import Host, RetryPolicy, TcpOptions, TcpStack
 from .dnsio import StreamFramer, frame_message
 
 AXFR = RRType.make(252)
@@ -62,50 +62,65 @@ def handle_axfr(zones_by_origin, query: Message) -> Optional[List[Message]]:
 
 def axfr_fetch(client_host: Host, server_address: str, origin: Name,
                on_complete: Callable[[Optional[Zone]], None],
-               port: int = DNS_PORT, msg_id: int = 1) -> None:
+               port: int = DNS_PORT, msg_id: int = 1,
+               retry: Optional[RetryPolicy] = None) -> None:
     """Pull a zone over TCP; calls ``on_complete(zone)`` (None on failure).
 
     Follows RFC 5936 client rules: the stream ends when the opening SOA
     appears a second time; anything else (REFUSED, connection loss before
-    the closing SOA) fails the transfer.
+    the closing SOA) fails the transfer.  With a ``retry`` policy, a
+    failed transfer is re-attempted with backoff (``retry.timeout_for``)
+    up to ``retry.max_retries`` times before ``on_complete(None)``.
     """
     if client_host.tcp_stack is None:
         TcpStack(client_host)
-    query = Message.make_query(origin, AXFR, msg_id=msg_id,
-                               recursion_desired=False)
-    framer = StreamFramer()
-    state = {"zone": Zone(origin), "soa_count": 0, "done": False}
+    loop = client_host.network.loop
 
-    def finish(zone: Optional[Zone]) -> None:
-        if not state["done"]:
+    def attempt(tries: int) -> None:
+        query = Message.make_query(origin, AXFR, msg_id=msg_id,
+                                   recursion_desired=False)
+        framer = StreamFramer()
+        state = {"zone": Zone(origin), "soa_count": 0, "done": False}
+
+        def finish(zone: Optional[Zone]) -> None:
+            if state["done"]:
+                return
             state["done"] = True
             connection.close()
+            if zone is None and retry is not None \
+                    and tries < retry.max_retries:
+                loop.call_later(retry.timeout_for(tries),
+                                attempt, tries + 1)
+                return
             on_complete(zone)
 
-    def on_message(wire: bytes) -> None:
-        if state["done"]:
-            return
-        message = Message.from_wire(wire)
-        if message.rcode != Rcode.NOERROR:
-            finish(None)
-            return
-        for rr in message.answer:
-            if rr.rrtype == RRType.SOA and rr.name == origin:
-                state["soa_count"] += 1
-                if state["soa_count"] == 2:
-                    finish(state["zone"])
-                    return
-                # fall through: the opening SOA is zone data too
-            if state["soa_count"] == 0:
-                finish(None)  # stream must open with the SOA
+        def on_message(wire: bytes) -> None:
+            if state["done"]:
                 return
-            state["zone"].add_rr(rr)
+            message = Message.from_wire(wire)
+            if message.rcode != Rcode.NOERROR:
+                finish(None)
+                return
+            for rr in message.answer:
+                if rr.rrtype == RRType.SOA and rr.name == origin:
+                    state["soa_count"] += 1
+                    if state["soa_count"] == 2:
+                        finish(state["zone"])
+                        return
+                    # fall through: the opening SOA is zone data too
+                if state["soa_count"] == 0:
+                    finish(None)  # stream must open with the SOA
+                    return
+                state["zone"].add_rr(rr)
 
-    framer.on_message = on_message
-    stack: TcpStack = client_host.tcp_stack
-    connection = stack.connect(client_host.primary_address, server_address,
-                               port, TcpOptions(nagle=False))
-    connection.on_data = lambda _cn, data: framer.feed(data)
-    connection.on_close = lambda cn: (finish(None), cn.close())
-    connection.on_reset = lambda _cn: finish(None)
-    connection.send(frame_message(query.to_wire()))
+        framer.on_message = on_message
+        stack: TcpStack = client_host.tcp_stack
+        connection = stack.connect(client_host.primary_address,
+                                   server_address, port,
+                                   TcpOptions(nagle=False))
+        connection.on_data = lambda _cn, data: framer.feed(data)
+        connection.on_close = lambda cn: (finish(None), cn.close())
+        connection.on_reset = lambda _cn: finish(None)
+        connection.send(frame_message(query.to_wire()))
+
+    attempt(0)

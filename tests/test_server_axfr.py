@@ -130,3 +130,50 @@ class TestTransfer:
             msg_id=9).to_wire()))
         loop.run(max_time=10)
         assert answers and answers[0].rcode == Rcode.NOERROR
+
+
+class TestTransferRetry:
+    """Failed transfers re-attempt with backoff under a RetryPolicy."""
+
+    def deploy_empty(self):
+        from repro.netsim import EventLoop, Network
+        loop = EventLoop()
+        network = Network(loop)
+        server_host = network.add_host("primary", "10.10.0.2")
+        engine = AuthoritativeServer.single_view([])
+        HostedDnsServer(server_host, engine)
+        client = network.add_host("secondary", "10.10.0.3")
+        return loop, client, engine
+
+    def test_retry_succeeds_after_zone_appears(self):
+        from repro.netsim import RetryPolicy
+        zone = big_zone(20)
+        loop, client, engine = self.deploy_empty()
+        got = []
+        # First attempt is REFUSED (zone not hosted yet); the zone
+        # shows up before the backoff expires and the retry transfers.
+        axfr_fetch(client, "10.10.0.2", zone.origin, got.append,
+                   retry=RetryPolicy(udp_timeout=0.5, max_retries=2))
+        loop.call_at(0.3, engine.views[0].zones.add, zone)
+        loop.run(max_time=20)
+        assert got and got[0] is not None
+        assert got[0].record_count() == zone.record_count()
+
+    def test_gives_up_after_budget(self):
+        from repro.netsim import RetryPolicy
+        zone = big_zone(5)
+        loop, client, engine = self.deploy_empty()
+        got = []
+        axfr_fetch(client, "10.10.0.2", zone.origin, got.append,
+                   retry=RetryPolicy(udp_timeout=0.2, max_retries=1))
+        loop.run(max_time=20)
+        # Exactly one completion callback, after both attempts failed.
+        assert got == [None]
+
+    def test_no_policy_fails_immediately(self):
+        zone = big_zone(5)
+        loop, client, engine = self.deploy_empty()
+        got = []
+        axfr_fetch(client, "10.10.0.2", zone.origin, got.append)
+        loop.run(max_time=20)
+        assert got == [None]

@@ -232,3 +232,64 @@ class TestTransportConfig:
         conn.send(frame_message(make_query()))
         loop.run(max_time=120)
         assert server.tcp_stack.established_count() == 1
+
+
+class SlowEngine:
+    """Answers asynchronously after a delay — long enough for the
+    client to reset the connection while the response is in flight."""
+
+    def __init__(self, loop, delay=0.5):
+        self.loop = loop
+        self.delay = delay
+
+    def handle_query_async(self, query, source, transport, respond):
+        self.loop.call_later(self.delay, respond,
+                             Message.make_response(query))
+
+
+class TestResponseDroppedOnClosed:
+    """The reset-while-response-in-flight branches of the send path."""
+
+    def deploy_slow(self):
+        loop = EventLoop()
+        network = Network(loop)
+        server_host = network.add_host("server", "10.5.0.2")
+        client_host = network.add_host("client", "10.5.0.1")
+        server = HostedDnsServer(
+            server_host, SlowEngine(loop),
+            config=TransportConfig(udp=True, tcp=True, tls=True))
+        return loop, server, client_host
+
+    def test_tcp_reset_while_response_in_flight(self):
+        loop, server, client = self.deploy_slow()
+        stack = TcpStack(client)
+        conn = stack.connect("10.5.0.1", "10.5.0.2", DNS_PORT,
+                             TcpOptions(nagle=False))
+        conn.send(frame_message(make_query()))
+        # The engine responds at ~0.5 s; reset the connection first.
+        loop.call_at(0.2, conn.abort)
+        loop.run(max_time=5)
+        assert server.responses_dropped_on_closed == 1
+
+    def test_tls_reset_while_response_in_flight(self):
+        loop, server, client = self.deploy_slow()
+        stack = TcpStack(client)
+        conn = stack.connect("10.5.0.1", "10.5.0.2", DNS_OVER_TLS_PORT,
+                             TcpOptions(nagle=False))
+        endpoint = TlsEndpoint(conn, "client")
+        endpoint.send(frame_message(make_query()))
+        loop.call_at(0.2, conn.abort)
+        loop.run(max_time=5)
+        assert server.responses_dropped_on_closed == 1
+
+    def test_graceful_serving_does_not_count_drops(self):
+        loop, server, client = self.deploy_slow()
+        got = []
+        stack = TcpStack(client)
+        conn = stack.connect("10.5.0.1", "10.5.0.2", DNS_PORT,
+                             TcpOptions(nagle=False))
+        conn.on_data = lambda cn, data: got.append(data)
+        conn.send(frame_message(make_query()))
+        loop.run(max_time=5)
+        assert got
+        assert server.responses_dropped_on_closed == 0
