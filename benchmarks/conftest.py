@@ -10,6 +10,9 @@ Run with::
     pytest benchmarks/ --benchmark-only
 """
 
+import json
+from pathlib import Path
+
 import pytest
 
 from repro.experiments.common import Scale
@@ -36,3 +39,38 @@ def run_once(benchmark, func, *args, **kwargs):
     """Execute an experiment exactly once under the benchmark timer."""
     return benchmark.pedantic(func, args=args, kwargs=kwargs,
                               rounds=1, iterations=1)
+
+
+# -- machine-readable benchmark records ---------------------------------
+#
+# Benchmarks that track the hot-path trajectory (wall-clock q/s, cache
+# hit rates) record named measurement dicts; at session end they are
+# written as one JSON document so CI and future PRs can diff them.
+
+_BENCH_RECORDS = {}
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--bench-json", action="store", default="BENCH_hotpath.json",
+        metavar="PATH",
+        help="where to write machine-readable hot-path benchmark "
+             "records (relative to the repo root)")
+
+
+@pytest.fixture(scope="session")
+def bench_json_record():
+    """A callable recording one named measurement dict into the report."""
+    def record(name, **fields):
+        _BENCH_RECORDS[name] = fields
+    return record
+
+
+def pytest_sessionfinish(session, exitstatus):
+    if not _BENCH_RECORDS:
+        return
+    path = Path(session.config.getoption("--bench-json"))
+    if not path.is_absolute():
+        path = Path(str(session.config.rootpath)) / path
+    path.write_text(json.dumps(_BENCH_RECORDS, indent=2, sort_keys=True)
+                    + "\n")

@@ -1,0 +1,118 @@
+"""Hot-path micro-benchmark: response-wire cache + codec fast paths.
+
+Replays a Zipf-skewed synthetic trace (the B-Root-like shape where a
+small hot set of names dominates the stream) through the simulated
+pipeline twice — with the response-wire cache enabled and disabled —
+and records wall-clock rates, the cache hit rate, and the perf-counter
+snapshot into ``BENCH_hotpath.json`` (see ``--bench-json`` in
+conftest).  The assertions gate the PR's acceptance criteria: the
+cached fast path must beat the pre-optimization baseline by >= 1.5x and
+the Zipf trace must hit the cache > 90% of the time.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from conftest import run_once
+
+from repro.experiments.fig6_timing import wildcard_example_zone
+from repro.experiments.topology import build_evaluation_topology
+from repro.perf import PerfCounters
+from repro.replay import ReplayConfig, SimReplayEngine
+from repro.server import AuthoritativeServer, HostedDnsServer
+from repro.trace import zipf_trace
+
+# Fast-path wall-clock q/s measured on this machine immediately before
+# the hot-path pass (20 k-query Zipf replay, same harness as below).
+# The acceptance bar is >= 1.5x this figure.
+PRE_PR_BASELINE_QPS = 4373.0
+
+QUERY_COUNT = 20000
+
+
+def _replay_zipf(cached: bool):
+    """One fast-rate Zipf replay; returns wall-clock + counter facts."""
+    testbed = build_evaluation_topology()
+    perf = PerfCounters()
+    server = AuthoritativeServer.single_view([wildcard_example_zone()])
+    if not cached:
+        server.wire_cache = None
+    server.perf = perf
+    HostedDnsServer(testbed.server_host, server, perf=perf)
+    engine = SimReplayEngine(
+        testbed.network,
+        ReplayConfig(track_timing=False, fast_replay_rate=200000.0),
+        perf=perf)
+    trace = zipf_trace(QUERY_COUNT, server="10.0.0.2")
+    started = time.perf_counter()
+    result = engine.replay(trace, extra_time=5.0)
+    wall = time.perf_counter() - started
+    assert len(result) == QUERY_COUNT
+    assert result.answered_fraction() == 1.0
+    return {
+        "wall_s": wall,
+        "qps": QUERY_COUNT / wall,
+        "cache": (server.wire_cache.counters()
+                  if server.wire_cache is not None else None),
+        "hit_rate": (server.wire_cache.hit_rate()
+                     if server.wire_cache is not None else None),
+        "perf": perf.snapshot(),
+    }
+
+
+@pytest.mark.benchmark
+def test_hotpath_fast_replay_rate(benchmark, bench_json_record):
+    cached = run_once(benchmark, _replay_zipf, True)
+    uncached = _replay_zipf(False)
+
+    speedup_vs_baseline = cached["qps"] / PRE_PR_BASELINE_QPS
+    speedup_vs_uncached = uncached["wall_s"] / cached["wall_s"]
+    print()
+    print(f"fast path: {cached['qps']:.0f} q/s cached, "
+          f"{uncached['qps']:.0f} q/s uncached, "
+          f"{PRE_PR_BASELINE_QPS:.0f} q/s pre-PR baseline")
+    print(f"cache hit rate: {cached['hit_rate']:.3f}  "
+          f"({cached['cache']})")
+
+    bench_json_record(
+        "hotpath_zipf_replay",
+        queries=QUERY_COUNT,
+        fastpath_qps=round(cached["qps"], 1),
+        uncached_qps=round(uncached["qps"], 1),
+        baseline_qps_pre_pr=PRE_PR_BASELINE_QPS,
+        speedup_vs_baseline=round(speedup_vs_baseline, 3),
+        speedup_vs_uncached=round(speedup_vs_uncached, 3),
+        cache_hit_rate=round(cached["hit_rate"], 4),
+        cache=cached["cache"],
+        perf=cached["perf"],
+    )
+
+    # Acceptance criteria for the hot-path pass.
+    assert cached["hit_rate"] > 0.90
+    assert speedup_vs_baseline >= 1.5
+    # The cache alone (codec fast paths held equal) must still pay.
+    assert speedup_vs_uncached > 1.2
+
+
+@pytest.mark.benchmark
+def test_hotpath_counters_observe_replay(benchmark, bench_json_record):
+    # The perf registry must see the whole pipeline: scheduled queries,
+    # loop events, hosting decodes, and cache traffic, with wall-time
+    # phases that make events/sec derivable.
+    facts = run_once(benchmark, _replay_zipf, True)
+    perf = facts["perf"]
+    assert perf["replay.queries_scheduled"] == QUERY_COUNT
+    assert perf["replay.events_processed"] > QUERY_COUNT
+    assert perf["hosting.queries"] == QUERY_COUNT
+    assert perf["hosting.decodes"] == QUERY_COUNT
+    hits = perf["server.wire_cache_hits"]
+    misses = perf["server.wire_cache_misses"]
+    assert hits + misses == QUERY_COUNT
+    assert perf["replay.run_s"] > 0.0
+    assert perf["replay.schedule_s"] > 0.0
+    bench_json_record("hotpath_counters", **{
+        key: value for key, value in perf.items()
+        if not key.endswith("_s")})

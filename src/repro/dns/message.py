@@ -2,8 +2,9 @@
 
 from __future__ import annotations
 
+import struct
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Tuple
 
 from .constants import Flag, Opcode, RRClass, RRType, Rcode
 from .edns import Edns, parse_opt_record
@@ -95,19 +96,65 @@ class Message:
         """Encode; if ``max_size`` is given and exceeded, truncate (TC=1).
 
         Truncation follows resolver-friendly practice: drop whole records
-        from the tail until the message fits, setting the TC bit.
+        from the tail until the message fits, setting the TC bit.  The
+        truncated wire is assembled from the already-encoded question
+        section (compression pointers in the question section only target
+        earlier question names, so the bytes are position-independent
+        once the 12-byte header is kept), avoiding a second full encode.
         """
-        wire = self._encode()
+        wire, question_end = self._encode_cached()
         if max_size is None or len(wire) <= max_size:
             return wire
-        truncated = Message(
-            msg_id=self.msg_id, flags=self.flags | Flag.TC,
-            opcode=self.opcode, rcode=self.rcode,
-            question=list(self.question), edns=self.edns,
-        )
-        return truncated._encode()
+        flags = (int(self.flags | Flag.TC) | (int(self.opcode) << 11)
+                 | int(self.rcode))
+        header = struct.pack("!6H", self.msg_id, flags, len(self.question),
+                             0, 0, 1 if self.edns is not None else 0)
+        tail = b""
+        if self.edns is not None:
+            writer = WireWriter(compress=False)
+            self.edns.to_wire(writer)
+            tail = writer.getvalue()
+        return header + wire[12:question_end] + tail
+
+    def _fingerprint(self) -> tuple:
+        """Identity of everything :meth:`_encode` reads.
+
+        Sections hold frozen records, so object identity pins their
+        encoding; the cache entry keeps strong references to the listed
+        objects, which prevents id() reuse while the entry is alive.
+        ``Edns`` is mutable and is fingerprinted by value instead.
+        """
+        edns = self.edns
+        edns_fp = None if edns is None else (
+            edns.payload_size, edns.dnssec_ok, edns.version,
+            edns.extended_rcode,
+            tuple((o.code, o.data) for o in edns.options))
+        return (self.msg_id, int(self.flags), int(self.opcode),
+                int(self.rcode),
+                tuple(map(id, self.question)), tuple(map(id, self.answer)),
+                tuple(map(id, self.authority)),
+                tuple(map(id, self.additional)), edns_fp)
+
+    def _encode_cached(self) -> Tuple[bytes, int]:
+        """Encode, reusing the previous wire if the message is unchanged.
+
+        Returns ``(wire, question_end)`` where ``question_end`` is the
+        offset just past the question section (used by truncation).
+        """
+        fingerprint = self._fingerprint()
+        cached = getattr(self, "_wire_cache", None)
+        if cached is not None and cached[0] == fingerprint:
+            return cached[2], cached[3]
+        refs = (tuple(self.question), tuple(self.answer),
+                tuple(self.authority), tuple(self.additional))
+        wire, question_end = self._encode_sections()
+        self._wire_cache = (fingerprint, refs, wire, question_end)
+        return wire, question_end
 
     def _encode(self) -> bytes:
+        return self._encode_sections()[0]
+
+    def _encode_sections(self) -> Tuple[bytes, int]:
         writer = WireWriter()
         writer.write_u16(self.msg_id)
         flags = int(self.flags) | (int(self.opcode) << 11) | int(self.rcode)
@@ -119,6 +166,7 @@ class Message:
         writer.write_u16(additional_count)
         for question in self.question:
             question.to_wire(writer)
+        question_end = writer.tell()
         for rr in self.answer:
             rr.to_wire(writer)
         for rr in self.authority:
@@ -127,7 +175,7 @@ class Message:
             rr.to_wire(writer)
         if self.edns is not None:
             self.edns.to_wire(writer)
-        return writer.getvalue()
+        return writer.getvalue(), question_end
 
     @classmethod
     def from_wire(cls, wire: bytes) -> "Message":
@@ -172,7 +220,7 @@ class Message:
         return message
 
     def wire_size(self) -> int:
-        return len(self._encode())
+        return len(self._encode_cached()[0])
 
     def to_text(self) -> str:
         lines = [

@@ -26,7 +26,7 @@ class NameError_(ValueError):
 class Name:
     """An immutable, case-insensitively-comparable domain name."""
 
-    __slots__ = ("_labels", "_key", "_hash")
+    __slots__ = ("_labels", "_key", "_hash", "_wire", "_text")
 
     def __init__(self, labels: Iterable[bytes] = ()):
         labels = tuple(labels)
@@ -40,6 +40,27 @@ class Name:
         self._labels = labels
         self._key = tuple(l.lower() for l in labels)
         self._hash = hash(self._key)
+        self._wire = None
+        self._text = None
+
+    @classmethod
+    def _trusted(cls, labels: Tuple[bytes, ...],
+                 key: Optional[Tuple[bytes, ...]] = None) -> "Name":
+        """Construct from labels already validated by an existing Name.
+
+        Skips the per-label validation and, when ``key`` (the lowercased
+        label tuple) is supplied, the lowercasing pass — derivation
+        methods like :meth:`ancestors` slice both tuples of a validated
+        name, which is the event loop's hottest allocation site.
+        """
+        self = object.__new__(cls)
+        self._labels = labels
+        self._key = (key if key is not None
+                     else tuple(l.lower() for l in labels))
+        self._hash = hash(self._key)
+        self._wire = None
+        self._text = None
+        return self
 
     @classmethod
     def from_text(cls, text: str) -> "Name":
@@ -92,7 +113,11 @@ class Name:
         return bool(self._labels) and self._labels[0] == b"*"
 
     def to_text(self) -> str:
+        text = self._text
+        if text is not None:
+            return text
         if not self._labels:
+            self._text = "."
             return "."
         parts = []
         for label in self._labels:
@@ -106,7 +131,9 @@ class Name:
                 else:
                     out.append("\\%03d" % byte)
             parts.append("".join(out))
-        return ".".join(parts) + "."
+        text = ".".join(parts) + "."
+        self._text = text
+        return text
 
     def to_wire(self, compress: Optional["CompressionContext"] = None,
                 offset: int = 0) -> bytes:
@@ -115,19 +142,30 @@ class Name:
         ``offset`` is the position in the message where this name begins;
         it is needed to record compression targets.
         """
+        if compress is None:
+            wire = self._wire
+            if wire is None:
+                out = bytearray()
+                for label in self._labels:
+                    out.append(len(label))
+                    out += label
+                out.append(0)
+                wire = bytes(out)
+                self._wire = wire
+            return wire
         out = bytearray()
         labels = self._labels
+        key = self._key
         index = 0
-        while index < len(labels):
-            suffix = Name(labels[index:])
-            if compress is not None:
-                target = compress.lookup(suffix)
-                if target is not None:
-                    out += bytes(((POINTER_MASK | (target >> 8)), target & 0xFF))
-                    return bytes(out)
-                position = offset + len(out)
-                if position <= MAX_POINTER_TARGET:
-                    compress.add(suffix, position)
+        n = len(labels)
+        while index < n:
+            target = compress.lookup_key(key[index:])
+            if target is not None:
+                out += bytes(((POINTER_MASK | (target >> 8)), target & 0xFF))
+                return bytes(out)
+            position = offset + len(out)
+            if position <= MAX_POINTER_TARGET:
+                compress.add_key(key[index:], position)
             label = labels[index]
             out.append(len(label))
             out += label
@@ -138,7 +176,7 @@ class Name:
     def parent(self) -> "Name":
         if not self._labels:
             raise NameError_("the root name has no parent")
-        return Name(self._labels[1:])
+        return Name._trusted(self._labels[1:], self._key[1:])
 
     def is_subdomain_of(self, other: "Name") -> bool:
         """True if self is equal to or below ``other``."""
@@ -159,16 +197,19 @@ class Name:
 
     def split(self, depth: int) -> Tuple["Name", "Name"]:
         """Split into (prefix of ``depth`` labels, remaining suffix)."""
-        return Name(self._labels[:depth]), Name(self._labels[depth:])
+        return (Name._trusted(self._labels[:depth], self._key[:depth]),
+                Name._trusted(self._labels[depth:], self._key[depth:]))
 
     def wildcard_sibling(self) -> "Name":
         """The ``*.<parent>`` name used for wildcard matching (RFC 4592)."""
-        return Name((b"*",) + self._labels[1:])
+        return Name._trusted((b"*",) + self._labels[1:],
+                             (b"*",) + self._key[1:])
 
     def ancestors(self) -> Iterator["Name"]:
         """Yield self, then each ancestor up to and including the root."""
-        for i in range(len(self._labels) + 1):
-            yield Name(self._labels[i:])
+        labels, key = self._labels, self._key
+        for i in range(len(labels) + 1):
+            yield Name._trusted(labels[i:], key[i:])
 
     def __len__(self) -> int:
         return len(self._labels)
@@ -200,19 +241,30 @@ ROOT = Name(())
 
 
 class CompressionContext:
-    """Tracks name suffixes already emitted in a message being encoded."""
+    """Tracks name suffixes already emitted in a message being encoded.
+
+    Keyed on lowercased label tuples rather than :class:`Name` objects so
+    the encoder can probe suffixes without materialising a Name per label
+    (the old per-suffix allocation dominated message encoding).
+    """
 
     def __init__(self) -> None:
-        self._table: dict[Name, int] = {}
+        self._table: dict[Tuple[bytes, ...], int] = {}
+
+    def lookup_key(self, key: Tuple[bytes, ...]) -> Optional[int]:
+        if not key:
+            return None  # the root is 1 byte; a pointer is 2
+        return self._table.get(key)
+
+    def add_key(self, key: Tuple[bytes, ...], position: int) -> None:
+        if key and key not in self._table:
+            self._table[key] = position
 
     def lookup(self, name: Name) -> Optional[int]:
-        if name.is_root():
-            return None  # the root is 1 byte; a pointer is 2
-        return self._table.get(name)
+        return self.lookup_key(name._key)
 
     def add(self, name: Name, position: int) -> None:
-        if not name.is_root() and name not in self._table:
-            self._table[name] = position
+        self.add_key(name._key, position)
 
 
 def parse_wire_name(wire: bytes, offset: int) -> Tuple[Name, int]:

@@ -52,6 +52,9 @@ class Zone:
         self.rrclass = rrclass
         self._nodes: Dict[Name, Dict[RRType, RRset]] = {}
         self._canonical_cache: Optional[List[Name]] = None
+        # Bumped on every mutation; response-wire cache entries record the
+        # generation they were built against and are invalid once it moves.
+        self.generation = 0
 
     # -- construction ----------------------------------------------------
 
@@ -59,6 +62,7 @@ class Zone:
         if not rr.name.is_subdomain_of(self.origin):
             raise ZoneError(f"{rr.name} is outside zone {self.origin}")
         self._canonical_cache = None
+        self.generation += 1
         node = self._nodes.setdefault(rr.name, {})
         rrset = node.get(rr.rrtype)
         if rrset is None:
@@ -75,6 +79,7 @@ class Zone:
     def remove(self, name: Name, rrtype: Optional[RRType] = None) -> None:
         node = self._nodes.get(name)
         self._canonical_cache = None
+        self.generation += 1
         if node is None:
             return
         if rrtype is None:

@@ -218,6 +218,7 @@ class Host:
         self.meter_in = TrafficMeter(network.loop)
         self.meter_out = TrafficMeter(network.loop)
         self._udp_sockets: Dict[Tuple[Address, int], UdpSocket] = {}
+        self._udp_ports: Dict[int, int] = {}  # port -> bound-socket count
         self._next_ephemeral = 32768
         self.tcp_stack = None  # attached lazily by repro.netsim.tcp
         # Crash state driven by repro.netsim.faults: a down host neither
@@ -249,12 +250,31 @@ class Host:
     def owns(self, address: Address) -> bool:
         return address in self.addresses
 
+    EPHEMERAL_FIRST = 32768
+    EPHEMERAL_LAST = 60999
+
     def allocate_port(self) -> int:
-        port = self._next_ephemeral
-        self._next_ephemeral += 1
-        if self._next_ephemeral > 60999:
-            self._next_ephemeral = 32768
-        return port
+        """The next free ephemeral port.
+
+        On wrap-around, ports still bound (UDP sockets or live TCP
+        flows) are skipped — handing out a bound port would collide two
+        flows, which long connection-footprint runs actually hit.
+        """
+        span = self.EPHEMERAL_LAST - self.EPHEMERAL_FIRST + 1
+        for _ in range(span):
+            port = self._next_ephemeral
+            self._next_ephemeral += 1
+            if self._next_ephemeral > self.EPHEMERAL_LAST:
+                self._next_ephemeral = self.EPHEMERAL_FIRST
+            if not self._port_in_use(port):
+                return port
+        raise NetworkError(f"{self.name}: ephemeral port range exhausted")
+
+    def _port_in_use(self, port: int) -> bool:
+        if port in self._udp_ports:
+            return True
+        return (self.tcp_stack is not None
+                and self.tcp_stack.port_in_use(port))
 
     # -- TUN / netfilter -------------------------------------------------
 
@@ -276,10 +296,17 @@ class Host:
             raise NetworkError(f"{self.name} does not own {address}")
         sock = UdpSocket(self, address, port, on_datagram)
         self._udp_sockets[key] = sock
+        self._udp_ports[port] = self._udp_ports.get(port, 0) + 1
         return sock
 
     def _unbind_udp(self, sock: UdpSocket) -> None:
-        self._udp_sockets.pop((sock.address, sock.port), None)
+        if self._udp_sockets.pop((sock.address, sock.port), None) is None:
+            return
+        count = self._udp_ports.get(sock.port, 0) - 1
+        if count <= 0:
+            self._udp_ports.pop(sock.port, None)
+        else:
+            self._udp_ports[sock.port] = count
 
     # -- packet paths -------------------------------------------------------
 

@@ -23,6 +23,25 @@ def validate_address(address: Address) -> Address:
     return address
 
 
+# Checksums pack the same source/destination addresses for every packet
+# of a flow; parsing dotted-quad text through ``ipaddress`` dominated
+# the checksum cost, so the packed form is memoized.  The population of
+# distinct addresses is bounded by the experiment's host count; the cap
+# is a safety valve for adversarial traces.
+_PACKED_CACHE_LIMIT = 1 << 16
+_packed_cache: dict = {}
+
+
+def _packed(address: Address) -> bytes:
+    packed = _packed_cache.get(address)
+    if packed is None:
+        packed = ipaddress.IPv4Address(address).packed
+        if len(_packed_cache) >= _PACKED_CACHE_LIMIT:
+            _packed_cache.clear()
+        _packed_cache[address] = packed
+    return packed
+
+
 class TcpFlags(IntFlag):
     SYN = 0x02
     ACK = 0x10
@@ -31,7 +50,7 @@ class TcpFlags(IntFlag):
     PSH = 0x08
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class UdpSegment:
     sport: int
     dport: int
@@ -48,7 +67,7 @@ class UdpSegment:
                 + self.dport.to_bytes(2, "big") + self.data)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TcpSegment:
     sport: int
     dport: int
@@ -80,7 +99,7 @@ Segment = Union[UdpSegment, TcpSegment]
 IP_HEADER_SIZE = 20
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class IpPacket:
     """A simulated IPv4 packet: addresses + one transport segment."""
 
@@ -99,10 +118,8 @@ class IpPacket:
         return IP_HEADER_SIZE + self.segment.wire_size()
 
     def compute_checksum(self) -> int:
-        payload = (ipaddress.IPv4Address(self.src).packed
-                   + ipaddress.IPv4Address(self.dst).packed
-                   + self.segment.pseudo_bytes())
-        return zlib.crc32(payload) & 0xFFFFFFFF
+        header_crc = zlib.crc32(_packed(self.dst), zlib.crc32(_packed(self.src)))
+        return zlib.crc32(self.segment.pseudo_bytes(), header_crc) & 0xFFFFFFFF
 
     def with_checksum(self) -> "IpPacket":
         return replace(self, checksum=self.compute_checksum())

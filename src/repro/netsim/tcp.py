@@ -508,6 +508,7 @@ class TcpStack:
         self.max_connections = max_connections
         self._listeners: Dict[Tuple[Address, int], TcpListener] = {}
         self._connections: Dict[FlowKey, TcpConnection] = {}
+        self._local_ports: Dict[int, int] = {}  # port -> live-flow count
         # Counters the experiments sample (netstat analogues).
         self.total_accepted = 0
         self.total_connected = 0
@@ -547,9 +548,26 @@ class TcpStack:
         if key in self._connections:
             raise NetworkError(f"flow {key} already exists")
         self._connections[key] = conn
+        self._note_port_bound(local_port)
         self.total_connected += 1
         conn._start_connect()
         return conn
+
+    def port_in_use(self, port: int) -> bool:
+        """True if any live flow or listener binds this local port."""
+        if port in self._local_ports:
+            return True
+        return any(bound == port for _addr, bound in self._listeners)
+
+    def _note_port_bound(self, port: int) -> None:
+        self._local_ports[port] = self._local_ports.get(port, 0) + 1
+
+    def _note_port_released(self, port: int) -> None:
+        count = self._local_ports.get(port, 0) - 1
+        if count <= 0:
+            self._local_ports.pop(port, None)
+        else:
+            self._local_ports[port] = count
 
     # -- segment input -----------------------------------------------------
 
@@ -574,6 +592,7 @@ class TcpStack:
                     (packet.src, segment.sport),
                     TcpOptions(**vars(listener.options)))
                 self._connections[key] = conn
+                self._note_port_bound(segment.dport)
                 self.total_accepted += 1
                 listener.accepted += 1
                 conn._start_accept(segment)
@@ -610,7 +629,8 @@ class TcpStack:
         pass  # counts are derived on demand; hook kept for monitors
 
     def _remove(self, conn: TcpConnection) -> None:
-        self._connections.pop(conn.key, None)
+        if self._connections.pop(conn.key, None) is not None:
+            self._note_port_released(conn.local_port)
 
     def connections(self) -> List[TcpConnection]:
         return list(self._connections.values())

@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from ..netsim import EventLoop, Host, LatencyModel, Network
+from ..perf import PerfCounters
 from ..trace import Trace
 from .distributor import Controller, Distributor, DistributionStats
 from .querier import QuerierConfig, SimQuerier
@@ -51,10 +52,12 @@ class SimReplayEngine:
     """Builds the client tree on a network and replays traces."""
 
     def __init__(self, network: Network,
-                 config: Optional[ReplayConfig] = None):
+                 config: Optional[ReplayConfig] = None,
+                 perf: Optional[PerfCounters] = None):
         self.network = network
         self.loop: EventLoop = network.loop
         self.config = config if config is not None else ReplayConfig()
+        self.perf = perf if perf is not None else PerfCounters()
         self.stats = DistributionStats()
         self.client_hosts: List[Host] = []
         self.queriers: List[SimQuerier] = []
@@ -100,22 +103,27 @@ class SimReplayEngine:
         fast_gap = (1.0 / self.config.fast_replay_rate
                     if self.config.fast_replay_rate else 0.0)
 
-        for index, record in enumerate(trace.records):
-            if self.config.live_mutator is not None:
-                record = self.config.live_mutator.apply_record(record)
-                if record is None:
-                    continue
-            querier = self.controller.dispatch(record.src)
-            available = self.controller.availability_time(index, start_clock)
-            if self.config.track_timing:
-                target = timing.target_clock_time(record.timestamp)
-                if jitter is not None:
-                    target += jitter.draw()
-                send_at = max(available, target, self.loop.now)
-            else:
-                send_at = max(available, start_clock + index * fast_gap)
-            self.loop.call_at(send_at, self._dispatch_send, querier, index,
-                              record, send_at)
+        with self.perf.timed("replay.schedule"):
+            batch = []
+            for index, record in enumerate(trace.records):
+                if self.config.live_mutator is not None:
+                    record = self.config.live_mutator.apply_record(record)
+                    if record is None:
+                        continue
+                querier = self.controller.dispatch(record.src)
+                available = self.controller.availability_time(index,
+                                                              start_clock)
+                if self.config.track_timing:
+                    target = timing.target_clock_time(record.timestamp)
+                    if jitter is not None:
+                        target += jitter.draw()
+                    send_at = max(available, target, self.loop.now)
+                else:
+                    send_at = max(available, start_clock + index * fast_gap)
+                batch.append((send_at, self._dispatch_send,
+                              (querier, index, record, send_at)))
+            self.loop.call_at_many(batch)
+            self.perf.incr("replay.queries_scheduled", len(batch))
         return self.result
 
     # -- failover ---------------------------------------------------------
@@ -165,7 +173,11 @@ class SimReplayEngine:
         if trace.records:
             end = (self.loop.now + self.config.start_delay
                    + trace.duration() + extra_time)
-            self.loop.run_until(end)
+            events_before = self.loop.events_processed
+            with self.perf.timed("replay.run"):
+                self.loop.run_until(end)
+            self.perf.incr("replay.events_processed",
+                           self.loop.events_processed - events_before)
         return result
 
     # -- introspection ------------------------------------------------------

@@ -15,12 +15,13 @@ from .dnsio import FramingError, StreamFramer, frame_message, iter_framed
 from .dynamic import CdnPolicy, DynamicOverlay
 from .hosting import HostedDnsServer, TransportConfig
 from .recursive import RecursiveResolver, ResolverStats
+from .wirecache import ResponseWireCache, WireCacheEntry
 
 __all__ = [
     "AXFR", "AuthoritativeServer", "AxfrError", "axfr_fetch",
     "axfr_response_stream", "CacheEntry", "CacheOutcome", "CdnPolicy",
     "ConfigError", "DnsCache", "DynamicOverlay", "FramingError",
-    "HostedDnsServer", "RecursiveResolver", "ResolverStats", "ServerStats",
-    "StreamFramer", "TransportConfig", "View", "ZoneSet", "frame_message",
-    "iter_framed",
+    "HostedDnsServer", "RecursiveResolver", "ResolverStats",
+    "ResponseWireCache", "ServerStats", "StreamFramer", "TransportConfig",
+    "View", "WireCacheEntry", "ZoneSet", "frame_message", "iter_framed",
 ]

@@ -22,6 +22,8 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..dns import (AnswerKind, Edns, Flag, Message, Name, Opcode, Question,
                    RRClass, RRType, RRset, Rcode, UDP_PAYLOAD_LIMIT, Zone)
+from ..perf import PerfCounters
+from .wirecache import ResponseWireCache, WireCacheEntry
 
 
 class ConfigError(ValueError):
@@ -45,10 +47,18 @@ class ServerStats:
 
 
 class ZoneSet:
-    """Zones indexed for longest-origin-match lookup."""
+    """Zones indexed for longest-origin-match lookup.
+
+    ``version`` increments whenever the *set* of zones changes (a zone is
+    added or replaced wholesale); response-wire cache entries record the
+    version they were built against, so a reload invalidates them.
+    Mutations *inside* a zone are tracked separately by
+    :attr:`repro.dns.zone.Zone.generation`.
+    """
 
     def __init__(self, zones: Iterable[Zone] = ()):
         self._zones: Dict[Name, Zone] = {}
+        self.version = 0
         for zone in zones:
             self.add(zone)
 
@@ -56,6 +66,17 @@ class ZoneSet:
         if zone.origin in self._zones:
             raise ConfigError(f"duplicate zone {zone.origin}")
         self._zones[zone.origin] = zone
+        self.version += 1
+
+    def replace(self, zone: Zone) -> Optional[Zone]:
+        """Swap in a freshly transferred copy of a zone (AXFR reload).
+
+        Returns the previous zone with the same origin, if any.
+        """
+        previous = self._zones.get(zone.origin)
+        self._zones[zone.origin] = zone
+        self.version += 1
+        return previous
 
     def find(self, qname: Name) -> Optional[Zone]:
         """The zone with the longest origin that encloses ``qname``."""
@@ -98,18 +119,31 @@ class View:
         return not self.match_clients or source in self.match_clients
 
 
+_DEFAULT_CACHE = object()  # sentinel: build a ResponseWireCache per server
+
+
 class AuthoritativeServer:
     """Answers queries from hosted zones, selecting by view.
 
     ``dynamic`` optionally layers CDN-style per-query answers over the
     static zones (see :mod:`repro.server.dynamic`).
+
+    ``wire_cache`` caches encoded responses for the :meth:`serve_wire`
+    fast path; it is on by default and can be disabled by passing
+    ``wire_cache=None``.  ``perf`` optionally records cache and encode
+    counters into a :class:`repro.perf.PerfCounters` registry.
     """
 
     def __init__(self, views: Optional[Sequence[View]] = None,
-                 minimal_responses: bool = True, dynamic=None):
+                 minimal_responses: bool = True, dynamic=None,
+                 wire_cache=_DEFAULT_CACHE,
+                 perf: Optional[PerfCounters] = None):
         self.views: List[View] = list(views) if views is not None else []
         self.minimal_responses = minimal_responses
         self.dynamic = dynamic
+        self.wire_cache: Optional[ResponseWireCache] = (
+            ResponseWireCache() if wire_cache is _DEFAULT_CACHE else wire_cache)
+        self.perf = perf
         self.stats = ServerStats()
 
     @classmethod
@@ -308,4 +342,73 @@ class AuthoritativeServer:
         self.stats.truncated += 1
         wire = response.to_wire(max_size=limit)
         self.stats.response_bytes += len(wire)
+        return wire
+
+    # -- wire fast path ---------------------------------------------------
+
+    def serve_wire(self, query: Message, source: str = "0.0.0.0",
+                   transport: str = "udp") -> bytes:
+        """Answer ``query`` as encoded bytes via the response-wire cache.
+
+        On a hit, the stored wire is returned with only the 2-byte
+        message ID patched; lookup and encoding are skipped entirely.
+        Responses are byte-identical to the uncached
+        ``handle_query`` + ``encode_response`` path modulo the message ID.
+        Queries the cache cannot key safely (non-QUERY opcodes, non-IN
+        classes, multi-question messages, names covered by the dynamic
+        overlay, sources with no matching view) fall through to the slow
+        path untouched.
+        """
+        cache = self.wire_cache
+        question = query.question[0] if query.question else None
+        cacheable = (cache is not None
+                     and query.opcode == Opcode.QUERY
+                     and len(query.question) == 1
+                     and question.rrclass == RRClass.IN)
+        if cacheable and self.dynamic is not None \
+                and self.dynamic.policy_for(question.name) is not None:
+            cacheable = False
+        view = self.view_for(source) if cacheable else None
+        if cacheable and view is None:
+            cacheable = False
+        if not cacheable:
+            response = self.handle_query(query, source, transport)
+            return self.encode_response(query, response, transport)
+
+        edns = query.edns
+        key = (id(view), question.name.labels, int(question.rrtype),
+               int(question.rrclass), bool(query.flags & Flag.RD),
+               edns is not None,
+               edns.dnssec_ok if edns is not None else False,
+               self.udp_limit(query) if transport == "udp" else None)
+        entry = cache.get(key, view.zones.version)
+        stats = self.stats
+        if entry is not None:
+            stats.queries += 1
+            stats.responses += 1
+            stats.note_transport(transport)
+            deltas = entry.stat_deltas
+            stats.refused += deltas[0]
+            stats.nxdomain += deltas[1]
+            stats.referrals += deltas[2]
+            stats.truncated += deltas[3]
+            stats.response_bytes += deltas[4]
+            if self.perf is not None:
+                self.perf.incr("server.wire_cache_hits")
+            return query.msg_id.to_bytes(2, "big") + entry.wire[2:]
+
+        before = (stats.refused, stats.nxdomain, stats.referrals,
+                  stats.truncated, stats.response_bytes)
+        zone = view.zones.find(question.name)
+        zone_generation = zone.generation if zone is not None else -1
+        response = self.handle_query(query, source, transport)
+        wire = self.encode_response(query, response, transport)
+        cache.put(key, WireCacheEntry(
+            b"\x00\x00" + wire[2:], view.zones.version, zone,
+            zone_generation,
+            (stats.refused - before[0], stats.nxdomain - before[1],
+             stats.referrals - before[2], stats.truncated - before[3],
+             stats.response_bytes - before[4])))
+        if self.perf is not None:
+            self.perf.incr("server.wire_cache_misses")
         return wire

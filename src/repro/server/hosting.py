@@ -15,6 +15,7 @@ from typing import Callable, Dict, Optional
 from ..dns import DNS_OVER_TLS_PORT, DNS_PORT, Message, WireError
 from ..netsim import (Host, NetworkError, ServerResourceModel,
                       TcpConnection, TcpOptions, TcpStack, TlsEndpoint)
+from ..perf import PerfCounters
 from .dnsio import StreamFramer, frame_message
 
 # A query engine maps (query, source address, transport) to a response
@@ -39,9 +40,13 @@ class HostedDnsServer:
 
     def __init__(self, host: Host, engine, config: Optional[TransportConfig] = None,
                  resources: Optional[ServerResourceModel] = None,
-                 address: Optional[str] = None):
+                 address: Optional[str] = None,
+                 perf: Optional[PerfCounters] = None):
         self.host = host
         self.engine = engine
+        self.perf = perf if perf is not None else PerfCounters()
+        if getattr(engine, "perf", None) is None and hasattr(engine, "perf"):
+            engine.perf = self.perf
         self.config = config if config is not None else TransportConfig()
         self.address = address if address is not None else host.primary_address
         if host.tcp_stack is None:
@@ -179,11 +184,24 @@ class HostedDnsServer:
 
     def _serve(self, wire_query: bytes, source: str, transport: str,
                send: Callable[[bytes], None]) -> None:
+        perf = self.perf
+        perf.incr("hosting.queries")
         try:
             query = Message.from_wire(wire_query)
         except WireError:
             self.decode_errors += 1
+            perf.incr("hosting.decode_errors")
             return
+        perf.incr("hosting.decodes")
+
+        handle_async = getattr(self.engine, "handle_query_async", None)
+        if handle_async is None:
+            serve_wire = getattr(self.engine, "serve_wire", None)
+            if serve_wire is not None:
+                # Wire fast path: the engine answers in encoded bytes,
+                # usually straight out of its response-wire cache.
+                send(serve_wire(query, source, transport))
+                return
 
         def respond(response: Optional[Message]) -> None:
             if response is None:
@@ -198,7 +216,6 @@ class HostedDnsServer:
                              if query.edns is not None else 512)
                 send(response.to_wire(max_size=limit))
 
-        handle_async = getattr(self.engine, "handle_query_async", None)
         if handle_async is not None:
             handle_async(query, source, transport, respond)
         else:

@@ -1,0 +1,112 @@
+"""Response-wire cache for the authoritative engine.
+
+LDplayer replays are heavily skewed: a handful of names (the zone apex,
+popular second-level domains, the NXDOMAIN long tail's covering NSECs)
+dominate the query stream, so the same response is encoded over and over.
+The cache stores the *encoded wire* of a response keyed by everything
+that determines its bytes — the view, the exact-case qname, qtype/qclass,
+the RD bit, EDNS presence, the DO bit, and the effective payload limit —
+and answers repeat queries by patching the 2-byte message ID into a
+stored buffer instead of re-running lookup + encode.
+
+Entries are validated against the zone data they were built from: each
+entry records the :class:`~repro.server.authoritative.ZoneSet` version
+and the generation of the answering :class:`~repro.dns.zone.Zone`.  Any
+zone mutation (dynamic update, AXFR reload via ``ZoneSet.replace``)
+bumps those counters and lazily invalidates the stale entries.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+CacheKey = Tuple  # (view id, labels, qtype, qclass, rd, edns, do, limit)
+
+
+class WireCacheEntry:
+    """One cached response: canonical wire (message ID zeroed) + validity."""
+
+    __slots__ = ("wire", "zones_version", "zone", "zone_generation",
+                 "stat_deltas")
+
+    def __init__(self, wire: bytes, zones_version: int, zone,
+                 zone_generation: int, stat_deltas: Tuple[int, ...]):
+        self.wire = wire
+        self.zones_version = zones_version
+        self.zone = zone  # None for cached REFUSED (no matching zone)
+        self.zone_generation = zone_generation
+        self.stat_deltas = stat_deltas
+
+    def is_valid(self, zones_version: int) -> bool:
+        if self.zones_version != zones_version:
+            return False
+        if self.zone is not None and self.zone.generation != self.zone_generation:
+            return False
+        return True
+
+
+class ResponseWireCache:
+    """An LRU cache of encoded responses with explicit invalidation."""
+
+    def __init__(self, max_entries: int = 4096):
+        if max_entries <= 0:
+            raise ValueError("max_entries must be positive")
+        self.max_entries = max_entries
+        self._entries: "OrderedDict[CacheKey, WireCacheEntry]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: CacheKey, zones_version: int) -> Optional[WireCacheEntry]:
+        """The valid entry for ``key``, or None (stale entries are dropped).
+
+        Counts a hit or a miss; a stale entry counts as both an
+        invalidation and a miss.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if not entry.is_valid(zones_version):
+            del self._entries[key]
+            self.invalidations += 1
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: CacheKey, entry: WireCacheEntry) -> None:
+        self._entries[key] = entry
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.max_entries:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self.invalidations += len(self._entries)
+        self._entries.clear()
+
+    def hit_rate(self) -> Optional[float]:
+        total = self.hits + self.misses
+        if total == 0:
+            return None
+        return self.hits / total
+
+    def counters(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "invalidations": self.invalidations,
+        }
+
+    def __repr__(self) -> str:
+        return (f"ResponseWireCache({len(self._entries)}/{self.max_entries} "
+                f"entries, {self.hits} hits, {self.misses} misses)")

@@ -15,7 +15,7 @@ from .stats import (TraceSummary, cdf_points, client_load_cdf,
 from .synthetic import (BRootWorkload, ClientClassSpec, RecursiveWorkload,
                         SYNTHETIC_SPECS, fixed_interval_trace,
                         make_hierarchy_zones, make_root_zone,
-                        table1_synthetic)
+                        table1_synthetic, zipf_trace)
 from .textfmt import (TextFormatError, iter_text, line_to_record, read_text,
                       record_to_line, write_text)
 
@@ -33,5 +33,5 @@ __all__ = [
     "sample_clients", "scale_time", "set_dnssec_fraction",
     "set_message_id_sequence", "shift_time", "stddev", "summarize",
     "table1_synthetic", "top_client_share", "write_binary", "write_pcap",
-    "write_text",
+    "write_text", "zipf_trace",
 ]

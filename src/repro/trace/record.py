@@ -5,7 +5,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Iterable, List, Optional, Tuple
 
-from ..dns import DNS_PORT, Edns, Flag, Message, Name, RRClass, RRType
+from ..dns import (DNS_PORT, Edns, Flag, Message, Name, NameError_, RRClass,
+                   RRType, WireError)
+from ..dns.name import parse_wire_name
 
 PROTOCOLS = ("udp", "tcp", "tls")
 
@@ -38,11 +40,40 @@ class QueryRecord:
         return len(self.wire) > 2 and bool(self.wire[2] & 0x80)
 
     def question(self) -> Optional[Tuple[Name, RRType, RRClass]]:
-        message = self.message()
-        if not message.question:
+        """The first question as ``(name, type, class)``, or None.
+
+        Parses just the question section directly from the wire (and
+        caches the result on the record): the replayer keys every send
+        and response-match on the question, and a full
+        ``Message.from_wire`` per access dominated replay setup.
+        """
+        try:
+            return self._question_cache  # type: ignore[attr-defined]
+        except AttributeError:
+            pass
+        value = self._parse_question()
+        # The dataclass is frozen; the cache is invisible derived state.
+        object.__setattr__(self, "_question_cache", value)
+        return value
+
+    def _parse_question(self) -> Optional[Tuple[Name, RRType, RRClass]]:
+        wire = self.wire
+        if len(wire) < 12:
+            raise WireError("truncated DNS header")
+        if not (wire[4] or wire[5]):  # QDCOUNT == 0
             return None
-        q = message.question[0]
-        return (q.name, q.rrtype, q.rrclass)
+        try:
+            name, end = parse_wire_name(wire, 12)
+        except NameError_ as exc:
+            raise WireError(str(exc)) from exc
+        if end + 4 > len(wire):
+            raise WireError("truncated question section")
+        try:
+            rrtype = RRType.make(int.from_bytes(wire[end:end + 2], "big"))
+            rrclass = RRClass(int.from_bytes(wire[end + 2:end + 4], "big"))
+        except ValueError as exc:
+            raise WireError(str(exc)) from exc
+        return (name, rrtype, rrclass)
 
     def with_(self, **changes) -> "QueryRecord":
         return replace(self, **changes)

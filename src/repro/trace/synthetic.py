@@ -169,6 +169,42 @@ def fixed_interval_trace(interval: float, duration: float,
     return Trace(records, name=name)
 
 
+def zipf_trace(query_count: int, population: int = 200,
+               exponent: float = 1.1, interval: float = 0.001,
+               client_count: int = 100,
+               server: str = DEFAULT_SERVER_ADDRESS,
+               domain: str = "example.com.",
+               qtype: RRType = RRType.A,
+               name: str = "zipf", seed: int = 11) -> Trace:
+    """Fixed-rate queries over a Zipf-skewed name population.
+
+    Real resolver and authoritative workloads repeat a small set of
+    popular names heavily (unlike :func:`fixed_interval_trace`, whose
+    unique-per-query names defeat any response caching by design).  This
+    generator draws each qname from ``population`` distinct names with
+    probability proportional to ``rank ** -exponent``, which is the
+    shape the response-wire cache benchmark needs: a small hot set
+    dominating the stream.  Deterministic for a given seed.
+    """
+    if query_count <= 0:
+        raise ValueError("query_count must be positive")
+    rng = random.Random(seed)
+    names = [f"name{rank:05d}.{domain}" for rank in range(population)]
+    cumulative = _cumulative([(rank + 1) ** -exponent
+                              for rank in range(population)])
+    clients = [_address_block("10.96.0.0", i) for i in range(client_count)]
+    records = []
+    for index in range(query_count):
+        qname = names[_pick(cumulative, rng.random())]
+        records.append(QueryRecord(
+            index * interval, clients[index % client_count],
+            1024 + (index * 13) % 60000, server, DNS_PORT, "udp",
+            Message.make_query(Name.from_text(qname), qtype,
+                               msg_id=(index % 0xFFFF) + 1,
+                               edns=Edns()).to_wire()))
+    return Trace(records, name=name)
+
+
 SYNTHETIC_SPECS = {
     # name: (interval seconds, client count) — Table 1
     "syn-0": (1.0, 3000),

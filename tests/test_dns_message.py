@@ -113,6 +113,63 @@ class TestTruncation:
         _query, response = make_sample_response()
         assert response.wire_size() == len(response.to_wire())
 
+    def test_fast_path_matches_full_reencode(self):
+        # The truncated wire is assembled from the cached encode; it
+        # must equal what encoding a freshly built truncated message
+        # produces (the pre-optimization behaviour).
+        _query, response = make_sample_response()
+        full = response.to_wire()
+        reference = Message(
+            msg_id=response.msg_id, flags=response.flags | Flag.TC,
+            opcode=response.opcode, rcode=response.rcode,
+            question=list(response.question), edns=response.edns,
+        )._encode()
+        assert response.to_wire(max_size=len(full) - 1) == reference
+
+    def test_fast_path_without_edns(self):
+        query = Message.make_query(Name.from_text("www.example.com."),
+                                   RRType.A, msg_id=5)
+        response = Message.make_response(query)
+        for i in range(40):
+            response.answer.append(RR(Name.from_text("www.example.com."),
+                                      300, RRClass.IN, rd.A(f"10.0.0.{i + 1}")))
+        truncated = Message.from_wire(response.to_wire(max_size=512))
+        assert truncated.flags & Flag.TC
+        assert truncated.edns is None
+        assert not truncated.answer
+        assert truncated.question[0].name == query.question[0].name
+
+
+class TestEncodeCache:
+    def test_repeat_encode_returns_same_bytes(self):
+        _query, response = make_sample_response()
+        assert response.to_wire() == response.to_wire()
+        assert response.wire_size() == len(response.to_wire())
+
+    def test_appending_record_invalidates(self):
+        _query, response = make_sample_response()
+        size = response.wire_size()
+        response.answer.append(RR(Name.from_text("www.example.com."), 300,
+                                  RRClass.IN, rd.A("192.0.2.2")))
+        assert response.wire_size() > size
+        assert response.wire_size() == len(response.to_wire())
+
+    def test_header_field_changes_invalidate(self):
+        _query, response = make_sample_response()
+        before = response.to_wire()
+        response.msg_id = 12345
+        wire = response.to_wire()
+        assert wire != before
+        assert Message.from_wire(wire).msg_id == 12345
+        response.flags |= Flag.TC
+        assert Message.from_wire(response.to_wire()).flags & Flag.TC
+
+    def test_edns_mutation_invalidates(self):
+        _query, response = make_sample_response()
+        response.to_wire()
+        response.edns.payload_size = 1400
+        assert Message.from_wire(response.to_wire()).edns.payload_size == 1400
+
 
 class TestCompressionInMessages:
     def test_compression_shrinks_message(self):

@@ -67,6 +67,105 @@ class TestCancellation:
         cancel.cancel()
         assert loop.pending_events() == 1
 
+    def test_double_cancel_counts_once(self):
+        loop = EventLoop()
+        loop.call_at(1.0, lambda: None)
+        timer = loop.call_at(2.0, lambda: None)
+        timer.cancel()
+        timer.cancel()
+        assert loop.pending_events() == 1
+
+    def test_cancel_after_fire_does_not_corrupt_accounting(self):
+        loop = EventLoop()
+        timer = loop.call_at(1.0, lambda: None)
+        loop.run()
+        timer.cancel()  # response arrived, then cleanup cancels anyway
+        assert loop.pending_events() == 0
+        loop.call_at(2.0, lambda: None)
+        assert loop.pending_events() == 1
+
+
+class TestLazyDeletion:
+    def test_cancelled_timers_compacted_out_of_heap(self):
+        from repro.netsim.core import COMPACTION_MIN_SIZE
+        loop = EventLoop()
+        total = COMPACTION_MIN_SIZE * 2
+        fired = []
+        timers = [loop.call_at(1.0 + i, fired.append, i)
+                  for i in range(total)]
+        survivors = timers[:8]
+        for timer in timers[8:]:
+            timer.cancel()
+        # Mostly-cancelled heap must have been rebuilt, not kept around.
+        assert loop.pending_events() == 8
+        assert loop.heap_size() < COMPACTION_MIN_SIZE
+        loop.run()
+        assert fired == list(range(8))
+        assert all(not t.cancelled for t in survivors)
+
+    def test_small_heaps_not_compacted(self):
+        loop = EventLoop()
+        timers = [loop.call_at(1.0 + i, lambda: None) for i in range(10)]
+        for timer in timers[1:]:
+            timer.cancel()
+        # Below the threshold the cancelled entries stay until they pop.
+        assert loop.heap_size() == 10
+        assert loop.pending_events() == 1
+
+
+class TestCallAtMany:
+    def test_matches_call_at_semantics(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(2.0, fired.append, "single")
+        timers = loop.call_at_many([
+            (3.0, fired.append, ("late",)),
+            (1.0, fired.append, ("early",)),
+            (2.0, fired.append, ("tied-after",)),
+        ])
+        assert len(timers) == 3
+        assert loop.pending_events() == 4
+        loop.run()
+        # Equal times fire in scheduling order, across both APIs.
+        assert fired == ["early", "single", "tied-after", "late"]
+
+    def test_large_batch_heapified(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at_many([(float(i % 7), fired.append, (i,))
+                           for i in range(1000)])
+        loop.run()
+        # (time, scheduling order) — FIFO among equal times.
+        assert fired == sorted(range(1000), key=lambda i: (i % 7, i))
+
+    def test_past_time_rejected(self):
+        loop = EventLoop(start_time=5.0)
+        with pytest.raises(SimulationError):
+            loop.call_at_many([(1.0, lambda: None, ())])
+
+    def test_batch_timers_cancellable(self):
+        loop = EventLoop()
+        fired = []
+        timers = loop.call_at_many([(1.0, fired.append, (i,))
+                                    for i in range(3)])
+        timers[1].cancel()
+        loop.run()
+        assert fired == [0, 2]
+
+
+class TestEventsProcessed:
+    def test_counts_fired_events_only(self):
+        loop = EventLoop()
+        loop.call_at(1.0, lambda: None)
+        cancelled = loop.call_at(2.0, lambda: None)
+        cancelled.cancel()
+        loop.call_at(3.0, lambda: None)
+        loop.run()
+        assert loop.events_processed == 2
+        loop.call_at(4.0, lambda: None)
+        loop.run()
+        assert loop.events_processed == 3
+
 
 class TestRunControl:
     def test_run_until_stops_at_deadline(self):

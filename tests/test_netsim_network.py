@@ -196,6 +196,40 @@ class TestMetersAndAddressing:
         ports = {host.allocate_port() for _ in range(100)}
         assert len(ports) == 100
 
+    def test_wraparound_skips_bound_udp_port(self, net):
+        _loop, network = net
+        host = network.host("a")
+        sock = host.bind_udp("10.0.0.1", host.EPHEMERAL_FIRST)
+        host._next_ephemeral = host.EPHEMERAL_LAST
+        assert host.allocate_port() == host.EPHEMERAL_LAST
+        # The wrap lands on a still-bound port; it must be skipped.
+        assert host.allocate_port() == host.EPHEMERAL_FIRST + 1
+        sock.close()
+        host._next_ephemeral = host.EPHEMERAL_FIRST
+        assert host.allocate_port() == host.EPHEMERAL_FIRST
+
+    def test_wraparound_skips_live_tcp_port(self, net):
+        from repro.netsim import TcpStack
+        _loop, network = net
+        host = network.host("a")
+        stack = TcpStack(host)
+        conn = stack.connect("10.0.0.1", "10.0.0.2", 53,
+                             local_port=host.EPHEMERAL_FIRST)
+        host._next_ephemeral = host.EPHEMERAL_FIRST
+        assert host.allocate_port() == host.EPHEMERAL_FIRST + 1
+
+    def test_exhausted_range_raises(self, net):
+        _loop, network = net
+        host = network.host("a")
+        # Shrink the span (instance attributes shadow the class ones).
+        host.EPHEMERAL_FIRST = 40000
+        host.EPHEMERAL_LAST = 40001
+        host._next_ephemeral = 40000
+        host.bind_udp("10.0.0.1", 40000)
+        host.bind_udp("10.0.0.1", 40001)
+        with pytest.raises(NetworkError):
+            host.allocate_port()
+
     def test_bind_foreign_address_rejected(self, net):
         _loop, network = net
         with pytest.raises(NetworkError):

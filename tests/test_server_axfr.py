@@ -132,6 +132,64 @@ class TestTransfer:
         assert answers and answers[0].rcode == Rcode.NOERROR
 
 
+class TestReloadInvalidation:
+    """AXFR reloads must evict stale response-wire cache entries."""
+
+    def ask(self, engine, qname, msg_id=1):
+        query = Message.make_query(Name.from_text(qname), RRType.A,
+                                   msg_id=msg_id)
+        return Message.from_wire(engine.serve_wire(query))
+
+    def test_replace_serves_fresh_data(self):
+        engine = AuthoritativeServer.single_view([big_zone(10)])
+        qname = "h3.xfer.example."
+        first = self.ask(engine, qname)
+        assert first.answer[0].rdata.address == "10.9.0.4"
+        assert self.ask(engine, qname).answer[0].rdata.address == "10.9.0.4"
+        assert engine.wire_cache.hits == 1
+
+        # A secondary-style reload: the whole zone object is replaced.
+        reloaded = read_zone("""
+$ORIGIN xfer.example.
+@ 3600 IN SOA ns1 h. 10 1800 900 604800 86400
+@ 3600 IN NS ns1
+ns1 IN A 192.0.2.1
+h3 60 IN A 203.0.113.3
+""", origin=Name.from_text("xfer.example."))
+        previous = engine.views[0].zones.replace(reloaded)
+        assert previous is not None
+
+        fresh = self.ask(engine, qname, msg_id=2)
+        assert fresh.answer[0].rdata.address == "203.0.113.3"
+
+    def test_transferred_zone_replaces_and_invalidates(self):
+        # End to end: fetch over the wire, install with replace(), and
+        # confirm the cached pre-transfer answer is gone.
+        zone = big_zone(20)
+        loop = EventLoop()
+        network = Network(loop)
+        server_host = network.add_host("primary", "10.10.0.2")
+        HostedDnsServer(server_host, AuthoritativeServer.single_view([zone]))
+        client = network.add_host("secondary", "10.10.0.3")
+
+        stale = read_zone("""
+$ORIGIN xfer.example.
+@ 3600 IN SOA ns1 h. 1 1800 900 604800 86400
+@ 3600 IN NS ns1
+ns1 IN A 192.0.2.250
+""", origin=Name.from_text("xfer.example."))
+        secondary = AuthoritativeServer.single_view([stale])
+        assert self.ask(secondary, "ns1.xfer.example.").answer[0] \
+            .rdata.address == "192.0.2.250"
+
+        got = []
+        axfr_fetch(client, "10.10.0.2", zone.origin, got.append)
+        loop.run(max_time=10)
+        secondary.views[0].zones.replace(got[0])
+        assert self.ask(secondary, "ns1.xfer.example.", msg_id=2) \
+            .answer[0].rdata.address == "192.0.2.1"
+
+
 class TestTransferRetry:
     """Failed transfers re-attempt with backoff under a RetryPolicy."""
 

@@ -93,6 +93,52 @@ class TestServerIntegration:
         assert len(a) == 1
 
 
+class TestWireCacheInteraction:
+    """Dynamic answers and zone updates must never be masked by the
+    response-wire cache."""
+
+    def ask_wire(self, server, qname="www.cdn.example.", msg_id=1):
+        query = Message.make_query(Name.from_text(qname), RRType.A,
+                                   msg_id=msg_id)
+        wire = server.serve_wire(query)
+        from repro.dns import Message as M
+        return [rr.rdata.address for rr in M.from_wire(wire).answer
+                if rr.rrtype == RRType.A]
+
+    def test_overlay_names_bypass_cache(self):
+        # Rotation must continue query over query; a cached wire would
+        # freeze the pool on the first pick.
+        server, overlay = make_server(CdnPolicy(POOL))
+        answers = [self.ask_wire(server, msg_id=i + 1)[0] for i in range(3)]
+        assert answers == POOL
+        assert overlay.answers_synthesized == 3
+        assert len(server.wire_cache) == 0
+
+    def test_policy_added_after_caching_takes_effect(self):
+        server, overlay = make_server(CdnPolicy(POOL))
+        # static name gets cached first...
+        assert self.ask_wire(server, "static.cdn.example.") == ["192.0.2.50"]
+        assert server.wire_cache.misses == 1
+        # ...then a policy covers it; the overlay wins immediately.
+        overlay.add(Name.from_text("static.cdn.example."), CdnPolicy(POOL))
+        assert self.ask_wire(server, "static.cdn.example.") == [POOL[0]]
+
+    def test_dynamic_zone_update_evicts_stale_wire(self):
+        from repro.dns import rdata as rd
+        from repro.dns.rrset import RR
+        server, _overlay = make_server(CdnPolicy(POOL))
+        target = Name.from_text("static.cdn.example.")
+        assert self.ask_wire(server, "static.cdn.example.") == ["192.0.2.50"]
+        assert self.ask_wire(server, "static.cdn.example.") == ["192.0.2.50"]
+        assert server.wire_cache.hits == 1
+        # A dynamic update rewrites the record in place.
+        zone = server.views[0].zones.find(target)
+        zone.remove(target, RRType.A)
+        zone.add_rr(RR(target, 60, RRClass.IN, rd.A("192.0.2.51")))
+        assert self.ask_wire(server, "static.cdn.example.") == ["192.0.2.51"]
+        assert server.wire_cache.invalidations == 1
+
+
 class TestZoneConstructionWithCdn:
     """§2.3: inconsistent (CDN) replies must still yield one consistent
     zone snapshot — first answer wins."""

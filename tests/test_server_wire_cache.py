@@ -1,0 +1,234 @@
+"""Tests for the response-wire cache and the serve_wire fast path.
+
+The load-bearing property is *differential*: for any query, the cached
+``serve_wire`` bytes must equal the uncached
+``handle_query`` + ``encode_response`` bytes once the 2-byte message ID
+is zeroed — the optimization may never change what the paper's pipeline
+would have sent.
+"""
+
+import pytest
+
+from repro.dns import Edns, Flag, Message, Name, RRType, Rcode, read_zone
+from repro.server import (AuthoritativeServer, ResponseWireCache, View,
+                          WireCacheEntry, ZoneSet)
+from repro.trace import zipf_trace
+
+ZONE_TEXT = """
+$ORIGIN example.com.
+@ 3600 IN SOA ns1 h. 1 1800 900 604800 86400
+@ 3600 IN NS ns1
+ns1 IN A 192.0.2.53
+www 300 IN A 192.0.2.80
+alias 300 IN CNAME www
+sub 172800 IN NS ns.sub
+ns.sub 172800 IN A 192.0.2.54
+*.wild 60 IN A 192.0.2.99
+""" + "\n".join(f"big 60 IN A 10.7.{i // 200}.{i % 200 + 1}"
+                for i in range(60))
+
+
+def example_zone():
+    return read_zone(ZONE_TEXT, origin=Name.from_text("example.com."))
+
+
+def make_pair():
+    """(cached server, reference server without a cache) over equal data."""
+    cached = AuthoritativeServer.single_view([example_zone()])
+    reference = AuthoritativeServer.single_view([example_zone()])
+    reference.wire_cache = None
+    return cached, reference
+
+
+def zero_id(wire: bytes) -> bytes:
+    return b"\x00\x00" + wire[2:]
+
+
+def query_for(qname, qtype=RRType.A, msg_id=1, edns=None):
+    return Message.make_query(Name.from_text(qname), qtype, msg_id=msg_id,
+                              edns=edns)
+
+
+INTERESTING_QUERIES = [
+    ("www.example.com.", RRType.A, None),            # positive answer
+    ("WWW.Example.COM.", RRType.A, None),            # 0x20-style case echo
+    ("alias.example.com.", RRType.A, None),          # CNAME chain
+    ("www.example.com.", RRType.NS, None),           # NODATA
+    ("nope.example.com.", RRType.A, None),           # NXDOMAIN
+    ("foo.sub.example.com.", RRType.A, None),        # referral
+    ("a.wild.example.com.", RRType.A, None),         # wildcard synthesis
+    ("other.test.", RRType.A, None),                 # REFUSED (no zone)
+    ("big.example.com.", RRType.A, None),            # truncated at 512
+    ("big.example.com.", RRType.A, Edns()),          # fits under EDNS
+    ("www.example.com.", RRType.A, Edns(dnssec_ok=True)),  # DO bit
+]
+
+
+class TestDifferential:
+    @pytest.mark.parametrize("qname,qtype,edns", INTERESTING_QUERIES)
+    @pytest.mark.parametrize("transport", ["udp", "tcp"])
+    def test_cached_matches_uncached(self, qname, qtype, edns, transport):
+        cached, reference = make_pair()
+        for msg_id in (7, 4242):  # second ask is a cache hit
+            query = query_for(qname, qtype, msg_id=msg_id, edns=edns)
+            got = cached.serve_wire(query, transport=transport)
+            want = reference.serve_wire(query, transport=transport)
+            assert got[:2] == msg_id.to_bytes(2, "big")
+            assert zero_id(got) == zero_id(want)
+
+    def test_every_query_of_a_zipf_replay_matches(self):
+        # The acceptance-criterion sweep: a whole synthetic trace, every
+        # response byte-compared against the uncached engine, twice so
+        # the second pass is served almost entirely from the cache.
+        cached, reference = make_pair()
+        trace = zipf_trace(400, population=30, domain="wild.example.com.",
+                           server="192.0.2.1")
+        for _pass in range(2):
+            for record in trace.records:
+                query = Message.from_wire(record.wire)
+                got = cached.serve_wire(query, source=record.src)
+                want = reference.serve_wire(query, source=record.src)
+                assert zero_id(got) == zero_id(want)
+        assert cached.wire_cache.hit_rate() > 0.5
+        assert reference.wire_cache is None
+
+    def test_stats_match_uncached_engine(self):
+        # Replaying stat deltas on hits must leave ServerStats exactly
+        # where the uncached engine would have put them.
+        cached, reference = make_pair()
+        for _pass in range(3):
+            for qname, qtype, edns in INTERESTING_QUERIES:
+                query = query_for(qname, qtype, edns=edns)
+                cached.serve_wire(query)
+                reference.serve_wire(query)
+        assert vars(cached.stats) == vars(reference.stats)
+
+
+class TestCacheBehaviour:
+    def test_hits_and_misses_counted(self):
+        server, _ = make_pair()
+        for _ in range(5):
+            server.serve_wire(query_for("www.example.com."))
+        assert server.wire_cache.hits == 4
+        assert server.wire_cache.misses == 1
+        assert server.wire_cache.hit_rate() == 0.8
+
+    def test_distinct_limits_cached_separately(self):
+        server, reference = make_pair()
+        plain = query_for("big.example.com.")
+        edns = query_for("big.example.com.", edns=Edns())
+        truncated = server.serve_wire(plain)
+        full = server.serve_wire(edns)
+        assert Message.from_wire(truncated).flags & Flag.TC
+        assert not Message.from_wire(full).flags & Flag.TC
+        assert server.wire_cache.misses == 2
+
+    def test_case_variants_are_distinct_entries(self):
+        # The question section echoes the query's case, so the wire
+        # differs; keying on exact-case labels keeps both correct.
+        server, reference = make_pair()
+        lower = server.serve_wire(query_for("www.example.com."))
+        upper = server.serve_wire(query_for("WWW.EXAMPLE.COM."))
+        assert lower != upper
+        assert server.wire_cache.misses == 2
+        assert zero_id(upper) == zero_id(
+            reference.serve_wire(query_for("WWW.EXAMPLE.COM.")))
+
+    def test_multi_question_bypasses_cache(self):
+        server, _ = make_pair()
+        query = query_for("www.example.com.")
+        query.question.append(query.question[0])
+        wire = server.serve_wire(query)
+        assert Message.from_wire(wire).rcode == Rcode.NOERROR
+        assert len(server.wire_cache) == 0
+
+    def test_unknown_view_bypasses_cache(self):
+        zone = example_zone()
+        server = AuthoritativeServer(
+            [View("internal", ZoneSet([zone]), match_clients=("10.0.0.1",))])
+        wire = server.serve_wire(query_for("www.example.com."),
+                                 source="203.0.113.9")
+        assert Message.from_wire(wire).rcode == Rcode.REFUSED
+        assert len(server.wire_cache) == 0
+
+    def test_disabled_cache_still_serves(self):
+        server = AuthoritativeServer.single_view([example_zone()])
+        server.wire_cache = None
+        wire = server.serve_wire(query_for("www.example.com.", msg_id=77))
+        message = Message.from_wire(wire)
+        assert message.msg_id == 77
+        assert message.rcode == Rcode.NOERROR
+
+
+class TestInvalidation:
+    def test_zone_mutation_evicts(self):
+        server, _ = make_pair()
+        query = query_for("www.example.com.")
+        before = server.serve_wire(query)
+        zone = server.views[0].zones.find(Name.from_text("www.example.com."))
+        zone.remove(Name.from_text("www.example.com."), RRType.A)
+        from repro.dns.rrset import RR
+        from repro.dns import rdata as rd
+        from repro.dns.constants import RRClass
+        zone.add_rr(RR(Name.from_text("www.example.com."), 300, RRClass.IN,
+                       rd.A("192.0.2.81")))
+        after = server.serve_wire(query)
+        assert after != before
+        assert Message.from_wire(after).answer[0].rdata.address == "192.0.2.81"
+        assert server.wire_cache.invalidations == 1
+
+    def test_refused_entries_invalidated_by_new_zone(self):
+        server = AuthoritativeServer.single_view([])
+        query = query_for("www.example.com.")
+        assert Message.from_wire(server.serve_wire(query)).rcode == \
+            Rcode.REFUSED
+        server.views[0].zones.add(example_zone())
+        response = Message.from_wire(server.serve_wire(query))
+        assert response.rcode == Rcode.NOERROR
+        assert response.answer
+
+
+class TestResponseWireCacheUnit:
+    def entry(self, wire=b"\x00\x00payload"):
+        return WireCacheEntry(wire, zones_version=1, zone=None,
+                              zone_generation=-1, stat_deltas=(0,) * 5)
+
+    def test_lru_eviction(self):
+        cache = ResponseWireCache(max_entries=2)
+        cache.put("a", self.entry())
+        cache.put("b", self.entry())
+        cache.get("a", 1)                 # refresh a
+        cache.put("c", self.entry())      # evicts b
+        assert cache.get("a", 1) is not None
+        assert cache.get("b", 1) is None
+        assert cache.evictions == 1
+
+    def test_stale_version_dropped(self):
+        cache = ResponseWireCache()
+        cache.put("a", self.entry())
+        assert cache.get("a", zones_version=2) is None
+        assert cache.invalidations == 1
+        assert len(cache) == 0
+
+    def test_clear_counts_invalidations(self):
+        cache = ResponseWireCache()
+        cache.put("a", self.entry())
+        cache.put("b", self.entry())
+        cache.clear()
+        assert cache.invalidations == 2
+        assert len(cache) == 0
+
+    def test_hit_rate_empty_is_none(self):
+        assert ResponseWireCache().hit_rate() is None
+
+    def test_bad_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResponseWireCache(max_entries=0)
+
+    def test_counters_dict(self):
+        cache = ResponseWireCache()
+        cache.put("a", self.entry())
+        cache.get("a", 1)
+        cache.get("missing", 1)
+        assert cache.counters() == {"entries": 1, "hits": 1, "misses": 1,
+                                    "evictions": 0, "invalidations": 0}
