@@ -60,6 +60,7 @@ class CostModel:
     """
 
     udp_query: float = 135e-6       # unoptimized per-datagram path
+    udp_shed: float = 25e-6         # received + parsed, shed at admission
     tcp_segment: float = 10e-6      # with TOE/TSO offload assists
     tcp_query: float = 55e-6        # request parse + answer over TCP
     tcp_handshake: float = 30e-6    # SYN handling, accept, socket setup

@@ -65,6 +65,14 @@ class TcpOptions:
     # the kernel's SYN-ACK retry window.  SYN floods park connections
     # here, which is why the DoS experiments care.
     syn_timeout: float = 30.0
+    # Backpressure knobs (both off by default).  ``accept_backlog`` caps
+    # half-open connections per listener; excess SYNs are refused with
+    # RST and counted, so clients learn immediately instead of waiting
+    # out a SYN-ACK that will never come.  ``send_highwater`` marks the
+    # send-buffer level above which ``writable`` turns False; once a
+    # flush drains back below it, ``on_writable`` fires.
+    accept_backlog: Optional[int] = None
+    send_highwater: Optional[int] = None
 
 
 FlowKey = Tuple[Address, int, Address, int]
@@ -111,6 +119,12 @@ class TcpConnection:
         self.on_data: Optional[Callable[["TcpConnection", bytes], None]] = None
         self.on_close: Optional[Callable[["TcpConnection"], None]] = None
         self.on_reset: Optional[Callable[["TcpConnection"], None]] = None
+        self.on_writable: Optional[Callable[["TcpConnection"], None]] = None
+
+        # Backpressure bookkeeping.
+        self._listener: Optional["TcpListener"] = None
+        self._half_open_counted = False
+        self._above_highwater = False
 
         # Statistics the experiments read.
         self.created_at = self.loop.now
@@ -136,6 +150,14 @@ class TcpConnection:
         self._send_buffer += data
         if self.state != TcpState.SYN_SENT:
             self._flush()
+        if not self.writable:
+            self._above_highwater = True
+
+    @property
+    def writable(self) -> bool:
+        """False while the send buffer sits above ``send_highwater``."""
+        highwater = self.options.send_highwater
+        return highwater is None or len(self._send_buffer) < highwater
 
     def close(self) -> None:
         """Active close: send FIN once the buffer drains."""
@@ -170,6 +192,9 @@ class TcpConnection:
 
     def _start_accept(self, syn: TcpSegment) -> None:
         self.state = TcpState.SYN_RECEIVED
+        if self._listener is not None:
+            self._listener.half_open += 1
+            self._half_open_counted = True
         self.rcv_nxt = syn.seq + 1
         self._emit(TcpFlags.SYN | TcpFlags.ACK)
         self.snd_nxt += 1
@@ -220,10 +245,17 @@ class TcpConnection:
         if segment.flags & TcpFlags.FIN:
             self._process_fin(segment)
 
+    def _uncount_half_open(self) -> None:
+        if self._half_open_counted:
+            self._half_open_counted = False
+            if self._listener is not None:
+                self._listener.half_open -= 1
+
     def _become_established(self, passive: bool = False) -> None:
         if self._syn_timer is not None:
             self._syn_timer.cancel()
             self._syn_timer = None
+        self._uncount_half_open()
         self.state = TcpState.ESTABLISHED
         self.established_at = self.loop.now
         self.stack._note_established(self)
@@ -313,6 +345,10 @@ class TcpConnection:
             self.snd_nxt += len(chunk)
             self.bytes_sent += len(chunk)
             self._ack_is_piggybacked()
+        if self._above_highwater and self.writable:
+            self._above_highwater = False
+            if self.on_writable is not None:
+                self.on_writable(self)
         self._maybe_send_fin()
 
     def _maybe_send_fin(self) -> None:
@@ -402,6 +438,7 @@ class TcpConnection:
         if self.state == TcpState.CLOSED:
             return
         self.state = TcpState.CLOSED
+        self._uncount_half_open()
         self._cancel_idle_timer()
         self._cancel_rto_timer()
         self._unacked.clear()
@@ -490,6 +527,8 @@ class TcpListener:
         self.on_accept = on_accept
         self.options = options
         self.accepted = 0
+        self.half_open = 0          # connections parked in SYN_RECEIVED
+        self.backlog_refusals = 0   # SYNs refused over accept_backlog
 
     def close(self) -> None:
         self.stack._listeners.pop((self.address, self.port), None)
@@ -498,14 +537,19 @@ class TcpListener:
 class TcpStack:
     """Per-host TCP: demultiplexes segments, tracks connection state."""
 
-    def __init__(self, host: Host, max_connections: Optional[int] = None):
+    def __init__(self, host: Host, max_connections: Optional[int] = None,
+                 refuse_when_full: bool = False):
         self.host = host
         self.loop: EventLoop = host.network.loop
         host.tcp_stack = self
         # Connection-table capacity (conntrack / backlog analogue); SYNs
-        # beyond it are silently dropped, which is what lets SYN floods
-        # starve legitimate clients in the DoS experiments.
+        # beyond it are silently dropped — which is what lets SYN floods
+        # starve legitimate clients in the DoS experiments — unless
+        # ``refuse_when_full`` pushes back with RST so clients fail fast.
         self.max_connections = max_connections
+        self.refuse_when_full = refuse_when_full
+        # Optional PerfCounters registry; HostedDnsServer shares its own.
+        self.perf = None
         self._listeners: Dict[Tuple[Address, int], TcpListener] = {}
         self._connections: Dict[FlowKey, TcpConnection] = {}
         self._local_ports: Dict[int, int] = {}  # port -> live-flow count
@@ -516,6 +560,8 @@ class TcpStack:
         self.idle_closes = 0
         self.history_established = 0
         self.syn_drops = 0
+        self.syn_refused = 0
+        self.backlog_refusals = 0
         self.half_open_reaped = 0
         self.retransmitted_segments = 0
 
@@ -583,14 +629,30 @@ class TcpStack:
             listener = (self._listeners.get((packet.dst, segment.dport))
                         or self._listeners.get(("0.0.0.0", segment.dport)))
             if listener is not None:
+                backlog = listener.options.accept_backlog
+                if backlog is not None and listener.half_open >= backlog:
+                    # Accept backlog full: refuse loudly with RST rather
+                    # than parking a SYN that will never be served.
+                    listener.backlog_refusals += 1
+                    self.backlog_refusals += 1
+                    self._count("tcp.backlog_refusals")
+                    self._refuse_syn(packet, segment)
+                    return
                 if (self.max_connections is not None
                         and len(self._connections) >= self.max_connections):
+                    if self.refuse_when_full:
+                        self.syn_refused += 1
+                        self._count("tcp.syn_refused")
+                        self._refuse_syn(packet, segment)
+                        return
                     self.syn_drops += 1
+                    self._count("tcp.syn_drops")
                     return  # backlog full: silent drop, client retries
                 conn = TcpConnection(
                     self, (packet.dst, segment.dport),
                     (packet.src, segment.sport),
                     TcpOptions(**vars(listener.options)))
+                conn._listener = listener
                 self._connections[key] = conn
                 self._note_port_bound(segment.dport)
                 self.total_accepted += 1
@@ -605,6 +667,18 @@ class TcpStack:
                                TcpFlags.RST | TcpFlags.ACK)
             self.host.send_packet(
                 IpPacket(packet.dst, packet.src, reset).with_checksum())
+
+    def _refuse_syn(self, packet: IpPacket, segment: TcpSegment) -> None:
+        """Answer a refused SYN with RST so the client fails fast."""
+        self.resets_sent += 1
+        reset = TcpSegment(segment.dport, segment.sport, 0, segment.seq + 1,
+                           TcpFlags.RST | TcpFlags.ACK)
+        self.host.send_packet(
+            IpPacket(packet.dst, packet.src, reset).with_checksum())
+
+    def _count(self, name: str) -> None:
+        if self.perf is not None:
+            self.perf.incr(name)
 
     # -- crash/restart -----------------------------------------------------
 

@@ -10,14 +10,17 @@ from .live import (LiveReplay, LiveUdpEchoServer, ThroughputReport,
                    ThroughputSample, measure_throughput)
 from .querier import QuerierConfig, SimQuerier
 from .result import ReplayResult, SentQuery
+from .supervision import (AimdPacer, PacingConfig, ReplayWatchdog,
+                          SupervisionConfig)
 from .timing import TimerJitterModel, TimingController
 
 __all__ = [
-    "Controller", "DistributedConfig", "DistributionStats", "Distributor",
-    "LiveDistributedReplay", "LiveReplay", "MSG_END", "MSG_RECORD",
-    "MSG_TIME_SYNC", "MessageSocket", "ProtocolError", "connected_pair",
-    "LiveUdpEchoServer", "QuerierConfig", "ReplayConfig", "ReplayResult",
+    "AimdPacer", "Controller", "DistributedConfig", "DistributionStats",
+    "Distributor", "LiveDistributedReplay", "LiveReplay", "MSG_END",
+    "MSG_RECORD", "MSG_TIME_SYNC", "MessageSocket", "PacingConfig",
+    "ProtocolError", "connected_pair", "LiveUdpEchoServer",
+    "QuerierConfig", "ReplayConfig", "ReplayResult", "ReplayWatchdog",
     "SentQuery", "SimQuerier", "SimReplayEngine", "StickyAssigner",
-    "ThroughputReport", "ThroughputSample", "TimerJitterModel",
-    "TimingController", "measure_throughput",
+    "SupervisionConfig", "ThroughputReport", "ThroughputSample",
+    "TimerJitterModel", "TimingController", "measure_throughput",
 ]

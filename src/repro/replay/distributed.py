@@ -25,13 +25,14 @@ import struct
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..trace import QueryRecord, Trace
 from .distributor import StickyAssigner
 from .protocol import (MSG_END, MSG_RECORD, MSG_TIME_SYNC, MessageSocket,
                        connected_pair)
 from .result import ReplayResult, SentQuery
+from .supervision import ReplayWatchdog, SupervisionConfig
 
 
 @dataclass
@@ -40,6 +41,12 @@ class DistributedConfig:
     queriers_per_distributor: int = 2
     settle_time: float = 0.3
     start_delay: float = 0.1
+    # Supervision (off by default): heartbeat watchdog over queriers
+    # plus optional wall-clock deadline.  ``querier_factory`` lets tests
+    # inject a stalling querier; it must accept the same arguments as
+    # ``_LiveQuerier``.
+    supervision: Optional[SupervisionConfig] = None
+    querier_factory: Optional[Callable] = None
 
 
 class _LiveQuerier(threading.Thread):
@@ -63,9 +70,21 @@ class _LiveQuerier(threading.Thread):
         self._queue: List[Tuple[float, int, QueryRecord]] = []
         self._sequence = 0
         self._done_receiving = False
+        # Supervision surface: the watchdog reads heartbeat/has_work,
+        # the deadline handler sets shed_event.
+        self.heartbeat = time.monotonic()
+        self.records_received = 0
+        self.records_sent = 0
+        self.shed_event = threading.Event()
+        self.name = f"live-querier-{querier_id}"
+
+    def has_work(self) -> bool:
+        """True while queued records await sending (watchdog predicate)."""
+        return bool(self._queue)
 
     def run(self) -> None:
         while True:
+            self.heartbeat = time.monotonic()
             if not self._done_receiving:
                 message = self.inbound.receive()
                 if message is None or message[0] == MSG_END:
@@ -74,7 +93,10 @@ class _LiveQuerier(threading.Thread):
                     self._trace_start = message[1]
                     self._clock_start = time.monotonic()
                 elif message[0] == MSG_RECORD:
+                    self.records_received += 1
                     self._enqueue(message[1])
+            if self.shed_event.is_set():
+                self._shed_queue()
             self._drain_due()
             self._drain_responses()
             if self._done_receiving and not self._queue:
@@ -82,9 +104,17 @@ class _LiveQuerier(threading.Thread):
         # Settle: catch responses still in flight.
         deadline = time.monotonic() + 0.2
         while time.monotonic() < deadline:
+            self.heartbeat = time.monotonic()
             self._drain_responses()
             time.sleep(0.005)
         self._sock.close()
+
+    def _shed_queue(self) -> None:
+        """Deadline shedding: count queued-but-unsent records, drop them."""
+        if self._queue:
+            with self.lock:
+                self.result.deadline_shed += len(self._queue)
+            self._queue.clear()
 
     def _enqueue(self, record: QueryRecord) -> None:
         target = self._target_time(record)
@@ -98,8 +128,12 @@ class _LiveQuerier(threading.Thread):
 
     def _drain_due(self) -> None:
         while self._queue:
+            if self.shed_event.is_set():
+                self._shed_queue()
+                return
             target, _seq, record = self._queue[0]
             now = time.monotonic()
+            self.heartbeat = now
             if target > now:
                 if self._done_receiving:
                     # Nothing else is coming: sleep until the next send.
@@ -123,6 +157,7 @@ class _LiveQuerier(threading.Thread):
             self.result.add(entry)
         try:
             self._sock.send(wire)
+            self.records_sent += 1
         except OSError:
             self.result.send_failures += 1
 
@@ -157,6 +192,9 @@ class _LiveDistributor(threading.Thread):
         self.result = result
         self.lock = lock
         self.records_routed = 0
+        # Per-socket routed counts, so a stalled querier's shed can be
+        # computed as routed-to-it minus actually-sent-by-it.
+        self.routed_per_socket: Dict[int, int] = {}
 
     def run(self) -> None:
         for kind, payload in self.inbound.messages():
@@ -184,6 +222,8 @@ class _LiveDistributor(threading.Thread):
             outbound = self.assigner.assign(record.src)
             try:
                 outbound.send_record(record)
+                self.routed_per_socket[id(outbound)] = \
+                    self.routed_per_socket.get(id(outbound), 0) + 1
             except OSError:
                 self.assigner.remove(outbound)
                 first_try = False
@@ -206,6 +246,39 @@ class LiveDistributedReplay:
         self.config = config if config is not None else DistributedConfig()
         self.result = ReplayResult("distributed-live")
         self._lock = threading.Lock()
+        # querier -> (distributor, dist-side socket, querier-side socket)
+        self._wiring: Dict[object, Tuple["_LiveDistributor",
+                                         MessageSocket, MessageSocket]] = {}
+        self.watchdog: Optional[ReplayWatchdog] = None
+
+    def _handle_stall(self, querier) -> None:
+        """Terminate a stalled querier's links; account its lost queries.
+
+        Closing both MessageSocket ends makes the distributor's next
+        send to it raise OSError, which triggers the existing sticky
+        failover (``StickyAssigner.remove``).  Records already routed to
+        the querier but never sent are counted as ``stall_shed`` so the
+        final ``ReplayResult`` stays truthful.
+        """
+        wiring = self._wiring.get(querier)
+        with self._lock:
+            self.result.watchdog_stalls += 1
+            if wiring is not None:
+                distributor, dist_side, _querier_side = wiring
+                routed = distributor.routed_per_socket.get(id(dist_side), 0)
+                sent = getattr(querier, "records_sent", 0)
+                self.result.stall_shed += max(0, routed - sent)
+        if wiring is not None:
+            _distributor, dist_side, querier_side = wiring
+            querier_side.close()
+            dist_side.close()
+
+    def _handle_deadline(self, queriers) -> None:
+        """Deadline expired: every querier sheds its remaining queue."""
+        for querier in queriers:
+            shed = getattr(querier, "shed_event", None)
+            if shed is not None:
+                shed.set()
 
     def replay(self, trace: Trace) -> ReplayResult:
         records = sorted(trace.records, key=lambda r: r.timestamp)
@@ -213,6 +286,9 @@ class LiveDistributedReplay:
             return self.result
 
         # Build the two socket tiers.
+        make_querier = (self.config.querier_factory
+                        if self.config.querier_factory is not None
+                        else _LiveQuerier)
         distributor_sockets = []
         distributors = []
         queriers = []
@@ -220,16 +296,30 @@ class LiveDistributedReplay:
             controller_side, distributor_side = connected_pair()
             distributor_sockets.append(controller_side)
             querier_sockets = []
+            pairs = []
             for querier_index in range(self.config.queriers_per_distributor):
                 dist_side, querier_side = connected_pair()
                 querier_sockets.append(dist_side)
-                queriers.append(_LiveQuerier(
+                querier = make_querier(
                     distributor_id * self.config.queriers_per_distributor
                     + querier_index, querier_side,
-                    self.server, self.result, self._lock))
-            distributors.append(_LiveDistributor(
+                    self.server, self.result, self._lock)
+                queriers.append(querier)
+                pairs.append((querier, dist_side, querier_side))
+            distributor = _LiveDistributor(
                 distributor_id, distributor_side, querier_sockets,
-                result=self.result, lock=self._lock))
+                result=self.result, lock=self._lock)
+            distributors.append(distributor)
+            for querier, dist_side, querier_side in pairs:
+                self._wiring[querier] = (distributor, dist_side,
+                                         querier_side)
+
+        if self.config.supervision is not None:
+            self.watchdog = ReplayWatchdog(
+                self.config.supervision, queriers,
+                on_stall=self._handle_stall,
+                on_deadline=lambda: self._handle_deadline(queriers))
+            self.watchdog.start()
 
         for thread in queriers + distributors:
             thread.start()
@@ -264,8 +354,15 @@ class LiveDistributedReplay:
         duration = records[-1].timestamp - trace_start
         deadline = time.monotonic() + duration \
             + self.config.settle_time + 2.0
+        supervision = self.config.supervision
+        if supervision is not None and supervision.deadline is not None:
+            deadline = min(deadline, self.result.start_clock
+                           + supervision.deadline + supervision.stall_timeout)
         for thread in distributors + queriers:
             thread.join(timeout=max(deadline - time.monotonic(), 0.1))
+        if self.watchdog is not None:
+            self.watchdog.stop()
+            self.watchdog.join(timeout=1.0)
         for outbound in distributor_sockets:
             outbound.close()
         return self.result

@@ -78,6 +78,19 @@ class Distributor:
         self.stats.distributor_to_querier += 1
         return self.assigner.assign(source)
 
+    def retire(self, querier) -> bool:
+        """Drop a dead/stalled querier from this distributor's routing.
+
+        Sticky sources assigned to it are forgotten so the next record
+        from each fails over to a live querier.  Returns True when the
+        querier belonged to this distributor.
+        """
+        if querier not in self.queriers:
+            return False
+        self.queriers.remove(querier)
+        self.assigner.remove(querier)
+        return True
+
 
 class Controller:
     """Reader + Postman: feeds distributors, broadcasting time sync.

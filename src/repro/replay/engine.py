@@ -160,9 +160,7 @@ class SimReplayEngine:
     def _evict(self, dead: SimQuerier) -> None:
         """Remove a crashed querier from the distribution tree."""
         for distributor in self.controller.distributors:
-            if dead in distributor.queriers:
-                distributor.queriers.remove(dead)
-                distributor.assigner.remove(dead)
+            if distributor.retire(dead):
                 if not distributor.queriers:
                     self.controller.assigner.remove(distributor)
                 return

@@ -20,13 +20,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from ..dns import DNS_OVER_TLS_PORT, DNS_PORT, Message, WireError
+from ..dns import DNS_OVER_TLS_PORT, DNS_PORT, Message, Rcode, WireError
 from ..netsim import (EventLoop, Host, NetworkError, RetryPolicy,
                       SessionCache, TcpConnection, TcpOptions, TcpStack,
                       Timer, TlsEndpoint, UdpSocket)
 from ..server.dnsio import StreamFramer, frame_message
 from ..trace import QueryRecord
 from .result import ReplayResult, SentQuery
+from .supervision import AimdPacer, PacingConfig
 
 # Response-matching key: (message id, qname, qtype).  Matching on the id
 # alone mismatches when two in-flight queries share an id on one
@@ -68,6 +69,12 @@ class QuerierConfig:
     # Recovery budget; None preserves the fire-and-forget seed behaviour
     # (no timeouts, no re-sends, no reconnects).
     retry: Optional[RetryPolicy] = None
+    # Overload cooperation (both off by default).  ``pacing`` caps the
+    # querier's send rate with AIMD backoff on SERVFAIL/timeouts;
+    # ``send_highwater`` holds stream sends while the TCP send buffer
+    # sits above the watermark instead of queueing unbounded bytes.
+    pacing: Optional[PacingConfig] = None
+    send_highwater: Optional[int] = None
 
 
 @dataclass
@@ -100,10 +107,14 @@ class _StreamChannel:
 
         options = TcpOptions(
             nagle=querier.config.nagle,
-            idle_timeout=querier.config.connection_close_timeout)
+            idle_timeout=querier.config.connection_close_timeout,
+            send_highwater=querier.config.send_highwater)
         stack: TcpStack = querier.host.tcp_stack
         self.tcp = stack.connect(querier.host.primary_address, dst, dport,
                                  options)
+        self._paused: List[QueryRecord] = []
+        if querier.config.send_highwater is not None:
+            self.tcp.on_writable = lambda _cn: self._resume()
         self.tls: Optional[TlsEndpoint] = None
         if protocol == "tls":
             cache = querier.tls_cache if \
@@ -121,11 +132,31 @@ class _StreamChannel:
         key = _record_key(record)
         self.pending.setdefault(key, []).append((entry, record))
         self._answered.discard(key)
-        framed = frame_message(record.wire)
+        if self.querier.config.send_highwater is not None \
+                and not self.tcp.writable:
+            # Backpressure: the connection is not draining; hold the
+            # frame until the send buffer falls below the watermark.
+            self._paused.append(record)
+            self.querier.result.backpressure_pauses += 1
+            return
+        self._emit_frame(record.wire)
+
+    def _emit_frame(self, wire: bytes) -> None:
+        framed = frame_message(wire)
         if self.tls is not None:
             self.tls.send(framed)
         else:
             self.tcp.send(framed)
+
+    def _resume(self) -> None:
+        while self._paused and self.tcp.writable:
+            record = self._paused.pop(0)
+            try:
+                self._emit_frame(record.wire)
+            except NetworkError:
+                # The channel died while paused; channel-loss recovery
+                # re-sends anything still pending.
+                break
 
     def _on_bytes(self, data: bytes) -> None:
         for wire in self.framer.feed(data):
@@ -134,6 +165,7 @@ class _StreamChannel:
             if waiting:
                 entry, _record = waiting.pop(0)
                 entry.answered_at = self.querier.loop.now
+                self.querier._note_response(wire)
                 if not waiting:
                     del self.pending[key]
                     self._answered.add(key)
@@ -178,11 +210,25 @@ class SimQuerier:
         self._udp_answered: Set[Tuple[int, int]] = set()
         self._channels: Dict[Tuple[str, str], _StreamChannel] = {}
         self.queries_sent = 0
+        self._pacer = (AimdPacer(self.config.pacing, self.loop.now)
+                       if self.config.pacing is not None else None)
 
     # -- sending ------------------------------------------------------------
 
     def send(self, index: int, record: QueryRecord,
              scheduled_at: float) -> None:
+        if self._pacer is not None:
+            at = self._pacer.reserve(self.loop.now)
+            if at > self.loop.now:
+                # Paced: hold the send until the AIMD governor's slot.
+                self.result.paced_queries += 1
+                self.loop.call_later(at - self.loop.now, self._send_now,
+                                     index, record, scheduled_at)
+                return
+        self._send_now(index, record, scheduled_at)
+
+    def _send_now(self, index: int, record: QueryRecord,
+                  scheduled_at: float) -> None:
         entry = SentQuery(
             index=index, source=record.src, trace_time=record.timestamp,
             scheduled_at=scheduled_at, sent_at=self.loop.now,
@@ -194,6 +240,21 @@ class SimQuerier:
             self._send_udp(record, entry)
         else:
             self._send_stream(record, entry)
+
+    # -- overload cooperation ------------------------------------------------
+
+    def _note_response(self, wire: bytes) -> None:
+        """Classify a matched response for the pacing control law."""
+        rcode = wire[3] & 0x0F if len(wire) >= 4 else 0
+        if rcode == int(Rcode.SERVFAIL):
+            self.result.servfails_observed += 1
+            self._congestion()
+        elif self._pacer is not None:
+            self._pacer.on_success()
+
+    def _congestion(self) -> None:
+        if self._pacer is not None and self._pacer.on_congestion():
+            self.result.pace_rate_cuts += 1
 
     def _qname(self, record: QueryRecord) -> str:
         question = record.question()
@@ -228,6 +289,7 @@ class SimQuerier:
         if waiting:
             pending = waiting.pop(0)
             pending.entry.answered_at = self.loop.now
+            self._note_response(data)
             if pending.timer is not None:
                 pending.timer.cancel()
                 pending.timer = None
@@ -248,6 +310,7 @@ class SimQuerier:
         pending.timeouts += 1
         pending.entry.timeouts += 1
         self.result.udp_timeouts += 1
+        self._congestion()
         if policy.tcp_fallback_after is not None \
                 and pending.timeouts >= policy.tcp_fallback_after:
             self._drop_pending(key, pending)

@@ -53,6 +53,14 @@ class ReplayResult:
         self.tcp_fallbacks = 0         # UDP queries switched to TCP
         self.reassigned_queries = 0    # rerouted off a crashed querier
         self.gave_up = 0               # retry budgets exhausted
+        # Degradation counters (overload cooperation & supervision).
+        self.servfails_observed = 0    # SERVFAIL responses received
+        self.paced_queries = 0         # sends delayed by the AIMD pacer
+        self.pace_rate_cuts = 0        # multiplicative-decrease events
+        self.backpressure_pauses = 0   # sends held at the TCP high-water
+        self.watchdog_stalls = 0       # queriers terminated by the watchdog
+        self.stall_shed = 0            # queries lost inside stalled queriers
+        self.deadline_shed = 0         # queries shed past the replay deadline
 
     def add(self, query: SentQuery) -> None:
         self.sent.append(query)
@@ -128,6 +136,24 @@ class ReplayResult:
             "gave_up": self.gave_up,
             "unmatched_responses": self.unmatched_responses,
             "send_failures": self.send_failures,
+        }
+
+    def degradation(self) -> Dict[str, int]:
+        """How the replay degraded under overload; all zero when healthy.
+
+        Complements :meth:`failure_counts` (fault recovery) with the
+        overload-cooperation side: observed SERVFAILs, pacing backoff,
+        transport backpressure, and supervision outcomes.  A truthful
+        ``ReplayResult`` accounts for every query — shed ones included.
+        """
+        return {
+            "servfails_observed": self.servfails_observed,
+            "paced_queries": self.paced_queries,
+            "pace_rate_cuts": self.pace_rate_cuts,
+            "backpressure_pauses": self.backpressure_pauses,
+            "watchdog_stalls": self.watchdog_stalls,
+            "stall_shed": self.stall_shed,
+            "deadline_shed": self.deadline_shed,
         }
 
     def reuse_fraction(self) -> float:

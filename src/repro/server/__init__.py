@@ -14,14 +14,19 @@ from .cache import CacheEntry, CacheOutcome, DnsCache
 from .dnsio import FramingError, StreamFramer, frame_message, iter_framed
 from .dynamic import CdnPolicy, DynamicOverlay
 from .hosting import HostedDnsServer, TransportConfig
+from .overload import (AdmissionQueue, OverloadConfig, OverloadControl,
+                       ResponseRateLimiter, RrlConfig, TokenBucket,
+                       minimal_wire, subnet_of)
 from .recursive import RecursiveResolver, ResolverStats
 from .wirecache import ResponseWireCache, WireCacheEntry
 
 __all__ = [
-    "AXFR", "AuthoritativeServer", "AxfrError", "axfr_fetch",
-    "axfr_response_stream", "CacheEntry", "CacheOutcome", "CdnPolicy",
-    "ConfigError", "DnsCache", "DynamicOverlay", "FramingError",
-    "HostedDnsServer", "RecursiveResolver", "ResolverStats",
-    "ResponseWireCache", "ServerStats", "StreamFramer", "TransportConfig",
-    "View", "WireCacheEntry", "ZoneSet", "frame_message", "iter_framed",
+    "AXFR", "AdmissionQueue", "AuthoritativeServer", "AxfrError",
+    "axfr_fetch", "axfr_response_stream", "CacheEntry", "CacheOutcome",
+    "CdnPolicy", "ConfigError", "DnsCache", "DynamicOverlay",
+    "FramingError", "HostedDnsServer", "OverloadConfig", "OverloadControl",
+    "RecursiveResolver", "ResolverStats", "ResponseRateLimiter",
+    "ResponseWireCache", "RrlConfig", "ServerStats", "StreamFramer",
+    "TokenBucket", "TransportConfig", "View", "WireCacheEntry", "ZoneSet",
+    "frame_message", "iter_framed", "minimal_wire", "subnet_of",
 ]

@@ -39,6 +39,7 @@ class ServerStats:
     referrals: int = 0
     truncated: int = 0
     response_bytes: int = 0
+    servfails_shed: int = 0  # overload sheds answered with SERVFAIL
     queries_by_transport: Dict[str, int] = field(default_factory=dict)
 
     def note_transport(self, transport: str) -> None:
@@ -321,6 +322,17 @@ class AuthoritativeServer:
     def _finish(self, response: Message, transport: str) -> Message:
         self.stats.responses += 1
         return response
+
+    def shed_response(self, query: Message, transport: str = "udp") -> bytes:
+        """Answer an overload-shed query with a minimal SERVFAIL.
+
+        Bypasses lookup entirely — the whole point of shedding is not
+        doing the work — but keeps the books: the shed is visible in
+        :class:`ServerStats` rather than disappearing into a timeout.
+        """
+        from .overload import minimal_wire
+        self.stats.servfails_shed += 1
+        return minimal_wire(query, rcode=Rcode.SERVFAIL)
 
     @staticmethod
     def udp_limit(query: Message) -> int:

@@ -27,14 +27,23 @@ def frame_message(wire: bytes) -> bytes:
 class StreamFramer:
     """Incremental decoder of length-prefixed DNS messages."""
 
-    def __init__(self, on_message: Optional[Callable[[bytes], None]] = None):
+    def __init__(self, on_message: Optional[Callable[[bytes], None]] = None,
+                 max_buffered: Optional[int] = None):
         self._buffer = bytearray()
         self.on_message = on_message
         self.messages_decoded = 0
+        # Reassembly-buffer bound: a peer that advertises a length and
+        # then trickles bytes (or floods partial frames) may not pin
+        # unbounded memory.  None keeps the pre-overload behavior.
+        self.max_buffered = max_buffered
 
     def feed(self, data: bytes) -> List[bytes]:
         """Feed stream bytes; return (and deliver) completed messages."""
         self._buffer += data
+        if self.max_buffered is not None \
+                and len(self._buffer) > self.max_buffered:
+            raise FramingError(
+                f"stream buffer exceeded {self.max_buffered} bytes")
         completed = []
         while True:
             if len(self._buffer) < 2:

@@ -12,11 +12,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, Optional
 
-from ..dns import DNS_OVER_TLS_PORT, DNS_PORT, Message, WireError
+from ..dns import DNS_OVER_TLS_PORT, DNS_PORT, Message, Rcode, WireError
 from ..netsim import (Host, NetworkError, ServerResourceModel,
                       TcpConnection, TcpOptions, TcpStack, TlsEndpoint)
 from ..perf import PerfCounters
-from .dnsio import StreamFramer, frame_message
+from .dnsio import FramingError, StreamFramer, frame_message
+from .overload import OverloadConfig, OverloadControl, minimal_wire
 
 # A query engine maps (query, source address, transport) to a response
 # Message, and exposes encode_response; AuthoritativeServer satisfies it.
@@ -33,6 +34,14 @@ class TransportConfig:
     tcp_idle_timeout: Optional[float] = 20.0  # Fig 11/13/14 sweep 5-40 s
     nagle: bool = True  # paper §5.2.4 suggests disabling as an optimization
     close_on_peer_fin: bool = True
+    # Backpressure knobs (all off by default).  ``max_pipelined`` caps
+    # in-flight (received, not yet responded) queries per stream
+    # connection; exceeding it aborts the connection with RST instead of
+    # letting a pipelining client queue unbounded work.
+    # ``max_stream_buffer`` bounds the framer's reassembly buffer per
+    # connection (a guard against length-prefix floods).
+    max_pipelined: Optional[int] = None
+    max_stream_buffer: Optional[int] = None
 
 
 class HostedDnsServer:
@@ -41,7 +50,8 @@ class HostedDnsServer:
     def __init__(self, host: Host, engine, config: Optional[TransportConfig] = None,
                  resources: Optional[ServerResourceModel] = None,
                  address: Optional[str] = None,
-                 perf: Optional[PerfCounters] = None):
+                 perf: Optional[PerfCounters] = None,
+                 overload: Optional[OverloadConfig] = None):
         self.host = host
         self.engine = engine
         self.perf = perf if perf is not None else PerfCounters()
@@ -52,12 +62,19 @@ class HostedDnsServer:
         if host.tcp_stack is None:
             TcpStack(host)
         self.tcp_stack = host.tcp_stack
+        if self.tcp_stack.perf is None:
+            self.tcp_stack.perf = self.perf
         self.resources = resources if resources is not None else \
             ServerResourceModel(host.network.loop, self.tcp_stack)
         if self.resources.tcp_stack is None:
             self.resources.tcp_stack = self.tcp_stack
+        self.overload: Optional[OverloadControl] = (
+            OverloadControl(overload, host.network.loop, self.perf)
+            if overload is not None and overload.enabled() else None)
         self.decode_errors = 0
         self.responses_dropped_on_closed = 0
+        self.pipelining_aborts = 0
+        self.stream_overflows = 0
         self._udp_socket = None
         self._tls_endpoints: Dict[TcpConnection, TlsEndpoint] = {}
         self._start()
@@ -80,7 +97,8 @@ class HostedDnsServer:
     # -- UDP --------------------------------------------------------------
 
     def _on_udp(self, sock, data: bytes, src: str, sport: int) -> None:
-        self.resources.cpu.charge("udp_query")
+        # CPU is charged in _serve, once the admission verdict is known:
+        # a query shed at the door costs udp_shed, not the full path.
         self._serve(data, src, "udp",
                     lambda wire: sock.sendto(wire, src, sport))
 
@@ -88,9 +106,11 @@ class HostedDnsServer:
 
     def _on_tcp_accept(self, conn: TcpConnection) -> None:
         self.resources.cpu.charge("tcp_handshake")
-        framer = StreamFramer()
+        framer = StreamFramer(max_buffered=self.config.max_stream_buffer)
+        outstanding = [0]  # queries received but not yet responded to
 
         def send_response(cn: TcpConnection, wire: bytes) -> None:
+            outstanding[0] -= 1
             try:
                 cn.send(frame_message(wire))
             except NetworkError:
@@ -101,16 +121,35 @@ class HostedDnsServer:
 
         def on_data(cn: TcpConnection, data: bytes) -> None:
             self.resources.cpu.charge("tcp_segment")
-            for wire_query in framer.feed(data):
+            try:
+                queries = framer.feed(data)
+            except FramingError:
+                self._abort_stream(cn, "hosting.stream_overflows")
+                return
+            for wire_query in queries:
                 self.resources.cpu.charge("tcp_query")
                 if self._serve_axfr(wire_query, cn):
                     continue
+                limit = self.config.max_pipelined
+                if limit is not None and outstanding[0] >= limit:
+                    self._abort_stream(cn, "hosting.pipeline_aborts")
+                    return
+                outstanding[0] += 1
                 self._serve(wire_query, cn.remote_addr, "tcp",
                             lambda wire, cn=cn: send_response(cn, wire))
 
         conn.on_data = on_data
         if self.config.close_on_peer_fin:
             conn.on_close = lambda cn: cn.close()
+
+    def _abort_stream(self, conn: TcpConnection, counter: str) -> None:
+        """Push back on an abusive stream with RST instead of queueing."""
+        self.perf.incr(counter)
+        if counter == "hosting.pipeline_aborts":
+            self.pipelining_aborts += 1
+        else:
+            self.stream_overflows += 1
+        conn.abort()
 
     # -- TLS --------------------------------------------------------------
 
@@ -119,20 +158,32 @@ class HostedDnsServer:
         endpoint = TlsEndpoint(conn, "server",
                                crypto_hook=self._charge_crypto)
         self._tls_endpoints[conn] = endpoint
-        framer = StreamFramer()
+        framer = StreamFramer(max_buffered=self.config.max_stream_buffer)
+        outstanding = [0]
 
         def on_established(_ep: TlsEndpoint) -> None:
             self.resources.tls_sessions += 1
 
         def send_response(ep: TlsEndpoint, wire: bytes) -> None:
+            outstanding[0] -= 1
             try:
                 ep.send(frame_message(wire))
             except NetworkError:
                 self.responses_dropped_on_closed += 1
 
         def on_data(ep: TlsEndpoint, data: bytes) -> None:
-            for wire_query in framer.feed(data):
+            try:
+                queries = framer.feed(data)
+            except FramingError:
+                self._abort_stream(conn, "hosting.stream_overflows")
+                return
+            for wire_query in queries:
                 self.resources.cpu.charge("tcp_query")
+                limit = self.config.max_pipelined
+                if limit is not None and outstanding[0] >= limit:
+                    self._abort_stream(conn, "hosting.pipeline_aborts")
+                    return
+                outstanding[0] += 1
                 self._serve(wire_query, conn.remote_addr, "tls",
                             lambda wire, ep=ep: send_response(ep, wire))
 
@@ -189,18 +240,52 @@ class HostedDnsServer:
         try:
             query = Message.from_wire(wire_query)
         except WireError:
+            if transport == "udp":
+                self.resources.cpu.charge("udp_query")
             self.decode_errors += 1
             perf.incr("hosting.decode_errors")
             return
         perf.incr("hosting.decodes")
 
+        if self.overload is None:
+            if transport == "udp":
+                self.resources.cpu.charge("udp_query")
+            self._dispatch(query, source, transport, send)
+            return
+
+        def execute() -> None:
+            if transport == "udp":
+                self.resources.cpu.charge("udp_query")
+            self._dispatch(query, source, transport, send)
+
+        def charge_shed() -> None:
+            # The datagram was received and parsed but never resolved:
+            # early-drop and queue drops refund most of the path cost.
+            if transport == "udp":
+                self.resources.cpu.charge("udp_shed")
+
+        def shed() -> None:
+            # Tell the client the truth (SERVFAIL) instead of a timeout.
+            charge_shed()
+            shed_wire = getattr(self.engine, "shed_response", None)
+            wire = (shed_wire(query, transport) if shed_wire is not None
+                    else minimal_wire(query, rcode=Rcode.SERVFAIL))
+            self._deliver(query, source, transport, send, wire)
+
+        self.overload.admit(query, source, transport, execute, shed,
+                            on_drop=charge_shed)
+
+    def _dispatch(self, query: Message, source: str, transport: str,
+                  send: Callable[[bytes], None]) -> None:
+        """Hand one decoded query to the engine and deliver its answer."""
         handle_async = getattr(self.engine, "handle_query_async", None)
         if handle_async is None:
             serve_wire = getattr(self.engine, "serve_wire", None)
             if serve_wire is not None:
                 # Wire fast path: the engine answers in encoded bytes,
                 # usually straight out of its response-wire cache.
-                send(serve_wire(query, source, transport))
+                self._deliver(query, source, transport, send,
+                              serve_wire(query, source, transport))
                 return
 
         def respond(response: Optional[Message]) -> None:
@@ -208,16 +293,30 @@ class HostedDnsServer:
                 return
             encode = getattr(self.engine, "encode_response", None)
             if encode is not None:
-                send(encode(query, response, transport))
+                wire = encode(query, response, transport)
             else:
                 limit = None
                 if transport == "udp":
                     limit = (query.edns.payload_size
                              if query.edns is not None else 512)
-                send(response.to_wire(max_size=limit))
+                wire = response.to_wire(max_size=limit)
+            self._deliver(query, source, transport, send, wire)
 
         if handle_async is not None:
             handle_async(query, source, transport, respond)
         else:
             respond(self.engine.handle_query(query, source=source,
                                              transport=transport))
+
+    def _deliver(self, query: Message, source: str, transport: str,
+                 send: Callable[[bytes], None], wire: bytes) -> None:
+        """Final send stage: RRL filtering, then transport counters."""
+        if self.overload is not None:
+            filtered = self.overload.filter_response(
+                query, source, transport, wire)
+            if filtered is None:
+                return
+            wire = filtered
+        self.perf.incr("hosting.responses_sent")
+        self.perf.incr(f"hosting.responses_sent.{transport}")
+        send(wire)

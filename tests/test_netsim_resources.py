@@ -130,3 +130,87 @@ class TestMonitor:
         monitor.stop()
         loop.run_until(50.0)
         assert len(monitor.samples) == 2
+
+
+class TestSustainedOverload:
+    """Resource accounting when offered load exceeds the CPU budget.
+
+    The DoS experiments rely on the meter reporting >100 % utilization
+    (the "(sat.)" rows) and on dstat-style windows recovering once the
+    flood ends; these tests pin that behaviour down directly.
+    """
+
+    def make_saturated(self, cores=2, seconds=10.0, factor=3.0):
+        """Charge ``factor``× the core budget over ``seconds``."""
+        loop = EventLoop()
+        meter = CpuMeter(loop, cores=cores,
+                         cost_model=CostModel(udp_query=1e-3))
+        # cores * seconds core-seconds available; offer factor× that.
+        units = cores * seconds * factor / 1e-3
+        step = units / 10
+        for i in range(10):
+            loop.run_until(seconds * (i + 1) / 10)
+            meter.charge("udp_query", step)
+        return loop, meter
+
+    def test_saturation_reports_over_100_percent(self):
+        loop, meter = self.make_saturated(factor=3.0)
+        assert meter.utilization_since(0.0) == pytest.approx(3.0)
+        assert meter.utilization_since(0.0) > 1.0
+
+    def test_window_recovers_after_load_stops(self):
+        loop, meter = self.make_saturated(seconds=10.0, factor=2.0)
+        assert meter.sample_window() == pytest.approx(2.0)
+        # Flood over: the next window sees no charges at all.
+        loop.run_until(20.0)
+        assert meter.sample_window() == pytest.approx(0.0)
+        # ...while the long-run average still remembers the overload.
+        assert meter.utilization_since(0.0) == pytest.approx(1.0)
+
+    def test_mixed_kinds_accumulate_during_overload(self):
+        loop = EventLoop()
+        meter = CpuMeter(loop, cores=1,
+                         cost_model=CostModel(udp_query=0.5,
+                                              tcp_handshake=0.25))
+        meter.charge("udp_query", 4)       # 2.0 core-s
+        meter.charge("tcp_handshake", 8)   # 2.0 core-s
+        loop.run_until(2.0)
+        assert meter.total_busy() == pytest.approx(4.0)
+        assert meter.utilization_since(0.0) == pytest.approx(2.0)
+        assert meter.busy_seconds["udp_query"] == pytest.approx(2.0)
+        assert meter.busy_seconds["tcp_handshake"] == pytest.approx(2.0)
+
+    def test_monitor_samples_monotonic_under_overload(self):
+        loop = EventLoop()
+        model = ServerResourceModel(loop, cores=2)
+        monitor = ResourceMonitor(loop, model, period=2.0)
+        monitor.start()
+        # Sustained flood: one big charge per simulated second.
+        for second in range(1, 21):
+            loop.call_at(float(second), model.cpu.charge, "udp_query",
+                         60000)
+        loop.run_until(25.0)
+        monitor.stop()
+        times = [s.time for s in monitor.samples]
+        assert times == sorted(times)
+        assert all(b - a == pytest.approx(2.0)
+                   for a, b in zip(times, times[1:]))
+
+    def test_monitor_windows_show_saturation_then_recovery(self):
+        loop = EventLoop()
+        model = ServerResourceModel(loop, cores=2)
+        monitor = ResourceMonitor(loop, model, period=2.0)
+        monitor.start()
+        # Overload for the first 10 s (135 µs × 60 k ≈ 8.1 core-s per
+        # second offered against a 2-core budget), then silence.
+        for second in range(1, 11):
+            loop.call_at(float(second), model.cpu.charge, "udp_query",
+                         60000)
+        loop.run_until(20.0)
+        monitor.stop()
+        flood = [s for s in monitor.samples if s.time <= 10.0]
+        quiet = [s for s in monitor.samples if s.time > 12.0]
+        assert flood and quiet
+        assert all(s.cpu_utilization > 1.0 for s in flood)
+        assert all(s.cpu_utilization == pytest.approx(0.0)
+                   for s in quiet)

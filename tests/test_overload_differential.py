@@ -1,0 +1,117 @@
+"""Differential: the overload subsystem at defaults changes no bytes.
+
+The acceptance criterion for the overload PR mirrors the wire-cache
+one: a ``HostedDnsServer`` built with ``overload=None``, with the
+default (all-off) ``OverloadConfig``, or with limits set far above the
+offered load must produce byte-identical response streams over both
+UDP and TCP.  The subsystem may only change behaviour when a knob is
+deliberately turned.
+"""
+
+import pytest
+
+from repro.dns import (DNS_PORT, Edns, Message, Name, RRType, read_zone)
+from repro.netsim import EventLoop, Network, TcpOptions, TcpStack
+from repro.server import (AuthoritativeServer, HostedDnsServer,
+                          OverloadConfig, RrlConfig, StreamFramer,
+                          TransportConfig, frame_message)
+
+ZONE = """
+$ORIGIN example.com.
+@ 3600 IN SOA ns1 h. 1 1800 900 604800 86400
+@ 3600 IN NS ns1
+ns1 IN A 10.5.0.2
+www 300 IN A 192.0.2.80
+alias 300 IN CNAME www
+*.wild 60 IN A 192.0.2.99
+""" + "\n".join(f"big 60 IN A 10.7.{i // 200}.{i % 200 + 1}"
+                for i in range(60))
+
+QUERIES = [
+    ("www.example.com.", RRType.A, None),         # positive
+    ("alias.example.com.", RRType.A, None),       # CNAME chain
+    ("www.example.com.", RRType.NS, None),        # NODATA
+    ("nope.example.com.", RRType.A, None),        # NXDOMAIN
+    ("a.wild.example.com.", RRType.A, None),      # wildcard
+    ("other.test.", RRType.A, None),              # REFUSED
+    ("big.example.com.", RRType.A, None),         # truncated at 512
+    ("big.example.com.", RRType.A, Edns()),       # fits under EDNS
+    ("www.example.com.", RRType.A, Edns(dnssec_ok=True)),
+]
+
+# Knobs that are "on" but sized far beyond the offered load: admission
+# must pass everything and RRL must never fire.
+GENEROUS = OverloadConfig(
+    queue_limit=10_000, service_rate=1e6,
+    rrl=RrlConfig(responses_per_second=1e6, window=10.0))
+
+
+def run_udp(overload):
+    loop = EventLoop()
+    network = Network(loop)
+    server_host = network.add_host("server", "10.5.0.2")
+    client_host = network.add_host("client", "10.5.0.1")
+    zone = read_zone(ZONE, origin=Name.from_text("example.com."))
+    HostedDnsServer(server_host, AuthoritativeServer.single_view([zone]),
+                    config=TransportConfig(udp=True, tcp=True),
+                    overload=overload)
+    wires = []
+    sock = client_host.bind_udp("10.5.0.1", 0,
+                                lambda s, d, a, p: wires.append(d))
+    for msg_id, (qname, qtype, edns) in enumerate(QUERIES, start=1):
+        query = Message.make_query(Name.from_text(qname), qtype,
+                                   msg_id=msg_id, edns=edns)
+        loop.call_at(0.05 * msg_id, sock.sendto, query.to_wire(),
+                     "10.5.0.2", DNS_PORT)
+    loop.run(max_time=10)
+    return wires
+
+
+def run_tcp(overload):
+    loop = EventLoop()
+    network = Network(loop)
+    server_host = network.add_host("server", "10.5.0.2")
+    client_host = network.add_host("client", "10.5.0.1")
+    zone = read_zone(ZONE, origin=Name.from_text("example.com."))
+    HostedDnsServer(server_host, AuthoritativeServer.single_view([zone]),
+                    config=TransportConfig(udp=True, tcp=True),
+                    overload=overload)
+    stack = TcpStack(client_host)
+    framer = StreamFramer()
+    wires = []
+    framer.on_message = lambda w: wires.append(w)
+    conn = stack.connect("10.5.0.1", "10.5.0.2", DNS_PORT,
+                         TcpOptions(nagle=False))
+    conn.on_data = lambda cn, d: framer.feed(d)
+    for msg_id, (qname, qtype, edns) in enumerate(QUERIES, start=1):
+        query = Message.make_query(Name.from_text(qname), qtype,
+                                   msg_id=msg_id, edns=edns)
+        loop.call_at(0.05 * msg_id, conn.send,
+                     frame_message(query.to_wire()))
+    loop.run(max_time=10)
+    return wires
+
+
+@pytest.mark.parametrize("driver", [run_udp, run_tcp],
+                         ids=["udp", "tcp"])
+class TestDefaultsAreInert:
+    def test_default_config_matches_no_config(self, driver):
+        reference = driver(None)
+        assert len(reference) == len(QUERIES)
+        assert driver(OverloadConfig()) == reference
+
+    def test_generous_limits_match_no_config(self, driver):
+        assert driver(GENEROUS) == driver(None)
+
+
+def test_default_config_builds_no_control():
+    loop = EventLoop()
+    network = Network(loop)
+    host = network.add_host("server", "10.5.0.2")
+    zone = read_zone(ZONE, origin=Name.from_text("example.com."))
+    server = HostedDnsServer(host,
+                             AuthoritativeServer.single_view([zone]),
+                             overload=OverloadConfig())
+    # An all-defaults config is indistinguishable from no config: the
+    # hosting layer never even constructs the control pipeline.
+    assert server.overload is None
