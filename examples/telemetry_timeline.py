@@ -1,0 +1,86 @@
+#!/usr/bin/env python3
+"""Capture a faulty replay as a Chrome-loadable timeline.
+
+Runs the fault-injection study's scenario — a fixed-interval synthetic
+trace replayed through loss, delay, duplication, and a server outage —
+with the full observability stack attached: per-query lifecycle spans,
+latency/size histograms, and the periodic load sampler.  The run writes
+three artifacts next to the script:
+
+* ``telemetry_timeline.json`` — Trace Event Format; open it in
+  ``chrome://tracing`` or https://ui.perfetto.dev to scrub through
+  every query's dispatch → transmit → admission → response (or
+  timeout/retry/giveup) on per-actor lanes, with fault verdicts pinned
+  to the packets they hit and load counters along the bottom.
+* ``telemetry_histograms.json`` — log-bucketed latency/size histograms
+  with p50/p90/p99.
+* ``telemetry_timeseries.csv`` — the sampler's qps/queue/cache columns,
+  one row per tick.
+
+Run:  python examples/telemetry_timeline.py
+"""
+
+from pathlib import Path
+
+from repro.experiments.fig6_timing import wildcard_example_zone
+from repro.experiments.report import render_telemetry
+from repro.experiments.topology import build_evaluation_topology
+from repro.netsim import FaultInjector, FaultPlan, RetryPolicy
+from repro.replay import QuerierConfig, ReplayConfig, SimReplayEngine
+from repro.server import AuthoritativeServer, HostedDnsServer
+from repro.telemetry import (Telemetry, TelemetryConfig,
+                             write_chrome_trace, write_histograms_json,
+                             write_timeseries_csv)
+from repro.trace import fixed_interval_trace, make_root_zone
+
+OUT_DIR = Path(__file__).resolve().parent
+
+
+def main() -> None:
+    trace = fixed_interval_trace(0.02, 40.0, name="syn-faulted", seed=7)
+
+    # Everything on: spans for every query, histograms, 2 s sampling.
+    telemetry = Telemetry(TelemetryConfig(trace=True, metrics=True,
+                                          timeseries_period=2.0))
+
+    testbed = build_evaluation_topology()
+    HostedDnsServer(testbed.server_host,
+                    AuthoritativeServer.single_view(
+                        [wildcard_example_zone(), make_root_zone(30)]),
+                    telemetry=telemetry)
+
+    plan = (FaultPlan()
+            .loss_burst(start=5.0, duration=20.0, rate=0.05)
+            .delay_spike(start=12.0, duration=5.0, extra_delay=0.03)
+            .duplication(start=20.0, duration=5.0, rate=0.2)
+            .server_outage(start=30.0, duration=2.0, host="server"))
+    FaultInjector(testbed.network, plan, seed=11)
+
+    retry = RetryPolicy(udp_timeout=0.5, backoff=2.0, max_timeout=4.0,
+                        max_retries=4)
+    engine = SimReplayEngine(
+        testbed.network,
+        ReplayConfig(querier=QuerierConfig(retry=retry)),
+        telemetry=telemetry)
+    result = engine.replay(trace, extra_time=20.0)
+    telemetry.stop()
+
+    answered = len(result) - result.unanswered()
+    print(f"replayed {len(result)} queries: {answered} answered, "
+          f"{result.retries} retries, {result.gave_up} gave up")
+    print(f"span coverage: {telemetry.coverage(result):.3f}")
+    print()
+    print(render_telemetry(telemetry))
+
+    timeline = OUT_DIR / "telemetry_timeline.json"
+    write_chrome_trace(str(timeline), telemetry)
+    write_histograms_json(str(OUT_DIR / "telemetry_histograms.json"),
+                          telemetry.metrics)
+    write_timeseries_csv(str(OUT_DIR / "telemetry_timeseries.csv"),
+                         telemetry.sampler)
+    print(f"\nwrote {timeline}")
+    print("open it in chrome://tracing or https://ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

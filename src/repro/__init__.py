@@ -24,6 +24,9 @@ Subpackages
 ``repro.replay``
     The distributed query engine: controller → distributors → queriers,
     timing discipline, live loopback replay.
+``repro.telemetry``
+    Observability: per-query lifecycle tracing, histogram metrics,
+    periodic load sampling, Chrome-trace/JSON/CSV exporters.
 ``repro.experiments``
     One harness per paper table/figure; the ``ldplayer`` CLI.
 
@@ -42,7 +45,7 @@ True
 __version__ = "1.0.0"
 
 from . import dns, experiments, hierarchy, netsim, proxy, replay, server, \
-    trace, zonegen
+    telemetry, trace, zonegen
 
 __all__ = ["dns", "experiments", "hierarchy", "netsim", "proxy", "replay",
-           "server", "trace", "zonegen", "__version__"]
+           "server", "telemetry", "trace", "zonegen", "__version__"]

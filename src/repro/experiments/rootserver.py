@@ -9,14 +9,16 @@ per-query latencies.
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from ..dns import Zone, dnssec
-from ..netsim import CostModel, ResourceMonitor, ServerResourceModel
+from ..netsim import CostModel, ServerResourceModel
 from ..replay import (QuerierConfig, ReplayConfig, ReplayResult,
                       SimReplayEngine, TimerJitterModel)
 from ..server import AuthoritativeServer, HostedDnsServer, TransportConfig
+from ..telemetry import ResourceTimeline, Telemetry, TelemetryConfig
 from ..trace import (BRootWorkload, QueryMutator, Trace, all_protocol,
                      make_root_zone, retarget, set_dnssec_fraction)
 from .common import Scale, SMOKE
@@ -42,18 +44,28 @@ class RootRunConfig:
     server_nagle: bool = True
     track_timing: bool = True
     jitter: bool = False
+    # Optional telemetry config; the run always samples resource time
+    # series (the sampler IS the Fig 11/13/14 instrumentation), so a
+    # None here still builds a hub with ``timeseries_period`` set from
+    # the scale's monitor period.  Pass a config to add tracing or
+    # histogram metrics on top.
+    telemetry: Optional[TelemetryConfig] = None
 
 
 @dataclass
 class RootRunOutput:
     config: RootRunConfig
     result: ReplayResult
-    monitor: ResourceMonitor
+    # A ResourceTimeline riding the telemetry sampler; keeps the old
+    # ResourceMonitor surface (``samples``, ``steady_state``) so the
+    # figure scripts work unchanged.
+    monitor: ResourceTimeline
     resources: ServerResourceModel
     server: HostedDnsServer
     trace: Trace
     start_time: float
     scale_factor: float
+    telemetry: Optional[Telemetry] = None
 
     def steady_samples(self, skip: Optional[float] = None):
         if skip is None:
@@ -111,17 +123,24 @@ def run_root_replay(config: RootRunConfig) -> RootRunOutput:
 
     resources = ServerResourceModel(testbed.loop, cores=SERVER_CORES)
     resources.scale_factor = config.scale.report_factor
+
+    tel_config = config.telemetry or TelemetryConfig()
+    if tel_config.timeseries_period is None:
+        tel_config = dataclasses.replace(
+            tel_config, timeseries_period=config.scale.monitor_period)
+    telemetry = Telemetry(tel_config)
+    # Attach (and start the sampler) before building the server so the
+    # hosting layer's probe registrations land on a live sampler.
+    telemetry.attach_loop(testbed.loop)
+
     server = HostedDnsServer(
         testbed.server_host,
         AuthoritativeServer.single_view([zone]),
         config=TransportConfig(udp=True, tcp=True, tls=True,
                                tcp_idle_timeout=config.tcp_timeout,
                                nagle=config.server_nagle),
-        resources=resources)
-
-    monitor = ResourceMonitor(testbed.loop, resources,
-                              period=config.scale.monitor_period)
-    monitor.start()
+        resources=resources,
+        telemetry=telemetry)
 
     engine = SimReplayEngine(
         testbed.network,
@@ -131,16 +150,18 @@ def run_root_replay(config: RootRunConfig) -> RootRunOutput:
             track_timing=config.track_timing,
             jitter=TimerJitterModel(None, seed=config.seed)
             if config.jitter else None,
-            querier=QuerierConfig(nagle=False)))
+            querier=QuerierConfig(nagle=False)),
+        telemetry=telemetry)
+    monitor = ResourceTimeline(telemetry.sampler, resources)
 
     start_time = testbed.loop.now
     result = engine.schedule_trace(trace)
     # Run past the trace end so timeouts, TIME_WAITs and the monitor
     # observe the post-load decay the paper's plots show.
     testbed.loop.run_until(start_time + config.scale.duration + 5.0)
-    monitor.stop()
+    telemetry.stop()
 
     return RootRunOutput(
         config=config, result=result, monitor=monitor, resources=resources,
         server=server, trace=trace, start_time=start_time,
-        scale_factor=config.scale.report_factor)
+        scale_factor=config.scale.report_factor, telemetry=telemetry)

@@ -299,6 +299,7 @@ class FaultInjector:
         """
         if sender.down or receiver.down:
             self.dropped_host_down += 1
+            self._note("host_down", packet)
             return []
         deliveries: List[Tuple[float, IpPacket]] = [(0.0, packet)]
         for spec in self._active:
@@ -306,32 +307,48 @@ class FaultInjector:
                 continue
             if spec.kind == "partition":
                 self.dropped_by_partition += 1
+                self._note("partition", packet)
                 return []
             if spec.rate < 1.0 and self._rng.random() >= spec.rate:
                 continue
             if spec.kind == "loss":
                 self.dropped_by_loss += 1
+                self._note("loss", packet)
                 return []
             if spec.kind == "corrupt":
                 self.packets_corrupted += 1
+                self._note("corrupt", packet)
                 deliveries = [(extra, _corrupt(pkt))
                               for extra, pkt in deliveries]
             elif spec.kind == "duplicate":
                 self.packets_duplicated += 1
+                self._note("duplicate", packet)
                 deliveries = deliveries + [
                     (extra + DUPLICATE_LAG, pkt)
                     for extra, pkt in deliveries]
             elif spec.kind == "delay":
                 self.packets_delayed += 1
+                self._note("delay", packet)
                 deliveries = [(extra + spec.extra_delay, pkt)
                               for extra, pkt in deliveries]
             elif spec.kind == "reorder":
                 # Holding this packet past its successors reorders the
                 # flow without losing anything.
                 self.packets_reordered += 1
+                self._note("reorder", packet)
                 deliveries = [(extra + spec.extra_delay, pkt)
                               for extra, pkt in deliveries]
         return deliveries
+
+    def _note(self, kind: str, packet: IpPacket) -> None:
+        """Record the verdict on the network's telemetry hub, if any.
+
+        Fault verdicts are rare (faults are windows, not steady state),
+        so this extra call only runs on already-exceptional packets.
+        """
+        telemetry = self.network.telemetry
+        if telemetry is not None:
+            telemetry.on_fault(kind, packet)
 
 
 def _corrupt(packet: IpPacket) -> IpPacket:

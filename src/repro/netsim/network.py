@@ -376,6 +376,9 @@ class Network:
         # Scheduled fault windows (loss bursts, partitions, crashes, …);
         # installed by repro.netsim.faults.FaultInjector.
         self.fault_injector = None
+        # Telemetry hub, installed by Telemetry.attach_network only when
+        # lifecycle tracing is on; the off path pays one None check.
+        self.telemetry = None
 
     def add_host(self, name: str, *addresses: Address) -> Host:
         if name in self._hosts:
@@ -405,10 +408,14 @@ class Network:
             # the proxies) are simply dropped.
             self.dropped_no_route += 1
             sender.counters.no_route_drops += 1
+            if self.telemetry is not None:
+                self.telemetry.on_net_drop(packet, "no_route")
             return
         if self.loss_rate > 0 and receiver is not sender \
                 and self._loss_rng.random() < self.loss_rate:
             self.dropped_by_loss += 1
+            if self.telemetry is not None:
+                self.telemetry.on_net_drop(packet, "loss")
             return
         deliveries = [(0.0, packet)]
         if self.fault_injector is not None:
@@ -416,6 +423,8 @@ class Network:
                                                      receiver)
             if not deliveries:
                 return
+        if self.telemetry is not None:
+            self.telemetry.on_transmit(packet)
         if receiver is sender:
             delay = LOOPBACK_DELAY
         else:

@@ -1,5 +1,13 @@
 """Performance counters for the replay pipeline's hot paths.
 
+.. deprecated::
+    ``PerfCounters`` is now a thin facade over
+    :class:`repro.telemetry.MetricsRegistry`, kept for the existing
+    call sites and their tests.  New code should use a registry from
+    :mod:`repro.telemetry` directly (or a :class:`Telemetry` hub, which
+    owns one) — the registry has the same counter/timing/gauge API plus
+    histograms with quantile extraction.
+
 The paper's evaluation leans on throughput numbers (Fig 9's 87 k q/s
 single-host replay); this repro needs the same kind of visibility to
 prove its own hot-path optimizations and to gate regressions.  A
@@ -25,97 +33,29 @@ discrete-event clock stays deterministic; counters only *observe*.
 
 from __future__ import annotations
 
-import json
-import time
-from contextlib import contextmanager
-from typing import Dict, Iterator, Optional
+from typing import Dict, Optional
+
+from .telemetry.metrics import MetricsRegistry
 
 
-class PerfCounters:
-    """A named registry of counters, accumulated timings, and gauges."""
+class PerfCounters(MetricsRegistry):
+    """The legacy counter registry, backed by the telemetry metrics core.
 
-    def __init__(self) -> None:
-        self._counts: Dict[str, int] = {}
-        self._timings: Dict[str, float] = {}
-        self._gauges: Dict[str, float] = {}
+    Every measurement lands in an underlying
+    :class:`~repro.telemetry.MetricsRegistry` (``self`` — the facade is
+    the registry), so code that still holds a ``PerfCounters`` and code
+    using telemetry metrics share one storage model and one snapshot
+    format.  ``registry`` exposes the instance under its new name for
+    call sites migrating off this class.
+    """
 
-    # -- counters ---------------------------------------------------------
+    @property
+    def registry(self) -> MetricsRegistry:
+        return self
 
-    def incr(self, name: str, amount: int = 1) -> None:
-        self._counts[name] = self._counts.get(name, 0) + amount
-
-    def count(self, name: str) -> int:
-        return self._counts.get(name, 0)
-
-    # -- timings ----------------------------------------------------------
-
-    @contextmanager
-    def timed(self, name: str) -> Iterator[None]:
-        """Accumulate the wall-clock duration of the enclosed block."""
-        started = time.perf_counter()
-        try:
-            yield
-        finally:
-            self.add_time(name, time.perf_counter() - started)
-
-    def add_time(self, name: str, seconds: float) -> None:
-        self._timings[name] = self._timings.get(name, 0.0) + seconds
-
-    def seconds(self, name: str) -> float:
-        return self._timings.get(name, 0.0)
-
-    # -- gauges -----------------------------------------------------------
-
-    def set_gauge(self, name: str, value: float) -> None:
-        self._gauges[name] = value
-
-    def gauge(self, name: str) -> Optional[float]:
-        return self._gauges.get(name)
-
-    # -- derived ----------------------------------------------------------
-
-    def hit_rate(self, hits: str, misses: str) -> Optional[float]:
-        """``hits / (hits + misses)`` or None when nothing was counted."""
-        total = self.count(hits) + self.count(misses)
-        if total == 0:
-            return None
-        return self.count(hits) / total
-
-    def rate(self, counter: str, timing: str) -> Optional[float]:
-        """Events per wall-clock second, or None without data."""
-        seconds = self.seconds(timing)
-        if seconds <= 0.0:
-            return None
-        return self.count(counter) / seconds
-
-    # -- aggregation -------------------------------------------------------
-
-    def snapshot(self) -> Dict[str, float]:
-        """One flat mapping of everything measured so far.
-
-        Counter names appear as-is, timings get a ``_s`` suffix, gauges
-        appear as-is; the result is JSON-ready.
-        """
-        merged: Dict[str, float] = dict(self._counts)
-        for name, seconds in self._timings.items():
-            merged[f"{name}_s"] = seconds
-        merged.update(self._gauges)
-        return merged
-
-    def merge(self, other: "PerfCounters") -> None:
-        for name, value in other._counts.items():
-            self.incr(name, value)
-        for name, seconds in other._timings.items():
-            self.add_time(name, seconds)
-        self._gauges.update(other._gauges)
-
-    def reset(self) -> None:
-        self._counts.clear()
-        self._timings.clear()
-        self._gauges.clear()
-
-    def to_json(self) -> str:
-        return json.dumps(self.snapshot(), indent=2, sort_keys=True)
+    def merge(self, other: "MetricsRegistry") -> None:
+        # Accepts either a PerfCounters or a bare MetricsRegistry.
+        super().merge(other)
 
     def __repr__(self) -> str:
         return (f"PerfCounters({len(self._counts)} counters, "

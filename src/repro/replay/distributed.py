@@ -77,6 +77,9 @@ class _LiveQuerier(threading.Thread):
         self.records_sent = 0
         self.shed_event = threading.Event()
         self.name = f"live-querier-{querier_id}"
+        # Telemetry hub, installed by LiveDistributedReplay before
+        # start(); calls are serialized under the shared result lock.
+        self.telemetry = None
 
     def has_work(self) -> bool:
         """True while queued records await sending (watchdog predicate)."""
@@ -155,6 +158,8 @@ class _LiveQuerier(threading.Thread):
         self._pending[message_id] = entry
         with self.lock:
             self.result.add(entry)
+            if self.telemetry is not None:
+                self.telemetry.on_send(entry, wire)
         try:
             self._sock.send(wire)
             self.records_sent += 1
@@ -172,6 +177,9 @@ class _LiveQuerier(threading.Thread):
                 entry = self._pending.pop(message_id, None)
                 if entry is not None:
                     entry.answered_at = time.monotonic()
+                    if self.telemetry is not None:
+                        with self.lock:
+                            self.telemetry.on_answer(entry)
                 else:
                     with self.lock:
                         self.result.unmatched_responses += 1
@@ -241,9 +249,11 @@ class LiveDistributedReplay:
     """The controller: builds the tree, streams the trace, collects."""
 
     def __init__(self, server: Tuple[str, int],
-                 config: Optional[DistributedConfig] = None):
+                 config: Optional[DistributedConfig] = None,
+                 telemetry=None):
         self.server = server
         self.config = config if config is not None else DistributedConfig()
+        self.telemetry = telemetry
         self.result = ReplayResult("distributed-live")
         self._lock = threading.Lock()
         # querier -> (distributor, dist-side socket, querier-side socket)
@@ -314,6 +324,19 @@ class LiveDistributedReplay:
                 self._wiring[querier] = (distributor, dist_side,
                                          querier_side)
 
+        telemetry = self.telemetry
+        if telemetry is not None:
+            if telemetry.per_query:
+                for querier in queriers:
+                    querier.telemetry = telemetry
+            telemetry.start_wall_sampler()
+            telemetry.add_probe("replay.queries_sent",
+                                lambda: len(self.result.sent))
+            telemetry.add_probe(
+                "replay.answered",
+                lambda: sum(1 for e in self.result.sent
+                            if e.answered_at is not None))
+
         if self.config.supervision is not None:
             self.watchdog = ReplayWatchdog(
                 self.config.supervision, queriers,
@@ -365,4 +388,6 @@ class LiveDistributedReplay:
             self.watchdog.join(timeout=1.0)
         for outbound in distributor_sockets:
             outbound.close()
+        if telemetry is not None:
+            telemetry.stop()
         return self.result

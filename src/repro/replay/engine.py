@@ -20,6 +20,7 @@ from typing import List, Optional, Sequence
 
 from ..netsim import EventLoop, Host, LatencyModel, Network
 from ..perf import PerfCounters
+from ..telemetry import Telemetry
 from ..trace import Trace
 from .distributor import Controller, Distributor, DistributionStats
 from .querier import QuerierConfig, SimQuerier
@@ -53,16 +54,33 @@ class SimReplayEngine:
 
     def __init__(self, network: Network,
                  config: Optional[ReplayConfig] = None,
-                 perf: Optional[PerfCounters] = None):
+                 perf: Optional[PerfCounters] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.network = network
         self.loop: EventLoop = network.loop
         self.config = config if config is not None else ReplayConfig()
         self.perf = perf if perf is not None else PerfCounters()
+        self.telemetry = telemetry
         self.stats = DistributionStats()
         self.client_hosts: List[Host] = []
         self.queriers: List[SimQuerier] = []
         self.result = ReplayResult()
         self._build_clients()
+        if telemetry is not None:
+            telemetry.attach_loop(self.loop)
+            telemetry.attach_network(network)
+            if telemetry.per_query:
+                for querier in self.queriers:
+                    querier.telemetry = telemetry
+            telemetry.add_probe(
+                "replay.queries_sent", lambda: len(self.result.sent))
+            telemetry.add_probe(
+                "replay.answered",
+                lambda: sum(1 for e in self.result.sent
+                            if e.answered_at is not None))
+            telemetry.add_probe(
+                "loop.events_processed",
+                lambda: self.loop.events_processed)
 
     def _build_clients(self) -> None:
         distributors = []

@@ -166,6 +166,8 @@ class _StreamChannel:
                 entry, _record = waiting.pop(0)
                 entry.answered_at = self.querier.loop.now
                 self.querier._note_response(wire)
+                if self.querier.telemetry is not None:
+                    self.querier.telemetry.on_answer(entry)
                 if not waiting:
                     del self.pending[key]
                     self._answered.add(key)
@@ -212,6 +214,9 @@ class SimQuerier:
         self.queries_sent = 0
         self._pacer = (AimdPacer(self.config.pacing, self.loop.now)
                        if self.config.pacing is not None else None)
+        # Telemetry hub, installed by the engine only when per-query
+        # recording is enabled; every hook below is behind a None check.
+        self.telemetry = None
 
     # -- sending ------------------------------------------------------------
 
@@ -236,6 +241,8 @@ class SimQuerier:
             querier_id=self.querier_id)
         self.result.add(entry)
         self.queries_sent += 1
+        if self.telemetry is not None:
+            self.telemetry.on_send(entry, record.wire)
         if record.protocol == "udp":
             self._send_udp(record, entry)
         else:
@@ -290,6 +297,8 @@ class SimQuerier:
             pending = waiting.pop(0)
             pending.entry.answered_at = self.loop.now
             self._note_response(data)
+            if self.telemetry is not None:
+                self.telemetry.on_answer(pending.entry)
             if pending.timer is not None:
                 pending.timer.cancel()
                 pending.timer = None
@@ -311,6 +320,9 @@ class SimQuerier:
         pending.entry.timeouts += 1
         self.result.udp_timeouts += 1
         self._congestion()
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.on_timeout(pending.entry)
         if policy.tcp_fallback_after is not None \
                 and pending.timeouts >= policy.tcp_fallback_after:
             self._drop_pending(key, pending)
@@ -318,6 +330,8 @@ class SimQuerier:
             self.result.tcp_fallbacks += 1
             self.result.retries += 1
             pending.entry.retries += 1
+            if telemetry is not None:
+                telemetry.on_tcp_fallback(pending.entry)
             self._send_stream(pending.record, pending.entry,
                               protocol="tcp")
             return
@@ -325,10 +339,14 @@ class SimQuerier:
             self._drop_pending(key, pending)
             pending.entry.gave_up = True
             self.result.gave_up += 1
+            if telemetry is not None:
+                telemetry.on_giveup(pending.entry)
             return
         pending.tries += 1
         pending.entry.retries += 1
         self.result.retries += 1
+        if telemetry is not None:
+            telemetry.on_retry(pending.entry, pending.record.wire)
         try:
             pending.sock.sendto(pending.record.wire, pending.record.dst,
                                 pending.record.dport)
@@ -394,6 +412,8 @@ class SimQuerier:
                 if not entry.gave_up:
                     entry.gave_up = True
                     self.result.gave_up += 1
+                    if self.telemetry is not None:
+                        self.telemetry.on_giveup(entry)
             else:
                 retryable.append((entry, record))
         if not retryable:
@@ -406,6 +426,8 @@ class SimQuerier:
             entry.retries += 1
             self.result.retries += 1
             entry.fresh_connection = True
+            if self.telemetry is not None:
+                self.telemetry.on_retry(entry, record.wire)
             replacement.send(record, entry)
 
     # -- statistics ----------------------------------------------------------

@@ -145,6 +145,9 @@ class AuthoritativeServer:
         self.wire_cache: Optional[ResponseWireCache] = (
             ResponseWireCache() if wire_cache is _DEFAULT_CACHE else wire_cache)
         self.perf = perf
+        # Telemetry hub, mirrored from the hosting layer (like perf)
+        # only when per-query recording is enabled.
+        self.telemetry = None
         self.stats = ServerStats()
 
     @classmethod
@@ -393,6 +396,8 @@ class AuthoritativeServer:
                edns is not None,
                edns.dnssec_ok if edns is not None else False,
                self.udp_limit(query) if transport == "udp" else None)
+        evictions_before = cache.evictions
+        invalidations_before = cache.invalidations
         entry = cache.get(key, view.zones.version)
         stats = self.stats
         if entry is not None:
@@ -407,6 +412,8 @@ class AuthoritativeServer:
             stats.response_bytes += deltas[4]
             if self.perf is not None:
                 self.perf.incr("server.wire_cache_hits")
+            if self.telemetry is not None:
+                self.telemetry.server_event(query, "server.cache_hit")
             return query.msg_id.to_bytes(2, "big") + entry.wire[2:]
 
         before = (stats.refused, stats.nxdomain, stats.referrals,
@@ -423,4 +430,16 @@ class AuthoritativeServer:
              stats.response_bytes - before[4])))
         if self.perf is not None:
             self.perf.incr("server.wire_cache_misses")
+            # Mirror the cache's own eviction/invalidation tallies into
+            # the registry, so they reach rendered reports (they were
+            # previously counted on the cache object only).
+            evicted = cache.evictions - evictions_before
+            if evicted:
+                self.perf.incr("server.wire_cache_evictions", evicted)
+            invalidated = cache.invalidations - invalidations_before
+            if invalidated:
+                self.perf.incr("server.wire_cache_invalidations",
+                               invalidated)
+        if self.telemetry is not None:
+            self.telemetry.server_event(query, "server.cache_miss")
         return wire

@@ -16,6 +16,7 @@ from ..dns import DNS_OVER_TLS_PORT, DNS_PORT, Message, Rcode, WireError
 from ..netsim import (Host, NetworkError, ServerResourceModel,
                       TcpConnection, TcpOptions, TcpStack, TlsEndpoint)
 from ..perf import PerfCounters
+from ..telemetry import Telemetry
 from .dnsio import FramingError, StreamFramer, frame_message
 from .overload import OverloadConfig, OverloadControl, minimal_wire
 
@@ -51,12 +52,22 @@ class HostedDnsServer:
                  resources: Optional[ServerResourceModel] = None,
                  address: Optional[str] = None,
                  perf: Optional[PerfCounters] = None,
-                 overload: Optional[OverloadConfig] = None):
+                 overload: Optional[OverloadConfig] = None,
+                 telemetry: Optional[Telemetry] = None):
         self.host = host
         self.engine = engine
         self.perf = perf if perf is not None else PerfCounters()
         if getattr(engine, "perf", None) is None and hasattr(engine, "perf"):
             engine.perf = self.perf
+        # Per-query hooks are installed only when the hub records per
+        # query; sampler probes are registered either way (below).
+        self.telemetry: Optional[Telemetry] = (
+            telemetry if telemetry is not None and telemetry.per_query
+            else None)
+        if self.telemetry is not None \
+                and getattr(engine, "telemetry", None) is None \
+                and hasattr(engine, "telemetry"):
+            engine.telemetry = self.telemetry
         self.config = config if config is not None else TransportConfig()
         self.address = address if address is not None else host.primary_address
         if host.tcp_stack is None:
@@ -69,8 +80,15 @@ class HostedDnsServer:
         if self.resources.tcp_stack is None:
             self.resources.tcp_stack = self.tcp_stack
         self.overload: Optional[OverloadControl] = (
-            OverloadControl(overload, host.network.loop, self.perf)
+            OverloadControl(overload, host.network.loop, self.perf,
+                            telemetry=self.telemetry)
             if overload is not None and overload.enabled() else None)
+        if telemetry is not None:
+            telemetry.add_probe("server.queue_depth", self._queue_depth)
+            telemetry.add_probe("server.cache_hit_rate",
+                                self._cache_hit_rate)
+            telemetry.add_probe("server.queries",
+                                lambda: self.perf.count("hosting.queries"))
         self.decode_errors = 0
         self.responses_dropped_on_closed = 0
         self.pipelining_aborts = 0
@@ -78,6 +96,20 @@ class HostedDnsServer:
         self._udp_socket = None
         self._tls_endpoints: Dict[TcpConnection, TlsEndpoint] = {}
         self._start()
+
+    # -- sampler probes --------------------------------------------------
+
+    def _queue_depth(self) -> float:
+        if self.overload is None or self.overload.queue is None:
+            return 0.0
+        return float(self.overload.queue.depth())
+
+    def _cache_hit_rate(self) -> float:
+        cache = getattr(self.engine, "wire_cache", None)
+        if cache is None:
+            return 0.0
+        rate = cache.hit_rate()
+        return rate if rate is not None else 0.0
 
     # -- setup ----------------------------------------------------------
 
@@ -118,6 +150,7 @@ class HostedDnsServer:
                 # was in flight; a real server's write fails the same
                 # way and the client retries on a fresh connection.
                 self.responses_dropped_on_closed += 1
+                self.perf.incr("hosting.responses_dropped_on_closed")
 
         def on_data(cn: TcpConnection, data: bytes) -> None:
             self.resources.cpu.charge("tcp_segment")
@@ -170,6 +203,7 @@ class HostedDnsServer:
                 ep.send(frame_message(wire))
             except NetworkError:
                 self.responses_dropped_on_closed += 1
+                self.perf.incr("hosting.responses_dropped_on_closed")
 
         def on_data(ep: TlsEndpoint, data: bytes) -> None:
             try:
@@ -229,6 +263,7 @@ class HostedDnsServer:
                 conn.send(frame_message(message.to_wire()))
         except NetworkError:
             self.responses_dropped_on_closed += 1
+            self.perf.incr("hosting.responses_dropped_on_closed")
         return True
 
     # -- engine dispatch -------------------------------------------------
@@ -246,6 +281,10 @@ class HostedDnsServer:
             perf.incr("hosting.decode_errors")
             return
         perf.incr("hosting.decodes")
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.server_event(query, "server.recv",
+                                   transport=transport)
 
         if self.overload is None:
             if transport == "udp":
@@ -264,16 +303,23 @@ class HostedDnsServer:
             if transport == "udp":
                 self.resources.cpu.charge("udp_shed")
 
+        def on_drop() -> None:
+            charge_shed()
+            if telemetry is not None:
+                telemetry.server_event(query, "server.drop")
+
         def shed() -> None:
             # Tell the client the truth (SERVFAIL) instead of a timeout.
             charge_shed()
+            if telemetry is not None:
+                telemetry.server_event(query, "server.shed")
             shed_wire = getattr(self.engine, "shed_response", None)
             wire = (shed_wire(query, transport) if shed_wire is not None
                     else minimal_wire(query, rcode=Rcode.SERVFAIL))
             self._deliver(query, source, transport, send, wire)
 
         self.overload.admit(query, source, transport, execute, shed,
-                            on_drop=charge_shed)
+                            on_drop=on_drop)
 
     def _dispatch(self, query: Message, source: str, transport: str,
                   send: Callable[[bytes], None]) -> None:
@@ -319,4 +365,6 @@ class HostedDnsServer:
             wire = filtered
         self.perf.incr("hosting.responses_sent")
         self.perf.incr(f"hosting.responses_sent.{transport}")
+        if self.telemetry is not None:
+            self.telemetry.on_server_response(query, wire, transport)
         send(wire)

@@ -229,13 +229,15 @@ class AdmissionQueue:
     """
 
     def __init__(self, loop, limit: Optional[int], policy: str,
-                 service_rate: Optional[float], perf: PerfCounters):
+                 service_rate: Optional[float], perf: PerfCounters,
+                 telemetry=None):
         self.loop = loop
         self.limit = limit
         self.policy = policy
         self.service_rate = service_rate
         self.perf = perf
-        self._queue: Deque[Tuple[Callable[[], None],
+        self.telemetry = telemetry
+        self._queue: Deque[Tuple[float, Callable[[], None],
                                  Optional[Callable[[], None]]]] = deque()
         self._draining = False
         self.peak_depth = 0
@@ -258,11 +260,11 @@ class AdmissionQueue:
                 shed()
                 return
             # drop-oldest: evict the head to make room.
-            _evicted, evicted_drop = self._queue.popleft()
+            _enqueued, _evicted, evicted_drop = self._queue.popleft()
             self.perf.incr("overload.dropped_oldest")
             if evicted_drop is not None:
                 evicted_drop()
-        self._queue.append((execute, on_drop))
+        self._queue.append((self.loop.now, execute, on_drop))
         self.perf.incr("overload.enqueued")
         if len(self._queue) > self.peak_depth:
             self.peak_depth = len(self._queue)
@@ -275,8 +277,12 @@ class AdmissionQueue:
         if not self._queue:
             self._draining = False
             return
-        execute, _on_drop = self._queue.popleft()
+        enqueued_at, execute, _on_drop = self._queue.popleft()
         self.perf.incr("overload.served")
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.config.metrics:
+            telemetry.metrics.observe("overload.queue_wait_s",
+                                      self.loop.now - enqueued_at)
         execute()
         if self._queue:
             self.loop.call_later(1.0 / self.service_rate, self._drain)
@@ -305,14 +311,15 @@ class OverloadControl:
     """
 
     def __init__(self, config: OverloadConfig, loop,
-                 perf: PerfCounters):
+                 perf: PerfCounters, telemetry=None):
         config.validate()
         self.config = config
         self.loop = loop
         self.perf = perf
+        self.telemetry = telemetry
         self.queue = AdmissionQueue(
             loop, config.queue_limit, config.queue_policy,
-            config.service_rate, perf) \
+            config.service_rate, perf, telemetry=telemetry) \
             if (config.queue_limit is not None
                 or config.service_rate is not None) else None
         self.rrl = ResponseRateLimiter(config.rrl, perf) \
@@ -357,6 +364,9 @@ class OverloadControl:
         rcode = wire[3] & 0x0F
         verdict = self.rrl.decide(source, self._qname_key(query), rcode,
                                   self.loop.now)
+        if self.telemetry is not None \
+                and verdict != ResponseRateLimiter.ALLOW:
+            self.telemetry.server_event(query, f"server.rrl_{verdict}")
         if verdict == ResponseRateLimiter.DROP:
             return None
         if verdict == ResponseRateLimiter.SLIP:

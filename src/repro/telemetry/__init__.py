@@ -1,0 +1,49 @@
+"""Observability for the replay pipeline: tracing, metrics, time series.
+
+One subsystem, three recorders, all driven by one
+:class:`TelemetryConfig` whose defaults record nothing:
+
+* :class:`QueryTracer` — per-query lifecycle spans across querier,
+  network, and server, exportable as a Chrome ``trace_event`` timeline;
+* :class:`MetricsRegistry` — counters/timings/gauges (the storage
+  behind :class:`repro.perf.PerfCounters`) plus log-bucketed
+  :class:`Histogram` distributions with quantile extraction;
+* :class:`TimeSeriesSampler` / :class:`WallClockSampler` — periodic
+  load series (qps, queue depth, CPU, memory) on the sim or real clock,
+  with :class:`ResourceTimeline` adapting the server resource model.
+
+Construct a :class:`Telemetry` hub from a config and pass it to
+``SimReplayEngine``/``HostedDnsServer`` (sim) or
+``LiveDistributedReplay`` (live); export with
+:func:`write_chrome_trace`, :func:`write_histograms_json`,
+:func:`write_timeseries_csv`, or ``report.render_telemetry``.
+"""
+
+from .core import Telemetry
+from .export import (chrome_trace, histograms_dict, timeseries_csv,
+                     write_chrome_trace, write_histograms_json,
+                     write_timeseries_csv)
+from .metrics import Histogram, MetricsRegistry
+from .timeseries import (ResourceTimeline, TimeSeriesSampler,
+                         WallClockSampler)
+from .tracing import (QueryTracer, TelemetryConfig, message_key,
+                      wire_question_key)
+
+__all__ = [
+    "Telemetry",
+    "TelemetryConfig",
+    "QueryTracer",
+    "MetricsRegistry",
+    "Histogram",
+    "TimeSeriesSampler",
+    "WallClockSampler",
+    "ResourceTimeline",
+    "message_key",
+    "wire_question_key",
+    "chrome_trace",
+    "write_chrome_trace",
+    "histograms_dict",
+    "write_histograms_json",
+    "timeseries_csv",
+    "write_timeseries_csv",
+]

@@ -1,0 +1,159 @@
+"""Periodic load sampling: sim-clock and wall-clock time series.
+
+The paper's server-side evaluation is time series — memory/connection
+trajectories sampled once a minute (Fig 13/14), dstat-style CPU windows
+(Fig 11).  :class:`TimeSeriesSampler` is the one sampling loop behind
+all of them: named probes are read every period into one row, and
+arbitrary collectors (like :class:`ResourceTimeline`, which snapshots a
+:class:`~repro.netsim.ServerResourceModel`) run on the same tick so
+every series shares sample times.
+
+The sim sampler schedules itself on the :class:`~repro.netsim.EventLoop`
+with exactly the cadence the old ``ResourceMonitor`` used (first sample
+one period after start), so migrated experiments see identical sample
+times.  :class:`WallClockSampler` is the live-mode analogue: a daemon
+thread with the same probe/collector API.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+
+class _SamplerBase:
+    """Shared probe/collector registry and the recorded rows."""
+
+    def __init__(self, period: float):
+        if period <= 0:
+            raise ValueError("sampling period must be > 0")
+        self.period = period
+        self._probes: Dict[str, Callable[[], float]] = {}
+        self._collectors: List[Callable[[float], None]] = []
+        # Each row: {"time": t, probe_name: value, ...}
+        self.points: List[Dict[str, float]] = []
+
+    def add_probe(self, name: str, probe: Callable[[], float]) -> None:
+        """Read ``probe()`` into column ``name`` on every tick."""
+        self._probes[name] = probe
+
+    def add_collector(self, collector: Callable[[float], None]) -> None:
+        """Run ``collector(now)`` on every tick (for side tables)."""
+        self._collectors.append(collector)
+
+    def _sample(self, now: float) -> None:
+        row: Dict[str, float] = {"time": now}
+        for name, probe in self._probes.items():
+            row[name] = probe()
+        self.points.append(row)
+        for collector in self._collectors:
+            collector(now)
+
+    # -- series access ----------------------------------------------------
+
+    def series(self, name: str) -> List[Tuple[float, float]]:
+        """``(time, value)`` rows of one probe column."""
+        return [(row["time"], row[name]) for row in self.points
+                if name in row]
+
+    def rate_series(self, name: str) -> List[Tuple[float, float]]:
+        """Per-second deltas of a monotonic counter probe (e.g. qps)."""
+        values = self.series(name)
+        rates = []
+        for (t0, v0), (t1, v1) in zip(values, values[1:]):
+            span = t1 - t0
+            if span > 0:
+                rates.append((t1, (v1 - v0) / span))
+        return rates
+
+    def columns(self) -> List[str]:
+        names: List[str] = []
+        for row in self.points:
+            for name in row:
+                if name not in names:
+                    names.append(name)
+        return names
+
+
+class TimeSeriesSampler(_SamplerBase):
+    """Samples on the simulated event loop, ResourceMonitor-style."""
+
+    def __init__(self, loop, period: float):
+        super().__init__(period)
+        self.loop = loop
+        self._timer = None
+        self._running = False
+
+    def start(self) -> None:
+        self._running = True
+        self._timer = self.loop.call_later(self.period, self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self._sample(self.loop.now)
+        self._timer = self.loop.call_later(self.period, self._tick)
+
+
+class WallClockSampler(_SamplerBase):
+    """The live-replay sampler: a daemon thread on the real clock."""
+
+    def __init__(self, period: float):
+        super().__init__(period)
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._run, daemon=True,
+                                        name="telemetry-sampler")
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=self.period + 1.0)
+            self._thread = None
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.period):
+            self._sample(time.monotonic())
+
+
+class ResourceTimeline:
+    """Server resource samples collected on the telemetry sampler.
+
+    A drop-in replacement for :class:`repro.netsim.ResourceMonitor`
+    where experiments only read ``samples`` / ``steady_state()``: it
+    registers itself as a collector on a sampler and snapshots the
+    resource model on every shared tick.
+    """
+
+    def __init__(self, sampler: _SamplerBase, model):
+        self.sampler = sampler
+        self.model = model
+        self.samples: List = []
+        sampler.add_collector(self._collect)
+
+    @property
+    def period(self) -> float:
+        return self.sampler.period
+
+    def _collect(self, _now: float) -> None:
+        self.samples.append(self.model.sample())
+
+    def steady_state(self, skip: float = 300.0) -> List:
+        """Samples after startup transients (paper: steady by ~5 min)."""
+        if not self.samples:
+            return []
+        start = self.samples[0].time + skip
+        return [s for s in self.samples if s.time >= start]

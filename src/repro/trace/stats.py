@@ -129,8 +129,15 @@ def percentile(sorted_values: Sequence[float], fraction: float) -> float:
 
 
 def quartile_summary(values: Sequence[float]) -> Dict[str, float]:
-    """min/5th/25th/median/75th/95th/max — the paper's box-plot stats."""
+    """min/5th/25th/median/75th/95th/max — the paper's box-plot stats.
+
+    An empty input yields all-zero stats rather than raising, so report
+    renderers stay well-defined on zero-query runs.
+    """
     ordered = sorted(values)
+    if not ordered:
+        return {key: 0.0 for key in
+                ("min", "p5", "p25", "median", "p75", "p95", "max")}
     return {
         "min": ordered[0],
         "p5": percentile(ordered, 0.05),

@@ -4,9 +4,15 @@ import pytest
 
 from repro.dns import Name, RRType
 from repro.experiments import Scale
-from repro.experiments.rootserver import (RootRunConfig, build_workload,
-                                          make_signed_root,
+from repro.experiments.rootserver import (SERVER_CORES, RootRunConfig,
+                                          build_workload, make_signed_root,
                                           run_root_replay)
+from repro.experiments.topology import build_evaluation_topology
+from repro.netsim import ResourceMonitor, ServerResourceModel
+from repro.replay import (QuerierConfig, ReplayConfig, SimReplayEngine,
+                          TimerJitterModel)
+from repro.server import (AuthoritativeServer, HostedDnsServer,
+                          TransportConfig)
 
 TINY = Scale("hrn", rate=30.0, duration=10.0, monitor_period=5.0)
 
@@ -91,3 +97,78 @@ class TestRunOutput:
     def test_steady_samples_subset(self, output):
         steady = output.steady_samples()
         assert len(steady) <= len(output.monitor.samples)
+
+    def test_telemetry_attached_to_output(self, output):
+        assert output.telemetry is not None
+        assert output.telemetry.sampler is output.monitor.sampler
+        assert output.telemetry.sampler.period == TINY.monitor_period
+        # Hosting-layer probes landed on the sampler.
+        assert "server.queue_depth" in output.telemetry.sampler.columns()
+
+
+def run_with_resource_monitor(config):
+    """The pre-telemetry harness: same workload, polled by the old
+    :class:`ResourceMonitor` instead of the telemetry sampler."""
+    testbed = build_evaluation_topology(client_rtt=config.client_rtt)
+    zone = make_signed_root(config)
+    trace = build_workload(config)
+
+    resources = ServerResourceModel(testbed.loop, cores=SERVER_CORES)
+    resources.scale_factor = config.scale.report_factor
+    HostedDnsServer(
+        testbed.server_host,
+        AuthoritativeServer.single_view([zone]),
+        config=TransportConfig(udp=True, tcp=True, tls=True,
+                               tcp_idle_timeout=config.tcp_timeout,
+                               nagle=config.server_nagle),
+        resources=resources)
+    monitor = ResourceMonitor(testbed.loop, resources,
+                              period=config.scale.monitor_period)
+    monitor.start()
+
+    engine = SimReplayEngine(
+        testbed.network,
+        ReplayConfig(client_instances=4, queriers_per_instance=6,
+                     track_timing=config.track_timing,
+                     jitter=TimerJitterModel(None, seed=config.seed)
+                     if config.jitter else None,
+                     querier=QuerierConfig(nagle=False)))
+    start_time = testbed.loop.now
+    engine.schedule_trace(trace)
+    testbed.loop.run_until(start_time + config.scale.duration + 5.0)
+    monitor.stop()
+    return monitor
+
+
+class TestSamplerAgreesWithResourceMonitor:
+    """Fig 11/13/14 now read the telemetry sampler; the series must be
+    the ones the old bespoke ResourceMonitor polling produced."""
+
+    @pytest.fixture(scope="class", params=["original", "tcp"])
+    def pair(self, request):
+        config = RootRunConfig(scale=TINY, protocol=request.param,
+                               tcp_timeout=5.0)
+        return (run_with_resource_monitor(config),
+                run_root_replay(config).monitor)
+
+    def test_sample_times_identical(self, pair):
+        old, new = pair
+        assert [s.time for s in old.samples] == \
+            [s.time for s in new.samples]
+
+    def test_cpu_series_identical(self, pair):
+        old, new = pair
+        assert [s.cpu_utilization for s in old.samples] == \
+            [s.cpu_utilization for s in new.samples]
+
+    def test_memory_and_connection_series_identical(self, pair):
+        old, new = pair
+        for field in ("memory_total", "memory_process", "established",
+                      "time_wait"):
+            assert [getattr(s, field) for s in old.samples] == \
+                [getattr(s, field) for s in new.samples], field
+
+    def test_steady_state_identical(self, pair):
+        old, new = pair
+        assert [s.time for s in old.steady_state(skip=5.0)] == \
+            [s.time for s in new.steady_state(skip=5.0)]

@@ -1,0 +1,163 @@
+"""Differential + accuracy tests for telemetry on the replay pipeline.
+
+The subsystem's contract is *observation only*: a replay with full
+tracing, metrics, and sampling enabled must produce byte-identical
+response streams and identical ``ReplayResult`` statistics to the same
+replay with telemetry off — faults included.  On top of that, what it
+records must be accurate: spans covering >= 99% of answered queries,
+a Chrome-loadable timeline, and latency quantiles within one histogram
+bucket of the exact per-query percentiles.
+"""
+
+import json
+
+import pytest
+
+from repro.experiments.fig6_timing import wildcard_example_zone
+from repro.experiments.topology import build_evaluation_topology
+from repro.netsim import FaultInjector, FaultPlan, FaultSpec, RetryPolicy
+from repro.replay import QuerierConfig, ReplayConfig, SimReplayEngine
+from repro.server import AuthoritativeServer, HostedDnsServer
+from repro.telemetry import Telemetry, TelemetryConfig, chrome_trace
+from repro.trace import percentile, table1_synthetic
+
+QUERY_COUNT = 300  # syn-1 at 0.1 s intervals for 30 s
+
+FULL_ON = TelemetryConfig(trace=True, metrics=True, timeseries_period=2.0)
+
+
+def run_syn1(telemetry=None, faults=False):
+    """One fast syn-1 replay; returns (result, server response wires)."""
+    testbed = build_evaluation_topology()
+    server = AuthoritativeServer.single_view([wildcard_example_zone()])
+    HostedDnsServer(testbed.server_host, server, telemetry=telemetry)
+    wires = []
+    testbed.server_host.capture_hooks.append(
+        lambda direction, packet: wires.append(packet.segment.data)
+        if direction == "out" and packet.protocol == "udp" else None)
+    retry = None
+    if faults:
+        # A lossy window covering the whole (fast, time-compressed) run
+        # plus the retry budget to ride it out: the recovery path
+        # (timeouts, re-sends) must trace identically.
+        FaultInjector(testbed.network, FaultPlan([
+            FaultSpec("loss", start=0.0, duration=120.0, rate=0.3)]),
+            seed=7)
+        retry = RetryPolicy(udp_timeout=0.5, max_retries=4)
+    engine = SimReplayEngine(
+        testbed.network,
+        ReplayConfig(track_timing=False, fast_replay_rate=50000.0,
+                     querier=QuerierConfig(retry=retry)),
+        telemetry=telemetry)
+    trace = table1_synthetic("syn-1", duration=30.0, server="10.0.0.2")
+    assert len(trace.records) == QUERY_COUNT
+    result = engine.replay(trace, extra_time=10.0)
+    if telemetry is not None:
+        telemetry.stop()
+    return result, wires
+
+
+def result_facts(result):
+    return {
+        "sent": [(q.index, q.qname, q.sent_at, q.answered_at,
+                  q.retries, q.timeouts) for q in result.sent],
+        "failures": result.failure_counts(),
+        "degradation": result.degradation(),
+    }
+
+
+class TestTelemetryIsInert:
+    @pytest.mark.parametrize("faults", [False, True],
+                             ids=["clean", "faulty"])
+    def test_full_telemetry_changes_nothing(self, faults):
+        off_result, off_wires = run_syn1(None, faults=faults)
+        on_result, on_wires = run_syn1(Telemetry(FULL_ON), faults=faults)
+        assert on_wires == off_wires           # byte-identical responses
+        assert result_facts(on_result) == result_facts(off_result)
+
+    def test_default_config_attaches_nothing(self):
+        telemetry = Telemetry()  # all-off defaults
+        testbed = build_evaluation_topology()
+        server = AuthoritativeServer.single_view([wildcard_example_zone()])
+        hosted = HostedDnsServer(testbed.server_host, server,
+                                 telemetry=telemetry)
+        engine = SimReplayEngine(testbed.network, telemetry=telemetry)
+        # No per-query hooks anywhere: the hot paths stay one None check.
+        assert hosted.telemetry is None
+        assert testbed.network.telemetry is None
+        assert all(q.telemetry is None for q in engine.queriers)
+
+
+class TestTracingAccuracy:
+    @pytest.fixture(scope="class")
+    def traced(self):
+        telemetry = Telemetry(FULL_ON)
+        result, _wires = run_syn1(telemetry)
+        return telemetry, result
+
+    def test_span_coverage(self, traced):
+        telemetry, result = traced
+        assert result.answered_fraction() == 1.0
+        assert telemetry.coverage(result) >= 0.99
+
+    def test_chrome_trace_valid_and_complete(self, traced):
+        telemetry, result = traced
+        doc = json.loads(json.dumps(chrome_trace(telemetry)))
+        events = doc["traceEvents"]
+        begins = [e for e in events if e["ph"] == "b"]
+        ends = [e for e in events if e["ph"] == "e"]
+        answered = sum(1 for q in result.sent
+                       if q.answered_at is not None)
+        assert len(begins) == len(ends) == len(result.sent)
+        assert len(begins) >= 0.99 * answered
+        # Every span carries the query id and sits on a querier lane.
+        assert {e["pid"] for e in begins} == {1}
+        assert all("id" in e for e in begins)
+        # The server and network actors both contributed instants.
+        names = {e["name"] for e in events}
+        assert "server.recv" in names
+        assert "server.respond" in names
+        assert "net.transmit_query" in names
+        assert "net.transmit_response" in names
+        # Sampler columns render as counter tracks.
+        counters = {e["name"] for e in events if e["ph"] == "C"}
+        assert "replay.queries_sent" in counters
+
+    def test_latency_histogram_matches_result(self, traced):
+        telemetry, result = traced
+        histogram = telemetry.metrics.histogram("query.latency_s")
+        exact = sorted(result.latencies())
+        assert histogram.count == len(exact)
+        for q in (0.50, 0.99):
+            _rep, low, high = histogram.quantile_bounds(q)
+            assert low <= percentile(exact, q) <= high
+
+    def test_server_events_attributed(self, traced):
+        telemetry, _result = traced
+        tracer = telemetry.tracer
+        recv = [e for e in tracer.events if e[3] == "server.recv"]
+        assert len(recv) == QUERY_COUNT
+        assert all(e[2] is not None for e in recv)  # all correlated
+
+    def test_faulty_run_records_fault_verdicts(self):
+        telemetry = Telemetry(TelemetryConfig(trace=True))
+        result, _wires = run_syn1(telemetry, faults=True)
+        kinds = [e for e in telemetry.tracer.events if e[3] == "net.fault"]
+        assert kinds
+        assert all(e[5] == {"kind": "loss"} for e in kinds)
+        # The retry path closed every span it reopened.
+        assert result.retries > 0
+        assert telemetry.coverage(result) >= 0.99
+
+
+class TestSampledTracing:
+    def test_one_in_ten_sampling(self):
+        telemetry = Telemetry(TelemetryConfig(trace=True, trace_sample=10))
+        result, _wires = run_syn1(telemetry)
+        tracer = telemetry.tracer
+        expected = len(range(0, QUERY_COUNT, 10))
+        assert tracer.spans_begun == expected
+        assert telemetry.coverage(result) >= 0.99
+        # Unsampled queries must not leak any events.
+        qids = {e[2] for e in tracer.events if e[2] is not None}
+        assert all(qid % 10 == 0 for qid in qids)
