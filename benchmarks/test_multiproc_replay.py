@@ -1,0 +1,75 @@
+"""Multi-process replay scale-out benchmark (Fig. 9's deployment claim).
+
+Replays the same saturation burst through the thread topology (one
+GIL-bound process) and the multi-process topology, and records the
+aggregate q/s of each plus their ratio in ``BENCH_multiproc.json``.
+
+The ≥1.5x speedup assertion needs real cores: on a host with fewer than
+four CPUs the process mode pays fork/IPC overhead with no parallelism to
+win, so the assertion is gated on ``os.cpu_count()`` — the measured
+ratio and the cpu count are recorded unconditionally so the JSON reads
+honestly either way.
+"""
+
+import os
+import time
+
+from conftest import run_once
+
+from repro.experiments.fig9_throughput import _measure_topology
+
+DISTRIBUTORS = 2
+QUERIERS_PER = 2
+QUERY_COUNT = 3000
+SPEEDUP_FLOOR = 1.5
+MIN_CPUS_FOR_SPEEDUP = 4
+
+
+def _sweep():
+    measurements = {}
+    for topology in ("threads", "processes"):
+        started = time.monotonic()
+        qps, answered, sent = _measure_topology(
+            topology, QUERY_COUNT, DISTRIBUTORS, QUERIERS_PER)
+        measurements[topology] = {
+            "qps": qps,
+            "answered_fraction": answered,
+            "queries_sent": sent,
+            "wall_seconds": time.monotonic() - started,
+        }
+    return measurements
+
+
+def test_multiproc_scaleout(benchmark, bench_json_record):
+    measurements = run_once(benchmark, _sweep)
+    threads, processes = measurements["threads"], measurements["processes"]
+    cpus = os.cpu_count() or 1
+    ratio = processes["qps"] / max(threads["qps"], 1e-9)
+    bench_json_record(
+        "multiproc_scaleout",
+        cpu_count=cpus,
+        distributors=DISTRIBUTORS,
+        queriers_per_distributor=QUERIERS_PER,
+        query_count=QUERY_COUNT,
+        threads_qps=threads["qps"],
+        processes_qps=processes["qps"],
+        speedup=ratio,
+        speedup_floor=SPEEDUP_FLOOR,
+        speedup_asserted=cpus >= MIN_CPUS_FOR_SPEEDUP,
+        threads_answered=threads["answered_fraction"],
+        processes_answered=processes["answered_fraction"],
+    )
+    print(f"\nthreads:   {threads['qps']:>10,.0f} q/s "
+          f"(answered {threads['answered_fraction']:.3f})")
+    print(f"processes: {processes['qps']:>10,.0f} q/s "
+          f"(answered {processes['answered_fraction']:.3f})")
+    print(f"speedup:   {ratio:.2f}x on {cpus} cpu(s)")
+
+    # Correctness holds regardless of core count.
+    for name, row in measurements.items():
+        assert row["queries_sent"] == QUERY_COUNT, name
+        assert row["answered_fraction"] > 0.9, name
+    if cpus >= MIN_CPUS_FOR_SPEEDUP:
+        assert ratio >= SPEEDUP_FLOOR, (
+            f"process topology only {ratio:.2f}x over threads "
+            f"on {cpus} cpus")

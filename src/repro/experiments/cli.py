@@ -26,6 +26,7 @@ EXPERIMENTS: Dict[str, Callable[[Scale], object]] = {
     "fig7": fig7_interarrival.run,
     "fig8": fig8_rate.run,
     "fig9": fig9_throughput.run,
+    "fig9scale": fig9_throughput.run_scaleout,
     "fig10": fig10_dnssec.run,
     "fig11": fig11_cpu.run,
     "fig13": lambda scale: fig13_14_footprint.run("tcp", scale),

@@ -3,11 +3,14 @@
 from .distributed import (DistributedConfig, LiveDistributedReplay)
 from .distributor import (Controller, DistributionStats, Distributor,
                           StickyAssigner)
-from .protocol import (MSG_END, MSG_RECORD, MSG_TIME_SYNC, MessageSocket,
-                       ProtocolError, connected_pair)
+from .protocol import (MAX_FRAME, MSG_END, MSG_HELLO, MSG_METRICS,
+                       MSG_RECORD, MSG_RESULT, MSG_SHUTDOWN, MSG_TIME_SYNC,
+                       MessageSocket, ProtocolError, ROLE_DISTRIBUTOR,
+                       ROLE_QUERIER, connect, connected_pair)
 from .engine import ReplayConfig, SimReplayEngine
 from .live import (LiveReplay, LiveUdpEchoServer, ThroughputReport,
                    ThroughputSample, measure_throughput)
+from .multiproc import ProcessTopology, UdpEchoServerProcess
 from .querier import QuerierConfig, SimQuerier
 from .result import ReplayResult, SentQuery
 from .supervision import (AimdPacer, PacingConfig, ReplayWatchdog,
@@ -16,11 +19,13 @@ from .timing import TimerJitterModel, TimingController
 
 __all__ = [
     "AimdPacer", "Controller", "DistributedConfig", "DistributionStats",
-    "Distributor", "LiveDistributedReplay", "LiveReplay", "MSG_END",
-    "MSG_RECORD", "MSG_TIME_SYNC", "MessageSocket", "PacingConfig",
-    "ProtocolError", "connected_pair", "LiveUdpEchoServer",
-    "QuerierConfig", "ReplayConfig", "ReplayResult", "ReplayWatchdog",
-    "SentQuery", "SimQuerier", "SimReplayEngine", "StickyAssigner",
-    "SupervisionConfig", "ThroughputReport", "ThroughputSample",
-    "TimerJitterModel", "TimingController", "measure_throughput",
+    "Distributor", "LiveDistributedReplay", "LiveReplay", "MAX_FRAME",
+    "MSG_END", "MSG_HELLO", "MSG_METRICS", "MSG_RECORD", "MSG_RESULT",
+    "MSG_SHUTDOWN", "MSG_TIME_SYNC", "MessageSocket", "PacingConfig",
+    "ProcessTopology", "ProtocolError", "ROLE_DISTRIBUTOR", "ROLE_QUERIER",
+    "connect", "connected_pair", "LiveUdpEchoServer", "QuerierConfig",
+    "ReplayConfig", "ReplayResult", "ReplayWatchdog", "SentQuery",
+    "SimQuerier", "SimReplayEngine", "StickyAssigner", "SupervisionConfig",
+    "ThroughputReport", "ThroughputSample", "TimerJitterModel",
+    "TimingController", "UdpEchoServerProcess", "measure_throughput",
 ]

@@ -1,6 +1,6 @@
-"""A live distributed replay: Figure 4 with real sockets and threads.
+"""A live distributed replay: Figure 4 with real sockets.
 
-This is the process topology of the paper's prototype, run locally:
+This is the process topology of the paper's prototype:
 
 * the **controller** (Reader + Postman) streams the trace over TCP
   message sockets (:mod:`repro.replay.protocol`) to the distributors,
@@ -8,13 +8,16 @@ This is the process topology of the paper's prototype, run locally:
 * each **distributor** forwards records over further TCP sockets to its
   queriers, sticky by original source address;
 * each **querier** applies the ΔT = Δt̄ − Δt timing discipline against
-  the real clock and sends real UDP queries, matching responses by
-  message ID.
+  the real clock and sends real UDP queries, matching responses on the
+  (message id, qname, qtype) key.
 
-Where the paper runs distributors/queriers as processes on client
-instances, this implementation runs them as threads in one process —
-the sockets, framing, time synchronization, and sticky routing are the
-real thing; only the process boundary is collapsed (DESIGN.md).
+Two deployments share this module's tiers.  The default
+(``topology="threads"``) runs distributors and queriers as threads in
+one process — the sockets, framing, time synchronization, and sticky
+routing are the real thing, but the GIL caps the aggregate query rate.
+``topology="processes"`` (:mod:`repro.replay.multiproc`) launches them
+as real worker processes, the paper's actual deployment, so replay
+throughput scales with cores (Fig. 9).
 """
 
 from __future__ import annotations
@@ -25,14 +28,42 @@ import struct
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 
+from ..dns import WireError
+from ..telemetry.tracing import wire_question_key
 from ..trace import QueryRecord, Trace
 from .distributor import StickyAssigner
-from .protocol import (MSG_END, MSG_RECORD, MSG_TIME_SYNC, MessageSocket,
-                       connected_pair)
+from .protocol import (MSG_END, MSG_RECORD, MSG_SHUTDOWN, MSG_TIME_SYNC,
+                       MessageSocket, ProtocolError, connected_pair)
 from .result import ReplayResult, SentQuery
 from .supervision import ReplayWatchdog, SupervisionConfig
+
+# Response-matching key, same shape as the sim querier's: matching on
+# the message id alone credits a duplicated/stale datagram with a
+# colliding id to the wrong query; the question section disambiguates.
+MatchKey = Tuple[int, str, int]
+
+ServerAddress = Tuple[str, int]
+
+
+def _sent_key(message_id: int, record: QueryRecord) -> MatchKey:
+    try:
+        question = record.question()
+    except WireError:
+        question = None
+    if question is None:
+        return (message_id, "-", 0)
+    return (message_id, question[0].to_text().lower(), int(question[1]))
+
+
+def _response_key(data: bytes) -> Optional[MatchKey]:
+    key = wire_question_key(data)
+    if key is not None:
+        return key
+    if len(data) < 2:
+        return None
+    return (int.from_bytes(data[:2], "big"), "-", 0)
 
 
 @dataclass
@@ -41,6 +72,13 @@ class DistributedConfig:
     queriers_per_distributor: int = 2
     settle_time: float = 0.3
     start_delay: float = 0.1
+    # "threads" collapses the tree into one process; "processes" runs
+    # distributors and queriers as real worker processes
+    # (repro.replay.multiproc) so replay rate scales past the GIL.
+    topology: str = "threads"
+    # Worker-process start method (processes topology only); None picks
+    # fork when the platform offers it, else spawn.
+    start_method: Optional[str] = None
     # Supervision (off by default): heartbeat watchdog over queriers
     # plus optional wall-clock deadline.  ``querier_factory`` lets tests
     # inject a stalling querier; it must accept the same arguments as
@@ -53,7 +91,7 @@ class _LiveQuerier(threading.Thread):
     """Receives records over a MessageSocket; sends real UDP queries."""
 
     def __init__(self, querier_id: int, inbound: MessageSocket,
-                 server: Tuple[str, int], result: ReplayResult,
+                 server: ServerAddress, result: ReplayResult,
                  lock: threading.Lock):
         super().__init__(daemon=True)
         self.querier_id = querier_id
@@ -61,7 +99,8 @@ class _LiveQuerier(threading.Thread):
         self.server = server
         self.result = result
         self.lock = lock
-        self._pending: Dict[int, SentQuery] = {}
+        self._pending: Dict[MatchKey, List[SentQuery]] = {}
+        self._answered: Set[MatchKey] = set()
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._sock.connect(server)
         self._sock.setblocking(False)
@@ -70,12 +109,19 @@ class _LiveQuerier(threading.Thread):
         self._queue: List[Tuple[float, int, QueryRecord]] = []
         self._sequence = 0
         self._done_receiving = False
+        self._closed = threading.Event()
         # Supervision surface: the watchdog reads heartbeat/has_work,
         # the deadline handler sets shed_event.
         self.heartbeat = time.monotonic()
         self.records_received = 0
         self.records_sent = 0
         self.shed_event = threading.Event()
+        # Optional local wall-clock budget, armed at TIME_SYNC: the
+        # multi-process topology cannot reach into a worker's shed_event
+        # from the controller once the stream has ended, so the deadline
+        # is enforced where the queue lives.
+        self.deadline: Optional[float] = None
+        self._deadline_timer: Optional[threading.Timer] = None
         self.name = f"live-querier-{querier_id}"
         # Telemetry hub, installed by LiveDistributedReplay before
         # start(); calls are serialized under the shared result lock.
@@ -86,15 +132,37 @@ class _LiveQuerier(threading.Thread):
         return bool(self._queue)
 
     def run(self) -> None:
+        try:
+            self._run()
+        finally:
+            self.shutdown()
+
+    def _run(self) -> None:
         while True:
             self.heartbeat = time.monotonic()
             if not self._done_receiving:
-                message = self.inbound.receive()
+                try:
+                    message = self.inbound.receive()
+                except ProtocolError:
+                    # A corrupt or torn-down control channel ends the
+                    # stream; queued records still drain below.
+                    message = None
                 if message is None or message[0] == MSG_END:
+                    self._done_receiving = True
+                elif message[0] == MSG_SHUTDOWN:
+                    # Controller-ordered stop (deadline shedding in the
+                    # process topology): drop queued work, finish.
+                    self.shed_event.set()
                     self._done_receiving = True
                 elif message[0] == MSG_TIME_SYNC:
                     self._trace_start = message[1]
                     self._clock_start = time.monotonic()
+                    if self.deadline is not None \
+                            and self._deadline_timer is None:
+                        self._deadline_timer = threading.Timer(
+                            self.deadline, self.shed_event.set)
+                        self._deadline_timer.daemon = True
+                        self._deadline_timer.start()
                 elif message[0] == MSG_RECORD:
                     self.records_received += 1
                     self._enqueue(message[1])
@@ -110,7 +178,25 @@ class _LiveQuerier(threading.Thread):
             self.heartbeat = time.monotonic()
             self._drain_responses()
             time.sleep(0.005)
-        self._sock.close()
+
+    def shutdown(self) -> None:
+        """Close every socket this querier owns (idempotent).
+
+        Called from the querier itself on normal exit, and from the
+        controller for queriers that outlive the replay (watchdog
+        stalls, expired join deadlines) so repeated runs don't leak the
+        UDP socket and both MessageSocket ends.
+        """
+        if self._closed.is_set():
+            return
+        self._closed.set()
+        if self._deadline_timer is not None:
+            self._deadline_timer.cancel()
+        self.inbound.close()
+        try:
+            self._sock.close()
+        except OSError:
+            pass
 
     def _shed_queue(self) -> None:
         """Deadline shedding: count queued-but-unsent records, drop them."""
@@ -150,12 +236,14 @@ class _LiveQuerier(threading.Thread):
         message_id = self._sequence * 31 % 0xFFFF or 1
         self._sequence += 1
         wire = struct.pack("!H", message_id) + record.wire[2:]
+        key = _sent_key(message_id, record)
         entry = SentQuery(
             index=len(self.result.sent), source=record.src,
             trace_time=record.timestamp, scheduled_at=scheduled_at,
-            sent_at=time.monotonic(), protocol="udp", qname="",
+            sent_at=time.monotonic(), protocol="udp", qname=key[1],
             querier_id=self.querier_id)
-        self._pending[message_id] = entry
+        self._pending.setdefault(key, []).append(entry)
+        self._answered.discard(key)
         with self.lock:
             self.result.add(entry)
             if self.telemetry is not None:
@@ -172,17 +260,26 @@ class _LiveQuerier(threading.Thread):
                 data = self._sock.recv(65535)
             except (BlockingIOError, OSError):
                 return
-            if len(data) >= 2:
-                message_id = struct.unpack("!H", data[:2])[0]
-                entry = self._pending.pop(message_id, None)
-                if entry is not None:
-                    entry.answered_at = time.monotonic()
-                    if self.telemetry is not None:
-                        with self.lock:
-                            self.telemetry.on_answer(entry)
-                else:
+            key = _response_key(data)
+            waiting = self._pending.get(key) if key is not None else None
+            if waiting:
+                entry = waiting.pop(0)
+                entry.answered_at = time.monotonic()
+                if not waiting:
+                    del self._pending[key]
+                    self._answered.add(key)
+                if self.telemetry is not None:
                     with self.lock:
-                        self.result.unmatched_responses += 1
+                        self.telemetry.on_answer(entry)
+            elif key is not None and key in self._answered:
+                # A duplicated/stale datagram re-answering a completed
+                # query; before full-key matching this could be credited
+                # to a different in-flight query with a colliding id.
+                with self.lock:
+                    self.result.duplicate_responses += 1
+            else:
+                with self.lock:
+                    self.result.unmatched_responses += 1
 
 
 class _LiveDistributor(threading.Thread):
@@ -205,18 +302,31 @@ class _LiveDistributor(threading.Thread):
         self.routed_per_socket: Dict[int, int] = {}
 
     def run(self) -> None:
-        for kind, payload in self.inbound.messages():
-            if kind == MSG_TIME_SYNC:
-                for outbound in self.querier_sockets:
-                    outbound.send_time_sync(payload)
-            elif kind == MSG_RECORD:
-                self.records_routed += 1
-                self._route(payload)
-        for outbound in self.querier_sockets:
-            try:
-                outbound.send_end()
-            except OSError:
-                pass
+        try:
+            for kind, payload in self.inbound.messages():
+                if kind == MSG_TIME_SYNC:
+                    for outbound in self.querier_sockets:
+                        outbound.send_time_sync(payload)
+                elif kind == MSG_RECORD:
+                    self.records_routed += 1
+                    self._route(payload)
+                elif kind == MSG_SHUTDOWN:
+                    # Controller-ordered stop: relay to the queriers so
+                    # they shed their queues, then end the stream.
+                    for outbound in self.querier_sockets:
+                        try:
+                            outbound.send_shutdown()
+                        except OSError:
+                            pass
+                    return
+        except ProtocolError:
+            pass  # torn-down control channel: flush END downstream
+        finally:
+            for outbound in self.querier_sockets:
+                try:
+                    outbound.send_end()
+                except OSError:
+                    pass
 
     def _route(self, record: QueryRecord) -> None:
         """Send to the sticky querier; on a dead socket, reroute.
@@ -246,12 +356,22 @@ class _LiveDistributor(threading.Thread):
 
 
 class LiveDistributedReplay:
-    """The controller: builds the tree, streams the trace, collects."""
+    """The controller: builds the tree, streams the trace, collects.
 
-    def __init__(self, server: Tuple[str, int],
+    ``server`` is either one ``(address, port)`` tuple or a list of
+    them; with a list, querier *i* targets ``server[i % len(server)]``
+    (the scale-out benchmark gives each querier its own backend so the
+    measured bottleneck stays on the client side, §4.3).
+    """
+
+    def __init__(self, server: Union[ServerAddress, List[ServerAddress]],
                  config: Optional[DistributedConfig] = None,
                  telemetry=None):
-        self.server = server
+        servers = server if isinstance(server, list) else [server]
+        if not servers:
+            raise ValueError("need at least one server address")
+        self.servers = [tuple(address) for address in servers]
+        self.server = self.servers[0]
         self.config = config if config is not None else DistributedConfig()
         self.telemetry = telemetry
         self.result = ReplayResult("distributed-live")
@@ -260,6 +380,9 @@ class LiveDistributedReplay:
         self._wiring: Dict[object, Tuple["_LiveDistributor",
                                          MessageSocket, MessageSocket]] = {}
         self.watchdog: Optional[ReplayWatchdog] = None
+
+    def server_for(self, querier_id: int) -> ServerAddress:
+        return self.servers[querier_id % len(self.servers)]
 
     def _handle_stall(self, querier) -> None:
         """Terminate a stalled querier's links; account its lost queries.
@@ -282,6 +405,11 @@ class LiveDistributedReplay:
             _distributor, dist_side, querier_side = wiring
             querier_side.close()
             dist_side.close()
+        # The stalled thread may never run again: reclaim its UDP
+        # socket and inbound channel here instead of leaking them.
+        shutdown = getattr(querier, "shutdown", None)
+        if shutdown is not None:
+            shutdown()
 
     def _handle_deadline(self, queriers) -> None:
         """Deadline expired: every querier sheds its remaining queue."""
@@ -291,6 +419,21 @@ class LiveDistributedReplay:
                 shed.set()
 
     def replay(self, trace: Trace) -> ReplayResult:
+        if self.config.topology == "processes":
+            from .multiproc import ProcessTopology
+            topology = ProcessTopology(self.servers, self.config,
+                                       telemetry=self.telemetry)
+            self.result = topology.replay(trace)
+            self.watchdog = topology.watchdog
+            self.metrics = topology.metrics
+            return self.result
+        if self.config.topology != "threads":
+            raise ValueError(
+                f"unknown topology {self.config.topology!r} "
+                "(expected 'threads' or 'processes')")
+        return self._replay_threads(trace)
+
+    def _replay_threads(self, trace: Trace) -> ReplayResult:
         records = sorted(trace.records, key=lambda r: r.timestamp)
         if not records:
             return self.result
@@ -310,10 +453,12 @@ class LiveDistributedReplay:
             for querier_index in range(self.config.queriers_per_distributor):
                 dist_side, querier_side = connected_pair()
                 querier_sockets.append(dist_side)
+                querier_id = (distributor_id
+                              * self.config.queriers_per_distributor
+                              + querier_index)
                 querier = make_querier(
-                    distributor_id * self.config.queriers_per_distributor
-                    + querier_index, querier_side,
-                    self.server, self.result, self._lock)
+                    querier_id, querier_side,
+                    self.server_for(querier_id), self.result, self._lock)
                 queriers.append(querier)
                 pairs.append((querier, dist_side, querier_side))
             distributor = _LiveDistributor(
@@ -386,6 +531,19 @@ class LiveDistributedReplay:
         if self.watchdog is not None:
             self.watchdog.stop()
             self.watchdog.join(timeout=1.0)
+        # Reclaim every descriptor the tree owns, even from queriers
+        # that missed the join deadline (a wedged thread used to be
+        # abandoned as a daemon with its UDP + message sockets open,
+        # leaking FDs across repeated runs).
+        for querier in queriers:
+            if querier.is_alive():
+                shutdown = getattr(querier, "shutdown", None)
+                if shutdown is not None:
+                    shutdown()
+                querier.join(timeout=0.5)
+        for _distributor, dist_side, querier_side in self._wiring.values():
+            dist_side.close()
+            querier_side.close()
         for outbound in distributor_sockets:
             outbound.close()
         if telemetry is not None:

@@ -1,0 +1,504 @@
+"""Multi-process replay: the paper's real deployment topology (§3).
+
+LDplayer runs the controller → distributor → querier tree as real OS
+processes spread over client machines; one Python process running the
+tree as threads (the ``topology="threads"`` default in
+:mod:`repro.replay.distributed`) caps the aggregate query rate at one
+core because of the GIL.  This module launches the same tree as real
+**worker processes** on one host, connected by the same TCP
+:class:`~repro.replay.protocol.MessageSocket` framing — the protocol
+already crosses process boundaries by construction, so the tiers
+themselves (:class:`_LiveDistributor`, :class:`_LiveQuerier`) run
+unmodified inside the workers.
+
+Life of a run:
+
+1. the controller binds a loopback control listener and spawns one
+   process per distributor; each distributor binds its own querier
+   listener and reports the port in a HELLO frame;
+2. the controller spawns one process per querier, wired to its
+   distributor's port; queriers HELLO back over the control channel;
+3. the trace is streamed exactly as in thread mode — time-sync first,
+   then records sharded sticky-by-source over the distributors, each of
+   which re-shards sticky-by-source over its queriers;
+4. when a querier finishes (END received, queue drained, settle
+   elapsed) it serializes its local :class:`ReplayResult` shard and
+   :class:`MetricsRegistry` snapshot back over the control channel
+   (RESULT + METRICS frames); distributors do the same for their
+   routing counters;
+5. the controller merges every shard (``ReplayResult.merge``) and every
+   metrics snapshot (``MetricsRegistry.merge_state``) into one
+   aggregate, sends SHUTDOWN, and reaps the processes.
+
+Supervision: each worker is watched through a :class:`_WorkerHandle`
+(``is_alive`` = the OS process) by the same
+:class:`~repro.replay.supervision.ReplayWatchdog`; a dead process with
+its shard outstanding is flagged immediately, its routes fail over via
+``StickyAssigner.remove`` (the distributor's broken-pipe path), and the
+collection phase skips it instead of hanging.  A wall-clock deadline
+propagates as SHUTDOWN frames down the tree so queriers shed their
+queues and report truthful ``deadline_shed`` counts.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import socket
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from ..telemetry.metrics import MetricsRegistry
+from ..trace import Trace
+from .distributed import (DistributedConfig, ServerAddress,
+                          _LiveDistributor, _LiveQuerier)
+from .distributor import StickyAssigner
+from .protocol import (MSG_HELLO, MSG_METRICS, MSG_RESULT, MSG_SHUTDOWN,
+                       MessageSocket, ProtocolError, ROLE_DISTRIBUTOR,
+                       ROLE_QUERIER, connect)
+from .result import ReplayResult
+from .supervision import ReplayWatchdog
+
+_SETUP_TIMEOUT = 30.0
+
+
+def _mp_context(start_method: Optional[str] = None):
+    if start_method is None:
+        methods = multiprocessing.get_all_start_methods()
+        start_method = "fork" if "fork" in methods else "spawn"
+    return multiprocessing.get_context(start_method)
+
+
+def _await_shutdown(control: MessageSocket, timeout: float = 10.0) -> None:
+    """Block until the controller says SHUTDOWN (or gives up)."""
+    control.settimeout(timeout)
+    try:
+        while True:
+            message = control.receive()
+            if message is None or message[0] == MSG_SHUTDOWN:
+                return
+    except (ProtocolError, OSError):
+        return
+
+
+# ---------------------------------------------------------------------------
+# Worker process entry points (top-level: importable under spawn)
+# ---------------------------------------------------------------------------
+
+def _distributor_main(control_addr: Tuple[str, int], distributor_id: int,
+                      querier_count: int) -> None:
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.bind(("127.0.0.1", 0))
+    listener.listen(querier_count)
+    listener.settimeout(_SETUP_TIMEOUT)
+    control = connect(control_addr)
+    control.send_hello(ROLE_DISTRIBUTOR, distributor_id,
+                       listener.getsockname()[1])
+    querier_sockets: List[MessageSocket] = []
+    try:
+        for _ in range(querier_count):
+            accepted, _peer = listener.accept()
+            accepted.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+            querier_sockets.append(MessageSocket(accepted))
+    finally:
+        listener.close()
+
+    result = ReplayResult(f"distributor-{distributor_id}")
+    distributor = _LiveDistributor(distributor_id, control, querier_sockets,
+                                   result=result, lock=threading.Lock())
+    distributor.run()   # synchronous: returns on END/SHUTDOWN/EOF
+
+    metrics = MetricsRegistry()
+    metrics.incr("replay.records_routed", distributor.records_routed)
+    try:
+        control.send_result(result.to_dict())
+        control.send_metrics(metrics.to_state())
+        _await_shutdown(control)
+    except OSError:
+        pass
+    for outbound in querier_sockets:
+        outbound.close()
+    control.close()
+
+
+def _querier_main(control_addr: Tuple[str, int], querier_id: int,
+                  distributor_addr: Tuple[str, int],
+                  server: ServerAddress,
+                  deadline: Optional[float] = None) -> None:
+    control = connect(control_addr)
+    control.send_hello(ROLE_QUERIER, querier_id, 0)
+    inbound = connect(distributor_addr)
+    result = ReplayResult(f"querier-{querier_id}")
+    querier = _LiveQuerier(querier_id, inbound, tuple(server), result,
+                           threading.Lock())
+    # The controller cannot flip this worker's shed_event across the
+    # process boundary once the record stream has ended, so the
+    # wall-clock budget is enforced locally, anchored at TIME_SYNC —
+    # the same zero point thread-mode deadlines use.
+    querier.deadline = deadline
+    querier.run()   # synchronous; closes its own sockets on exit
+
+    metrics = MetricsRegistry()
+    metrics.incr("replay.records_received", querier.records_received)
+    metrics.incr("replay.records_sent", querier.records_sent)
+    for entry in result.sent:
+        latency = entry.latency
+        if latency is not None:
+            metrics.observe("query.latency_s", latency)
+    try:
+        control.send_result(result.to_dict())
+        control.send_metrics(metrics.to_state())
+        _await_shutdown(control)
+    except OSError:
+        pass
+    control.close()
+
+
+def _udp_echo_main(conn) -> None:
+    from .live import LiveUdpEchoServer
+    server = LiveUdpEchoServer().start()
+    conn.send((server.address, server.port))
+    try:
+        conn.recv()          # blocks until the parent says stop / EOF
+    except (EOFError, OSError):
+        pass
+    server.stop()
+
+
+class UdpEchoServerProcess:
+    """A :class:`LiveUdpEchoServer` isolated in its own OS process.
+
+    The §4.3 methodology needs the *client* to be the measured
+    bottleneck; an echo server thread inside the controller process
+    would share the GIL with the threaded topology and starve it.  One
+    of these per querier keeps the server side out of the measurement.
+    """
+
+    def __init__(self, start_method: Optional[str] = None):
+        self._ctx = _mp_context(start_method)
+        self._conn = None
+        self._process = None
+        self.address: Optional[str] = None
+        self.port: Optional[int] = None
+
+    def start(self) -> "UdpEchoServerProcess":
+        self._conn, child_conn = self._ctx.Pipe()
+        self._process = self._ctx.Process(
+            target=_udp_echo_main, args=(child_conn,), daemon=True)
+        self._process.start()
+        child_conn.close()
+        if not self._conn.poll(_SETUP_TIMEOUT):
+            self.stop()
+            raise RuntimeError("echo server process failed to start")
+        self.address, self.port = self._conn.recv()
+        return self
+
+    def stop(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.send("stop")
+            except (BrokenPipeError, OSError):
+                pass
+            self._conn.close()
+            self._conn = None
+        if self._process is not None:
+            self._process.join(timeout=2.0)
+            if self._process.is_alive():
+                self._process.terminate()
+                self._process.join(timeout=2.0)
+            self._process = None
+
+    def __enter__(self) -> "UdpEchoServerProcess":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+# ---------------------------------------------------------------------------
+# Controller
+# ---------------------------------------------------------------------------
+
+class _WorkerHandle:
+    """Controller-side view of one worker process (watchdog subject)."""
+
+    def __init__(self, role: int, worker_id: int,
+                 control: MessageSocket, listen_port: int):
+        self.role = role
+        self.worker_id = worker_id
+        self.control = control
+        self.listen_port = listen_port
+        self.process = None           # attached after the HELLO matches
+        self.shard: Optional[ReplayResult] = None
+        self.metrics_state: Optional[dict] = None
+        self.failed = False
+
+    # -- ReplayWatchdog subject surface -----------------------------------
+
+    def has_work(self) -> bool:
+        """Outstanding until its RESULT shard lands (or it is failed)."""
+        return self.shard is None and not self.failed
+
+    def is_alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    @property
+    def pid(self):
+        return self.process.pid if self.process is not None else None
+
+    @property
+    def name(self) -> str:
+        kind = "distributor" if self.role == ROLE_DISTRIBUTOR else "querier"
+        return f"{kind}-{self.worker_id}"
+
+
+class ProcessTopology:
+    """The controller of the multi-process replay tree.
+
+    Usually reached through
+    ``LiveDistributedReplay(server, DistributedConfig(
+    topology="processes"))``; instantiating it directly is equivalent.
+    """
+
+    def __init__(self, server: Union[ServerAddress, List[ServerAddress]],
+                 config: Optional[DistributedConfig] = None,
+                 telemetry=None):
+        servers = server if isinstance(server, list) else [server]
+        if not servers:
+            raise ValueError("need at least one server address")
+        self.servers = [tuple(address) for address in servers]
+        self.config = config if config is not None else DistributedConfig()
+        self.telemetry = telemetry
+        self.result = ReplayResult("distributed-process")
+        # Cross-process telemetry: per-worker MetricsRegistry snapshots
+        # merged into one registry (and into the telemetry hub's, when
+        # one is attached).
+        self.metrics = MetricsRegistry()
+        self.watchdog: Optional[ReplayWatchdog] = None
+        self.distributor_handles: List[_WorkerHandle] = []
+        self.querier_handles: List[_WorkerHandle] = []
+        self._deadline_hit = False
+        self._lock = threading.Lock()
+
+    def server_for(self, querier_id: int) -> ServerAddress:
+        return self.servers[querier_id % len(self.servers)]
+
+    # -- supervision callbacks --------------------------------------------
+
+    def _handle_stall(self, handle: _WorkerHandle) -> None:
+        """A worker process died with its shard outstanding.
+
+        Mark it failed so collection skips it; its sticky routes already
+        fail over inside the tree (broken pipe → StickyAssigner.remove).
+        """
+        with self._lock:
+            handle.failed = True
+            self.result.watchdog_stalls += 1
+        handle.control.close()
+
+    def _handle_deadline(self) -> None:
+        """Propagate the wall-clock budget down the tree as SHUTDOWN."""
+        self._deadline_hit = True
+        for handle in self.distributor_handles:
+            try:
+                handle.control.send_shutdown()
+            except OSError:
+                pass
+
+    # -- setup helpers -----------------------------------------------------
+
+    def _accept_hello(self, listener: socket.socket,
+                      expected_role: int) -> _WorkerHandle:
+        accepted, _peer = listener.accept()
+        accepted.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        control = MessageSocket(accepted)
+        control.settimeout(_SETUP_TIMEOUT)
+        message = control.receive()
+        control.settimeout(None)
+        if message is None or message[0] != MSG_HELLO:
+            control.close()
+            raise ProtocolError("worker did not HELLO")
+        role, worker_id, listen_port = message[1]
+        if role != expected_role:
+            control.close()
+            raise ProtocolError(f"unexpected worker role {role}")
+        return _WorkerHandle(role, worker_id, control, listen_port)
+
+    # -- the run -----------------------------------------------------------
+
+    def replay(self, trace: Trace) -> ReplayResult:
+        records = sorted(trace.records, key=lambda r: r.timestamp)
+        if not records:
+            return self.result
+        config = self.config
+        ctx = _mp_context(config.start_method)
+        querier_total = (config.distributors
+                         * config.queriers_per_distributor)
+        processes = []
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        try:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(config.distributors + querier_total)
+            listener.settimeout(_SETUP_TIMEOUT)
+            control_addr = listener.getsockname()
+
+            # Tier 1: distributor processes; HELLO carries each one's
+            # querier-listener port.
+            for distributor_id in range(config.distributors):
+                process = ctx.Process(
+                    target=_distributor_main,
+                    args=(control_addr, distributor_id,
+                          config.queriers_per_distributor),
+                    daemon=True, name=f"replay-distributor-{distributor_id}")
+                process.start()
+                processes.append(process)
+            by_id: Dict[int, _WorkerHandle] = {}
+            for _ in range(config.distributors):
+                handle = self._accept_hello(listener, ROLE_DISTRIBUTOR)
+                handle.process = processes[handle.worker_id]
+                by_id[handle.worker_id] = handle
+            self.distributor_handles = [by_id[i]
+                                        for i in range(config.distributors)]
+
+            # Tier 2: querier processes, each wired to its distributor.
+            deadline = (config.supervision.deadline
+                        if config.supervision is not None else None)
+            for querier_id in range(querier_total):
+                distributor_id = (querier_id
+                                  // config.queriers_per_distributor)
+                distributor_port = \
+                    self.distributor_handles[distributor_id].listen_port
+                process = ctx.Process(
+                    target=_querier_main,
+                    args=(control_addr, querier_id,
+                          ("127.0.0.1", distributor_port),
+                          self.server_for(querier_id), deadline),
+                    daemon=True, name=f"replay-querier-{querier_id}")
+                process.start()
+                processes.append(process)
+            by_id = {}
+            for _ in range(querier_total):
+                handle = self._accept_hello(listener, ROLE_QUERIER)
+                handle.process = \
+                    processes[config.distributors + handle.worker_id]
+                by_id[handle.worker_id] = handle
+            self.querier_handles = [by_id[i] for i in range(querier_total)]
+        except Exception:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            raise
+        finally:
+            listener.close()
+
+        handles = self.querier_handles + self.distributor_handles
+        if config.supervision is not None:
+            self.watchdog = ReplayWatchdog(
+                config.supervision, handles,
+                on_stall=self._handle_stall,
+                on_deadline=self._handle_deadline)
+            self.watchdog.start()
+
+        # Reader + Postman: time-sync broadcast, then the sharded stream.
+        assigner = StickyAssigner(self.distributor_handles)
+        trace_start = records[0].timestamp
+        self.result.trace_start = trace_start
+        time.sleep(config.start_delay)
+        self.result.start_clock = time.monotonic()
+        for handle in self.distributor_handles:
+            handle.control.send_time_sync(trace_start)
+        streamed = 0
+        for record in records:
+            if self._deadline_hit:
+                # Stop feeding the tree; everything not yet streamed is
+                # shed here (queued records shed inside the queriers).
+                self.result.deadline_shed += len(records) - streamed
+                break
+            while assigner.entities:
+                handle = assigner.assign(record.src)
+                try:
+                    handle.control.send_record(record)
+                    streamed += 1
+                    break
+                except OSError:   # distributor died: fail its sources over
+                    assigner.remove(handle)
+                    with self._lock:
+                        self.result.reassigned_queries += 1
+            else:
+                with self._lock:
+                    self.result.send_failures += 1
+        for handle in self.distributor_handles:
+            try:
+                handle.control.send_end()
+            except OSError:
+                pass
+
+        # Collection: every worker reports RESULT + METRICS when done.
+        duration = records[-1].timestamp - trace_start
+        deadline = time.monotonic() + duration \
+            + config.settle_time + 10.0
+        supervision = config.supervision
+        if supervision is not None and supervision.deadline is not None:
+            deadline = min(deadline, self.result.start_clock
+                           + supervision.deadline
+                           + supervision.stall_timeout + 10.0)
+        for handle in handles:
+            self._collect(handle, deadline)
+        if self.watchdog is not None:
+            self.watchdog.stop()
+            self.watchdog.join(timeout=1.0)
+
+        # Merge shards deterministically: queriers in id order, then
+        # distributor routing counters.
+        lost = 0
+        for handle in handles:
+            if handle.shard is not None:
+                self.result.merge(handle.shard)
+            else:
+                lost += 1
+            if handle.metrics_state is not None:
+                self.metrics.merge_state(handle.metrics_state)
+        if lost:
+            self.metrics.incr("multiproc.lost_shards", lost)
+        self.metrics.incr("multiproc.workers", len(handles))
+        telemetry = self.telemetry
+        if telemetry is not None:
+            # Per-query tracing cannot cross the process boundary; the
+            # merged counter/histogram snapshots are the process-mode
+            # telemetry surface.
+            telemetry.metrics.merge(self.metrics)
+
+        # Teardown: SHUTDOWN, close, reap.
+        for handle in handles:
+            try:
+                handle.control.send_shutdown()
+            except OSError:
+                pass
+            handle.control.close()
+        for process in processes:
+            process.join(timeout=2.0)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        return self.result
+
+    def _collect(self, handle: _WorkerHandle, deadline: float) -> None:
+        if handle.failed:
+            return
+        handle.control.settimeout(max(deadline - time.monotonic(), 0.5))
+        try:
+            while handle.shard is None or handle.metrics_state is None:
+                message = handle.control.receive()
+                if message is None:
+                    handle.failed = True
+                    return
+                kind, payload = message
+                if kind == MSG_RESULT:
+                    handle.shard = ReplayResult.from_dict(payload)
+                elif kind == MSG_METRICS:
+                    handle.metrics_state = payload
+        except (TimeoutError, ProtocolError, OSError):
+            handle.failed = True
+        finally:
+            handle.control.settimeout(None)

@@ -5,22 +5,36 @@ feeds distributor processes over TCP, which feed querier processes, "for
 reliable communication, we decide to choose TCP for message exchange
 among distributors".  This module is that wire protocol — real sockets,
 length-prefixed internal messages reusing the binary trace record layout
-(§2.5), plus the control messages the timing discipline needs:
+(§2.5), plus the control messages the timing discipline and the
+multi-process deployment need:
 
     frame  := u32 length, u8 kind, payload
     kinds  := TIME_SYNC (f64 trace-start time)
             | RECORD    (binary trace record body)
             | END       (no payload; stream complete)
+            | HELLO     (u8 role, u16 worker id, u16 listen port)
+            | RESULT    (JSON ReplayResult shard)
+            | METRICS   (JSON MetricsRegistry state)
+            | SHUTDOWN  (no payload; stop now, shed queued work)
 
 :class:`MessageSocket` wraps a connected TCP socket with framed send /
 receive; :mod:`repro.replay.distributed` builds the controller →
-distributor → querier tree on top of it.
+distributor → querier tree on top of it, in one process (threads) or
+across real worker processes (:mod:`repro.replay.multiproc`).
+
+The receive path trusts nothing: a frame whose length field is zero,
+negative-after-kind, or larger than :data:`MAX_FRAME` raises
+:class:`ProtocolError` instead of hanging on a bogus read or buffering
+unbounded memory, and a connection that dies mid-frame raises rather
+than silently returning garbage.
 """
 
 from __future__ import annotations
 
+import json
 import socket
 import struct
+import threading
 from typing import Iterator, Optional, Tuple, Union
 
 from ..trace import QueryRecord
@@ -29,10 +43,25 @@ from ..trace.binfmt import pack_record_body, unpack_record_body
 MSG_TIME_SYNC = 1
 MSG_RECORD = 2
 MSG_END = 3
+MSG_HELLO = 4
+MSG_RESULT = 5
+MSG_METRICS = 6
+MSG_SHUTDOWN = 7
+
+# Worker roles carried in HELLO frames (multi-process topology).
+ROLE_DISTRIBUTOR = 1
+ROLE_QUERIER = 2
+
+# Upper bound on one frame's length field.  Record frames are tiny;
+# RESULT frames carry a whole per-worker ReplayResult shard as JSON, so
+# the bound is generous — but it is a bound: a corrupt length can no
+# longer make the receiver buffer arbitrary memory.
+MAX_FRAME = 64 * 1024 * 1024
 
 _FRAME_HEADER = struct.Struct("!IB")
+_HELLO = struct.Struct("!BHH")
 
-Message = Tuple[int, Union[float, QueryRecord, None]]
+Message = Tuple[int, Union[float, QueryRecord, dict, tuple, None]]
 
 
 class ProtocolError(RuntimeError):
@@ -45,6 +74,7 @@ class MessageSocket:
     def __init__(self, sock: socket.socket):
         self._socket = sock
         self._buffer = bytearray()
+        self._send_lock = threading.Lock()
         self.messages_sent = 0
         self.messages_received = 0
 
@@ -59,30 +89,70 @@ class MessageSocket:
     def send_end(self) -> None:
         self._send(MSG_END, b"")
 
+    def send_hello(self, role: int, worker_id: int,
+                   listen_port: int = 0) -> None:
+        self._send(MSG_HELLO, _HELLO.pack(role, worker_id, listen_port))
+
+    def send_result(self, shard: dict) -> None:
+        self._send(MSG_RESULT, json.dumps(shard).encode("utf-8"))
+
+    def send_metrics(self, state: dict) -> None:
+        self._send(MSG_METRICS, json.dumps(state).encode("utf-8"))
+
+    def send_shutdown(self) -> None:
+        self._send(MSG_SHUTDOWN, b"")
+
     def _send(self, kind: int, payload: bytes) -> None:
         header = _FRAME_HEADER.pack(1 + len(payload), kind)
-        self._socket.sendall(header + payload)
+        # One frame per sendall, serialized: the control channel is
+        # written by both the streaming loop and the watchdog thread
+        # (deadline SHUTDOWN), and interleaved frames would corrupt it.
+        with self._send_lock:
+            self._socket.sendall(header + payload)
         self.messages_sent += 1
 
     # -- receiving ----------------------------------------------------------
 
     def receive(self) -> Optional[Message]:
-        """Blocking read of one message; None on orderly EOF."""
+        """Blocking read of one message; None on orderly EOF.
+
+        Raises :class:`ProtocolError` for anything else: a connection
+        dying mid-frame, a length field outside ``[1, MAX_FRAME]``, an
+        undecodable payload, or an unknown message kind.
+        """
         header = self._read_exactly(_FRAME_HEADER.size)
         if header is None:
             return None
         length, kind = _FRAME_HEADER.unpack(header)
+        if not 1 <= length <= MAX_FRAME:
+            raise ProtocolError(f"bad frame length {length} "
+                                f"(must be 1..{MAX_FRAME})")
         payload = self._read_exactly(length - 1)
         if payload is None:
             raise ProtocolError("connection closed mid-frame")
         self.messages_received += 1
         if kind == MSG_TIME_SYNC:
-            (trace_start,) = struct.unpack("!d", payload)
+            try:
+                (trace_start,) = struct.unpack("!d", payload)
+            except struct.error as exc:
+                raise ProtocolError(f"bad TIME_SYNC payload: {exc}")
             return (MSG_TIME_SYNC, trace_start)
         if kind == MSG_RECORD:
             return (MSG_RECORD, unpack_record_body(bytes(payload)))
         if kind == MSG_END:
             return (MSG_END, None)
+        if kind == MSG_HELLO:
+            try:
+                return (MSG_HELLO, _HELLO.unpack(payload))
+            except struct.error as exc:
+                raise ProtocolError(f"bad HELLO payload: {exc}")
+        if kind in (MSG_RESULT, MSG_METRICS):
+            try:
+                return (kind, json.loads(payload.decode("utf-8")))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                raise ProtocolError(f"bad JSON payload: {exc}")
+        if kind == MSG_SHUTDOWN:
+            return (MSG_SHUTDOWN, None)
         raise ProtocolError(f"unknown message kind {kind}")
 
     def messages(self) -> Iterator[Message]:
@@ -96,23 +166,45 @@ class MessageSocket:
                 return
 
     def _read_exactly(self, count: int) -> Optional[bytes]:
+        """``count`` bytes, or None on EOF at a frame boundary.
+
+        EOF (or a socket error) with a partial frame already buffered is
+        a protocol violation, not an orderly close.
+        """
         while len(self._buffer) < count:
             try:
                 chunk = self._socket.recv(65536)
+            except TimeoutError:
+                raise  # bounded receive: let the deadline surface
             except OSError:
-                return None
+                chunk = b""
             if not chunk:
-                return None if not self._buffer else None
+                if self._buffer:
+                    raise ProtocolError("connection closed mid-frame")
+                return None
             self._buffer += chunk
         data = bytes(self._buffer[:count])
         del self._buffer[:count]
         return data
+
+    def settimeout(self, timeout: Optional[float]) -> None:
+        """Bound blocking receives (collection phases use deadlines)."""
+        self._socket.settimeout(timeout)
 
     def close(self) -> None:
         try:
             self._socket.close()
         except OSError:
             pass
+
+
+def connect(address: Tuple[str, int],
+            timeout: Optional[float] = 10.0) -> MessageSocket:
+    """Connect to a listening peer; used by worker processes."""
+    sock = socket.create_connection(address, timeout=timeout)
+    sock.settimeout(None)
+    sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    return MessageSocket(sock)
 
 
 def connected_pair() -> Tuple[MessageSocket, MessageSocket]:

@@ -2,7 +2,7 @@
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from ..trace.stats import quartile_summary
@@ -33,6 +33,25 @@ class SentQuery:
         if self.answered_at is None:
             return None
         return self.answered_at - self.sent_at
+
+    def to_dict(self) -> Dict:
+        """A JSON-safe mapping (the inter-process RESULT frame)."""
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "SentQuery":
+        return cls(**data)
+
+
+# Every integer event counter a ReplayResult carries; merge() sums
+# these, and the wire serialization round-trips exactly this set.
+_COUNTER_FIELDS = (
+    "unmatched_responses", "send_failures", "udp_timeouts", "retries",
+    "duplicate_responses", "reconnects", "tcp_fallbacks",
+    "reassigned_queries", "gave_up", "servfails_observed",
+    "paced_queries", "pace_rate_cuts", "backpressure_pauses",
+    "watchdog_stalls", "stall_shed", "deadline_shed",
+)
 
 
 class ReplayResult:
@@ -155,6 +174,56 @@ class ReplayResult:
             "stall_shed": self.stall_shed,
             "deadline_shed": self.deadline_shed,
         }
+
+    # -- aggregation (multi-process shard merge) ---------------------------
+
+    def merge(self, other: "ReplayResult") -> "ReplayResult":
+        """Fold another result (a per-worker shard) into this one.
+
+        Sent entries are re-indexed past this result's current tail so
+        indices stay unique in the aggregate (each worker numbers its
+        shard from zero); every event counter is summed; clocks keep the
+        earliest non-None value so §4.2 offsets stay anchored to the
+        run's true start.  Returns self for chaining.
+        """
+        base = len(self.sent)
+        for query in other.sent:
+            query.index += base
+            self.sent.append(query)
+        for name in _COUNTER_FIELDS:
+            setattr(self, name, getattr(self, name) + getattr(other, name))
+        if other.start_clock is not None:
+            self.start_clock = other.start_clock \
+                if self.start_clock is None \
+                else min(self.start_clock, other.start_clock)
+        if other.trace_start is not None:
+            self.trace_start = other.trace_start \
+                if self.trace_start is None \
+                else min(self.trace_start, other.trace_start)
+        return self
+
+    def to_dict(self) -> Dict:
+        """A JSON-safe mapping (the inter-process RESULT frame)."""
+        return {
+            "name": self.name,
+            "start_clock": self.start_clock,
+            "trace_start": self.trace_start,
+            "counters": {name: getattr(self, name)
+                         for name in _COUNTER_FIELDS},
+            "sent": [query.to_dict() for query in self.sent],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict) -> "ReplayResult":
+        result = cls(data.get("name", "replay"))
+        result.start_clock = data.get("start_clock")
+        result.trace_start = data.get("trace_start")
+        for name, value in data.get("counters", {}).items():
+            if name in _COUNTER_FIELDS:
+                setattr(result, name, value)
+        for entry in data.get("sent", ()):
+            result.sent.append(SentQuery.from_dict(entry))
+        return result
 
     def reuse_fraction(self) -> float:
         """Share of TCP/TLS queries that reused an open connection."""

@@ -90,6 +90,13 @@ class ReplayWatchdog(threading.Thread):
     waiting for input is not a stall.  Each subject is flagged at most
     once; ``on_stall`` does the remediation (the distributed engine
     closes the stalled querier's sockets so routing fails over).
+
+    Subjects that expose ``is_alive()`` (threads, worker *processes* in
+    the multi-process topology) are additionally checked for death: a
+    dead subject with work outstanding is flagged immediately, without
+    waiting out the stall timeout — a crashed querier process cannot
+    stamp a heartbeat, and its queries must be reassigned (the
+    distributor's ``StickyAssigner.remove`` failover) right away.
     """
 
     def __init__(self, config: SupervisionConfig, subjects: Sequence,
@@ -117,13 +124,32 @@ class ReplayWatchdog(threading.Thread):
             for subject in self.subjects:
                 if id(subject) in self._flagged:
                     continue
+                if not subject.has_work():
+                    continue
+                if self._is_dead(subject):
+                    self._flag(subject)
+                    continue
                 beat = getattr(subject, "heartbeat", None)
-                if beat is None or not subject.has_work():
+                if beat is None:
                     continue
                 if now - beat >= self.config.stall_timeout:
-                    self._flagged.add(id(subject))
-                    self.stalled.append(subject)
-                    self.on_stall(subject)
+                    self._flag(subject)
+
+    @staticmethod
+    def _is_dead(subject) -> bool:
+        """A started subject whose thread/process has exited."""
+        alive = getattr(subject, "is_alive", None)
+        if alive is None or alive():
+            return False
+        # Never started (ident/pid unset) is "not yet running", not dead
+        # — the watchdog may begin polling before the workers launch.
+        return getattr(subject, "ident", getattr(subject, "pid", 1)) \
+            is not None
+
+    def _flag(self, subject) -> None:
+        self._flagged.add(id(subject))
+        self.stalled.append(subject)
+        self.on_stall(subject)
 
     def deadline_expired(self) -> bool:
         return self._deadline_fired

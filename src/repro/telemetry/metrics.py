@@ -141,6 +141,38 @@ class Histogram:
                                       or other.max > self.max):
             self.max = other.max
 
+    def to_state(self) -> Dict:
+        """Full internal state, JSON-safe (cross-process snapshots).
+
+        Unlike :meth:`to_dict` (a human-facing summary), this is exact:
+        :meth:`from_state` rebuilds an identical histogram, so a worker
+        process can ship its distributions to the controller and merge
+        them without losing bucket resolution.
+        """
+        return {
+            "growth": self.growth,
+            "min_value": self.min_value,
+            "count": self.count,
+            "total": self.total,
+            "min": self.min,
+            "max": self.max,
+            # JSON keys are strings; bucket indices round-trip via int().
+            "buckets": {str(index): count
+                        for index, count in self._buckets.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "Histogram":
+        histogram = cls(growth=state["growth"],
+                        min_value=state["min_value"])
+        histogram.count = state["count"]
+        histogram.total = state["total"]
+        histogram.min = state["min"]
+        histogram.max = state["max"]
+        histogram._buckets = {int(index): count
+                              for index, count in state["buckets"].items()}
+        return histogram
+
     def to_dict(self) -> Dict:
         summary: Dict = {
             "count": self.count,
@@ -274,6 +306,37 @@ class MetricsRegistry:
                                  min_value=histogram.min_value)
                 self._histograms[name] = mine
             mine.merge(histogram)
+
+    def to_state(self) -> Dict:
+        """Exact registry state as one JSON-safe document.
+
+        The inter-process METRICS frame: a worker serializes its whole
+        registry (histograms included, losslessly) and the controller
+        folds it into the run's registry with :meth:`merge_state`.
+        """
+        return {
+            "counts": dict(self._counts),
+            "timings": dict(self._timings),
+            "gauges": dict(self._gauges),
+            "histograms": {name: histogram.to_state()
+                           for name, histogram in self._histograms.items()},
+        }
+
+    @classmethod
+    def from_state(cls, state: Dict) -> "MetricsRegistry":
+        registry = cls()
+        registry._counts = dict(state.get("counts", {}))
+        registry._timings = dict(state.get("timings", {}))
+        registry._gauges = dict(state.get("gauges", {}))
+        registry._histograms = {
+            name: Histogram.from_state(histogram_state)
+            for name, histogram_state
+            in state.get("histograms", {}).items()}
+        return registry
+
+    def merge_state(self, state: Dict) -> None:
+        """Merge a serialized snapshot (see :meth:`to_state`) into self."""
+        self.merge(MetricsRegistry.from_state(state))
 
     def reset(self) -> None:
         self._counts.clear()

@@ -13,7 +13,7 @@ from .stats import (TraceSummary, cdf_points, client_load_cdf,
                     per_client_counts, per_second_rates, percentile,
                     quartile_summary, stddev, summarize, top_client_share)
 from .synthetic import (BRootWorkload, ClientClassSpec, RecursiveWorkload,
-                        SYNTHETIC_SPECS, fixed_interval_trace,
+                        SYNTHETIC_SPECS, burst_trace, fixed_interval_trace,
                         make_hierarchy_zones, make_root_zone,
                         table1_synthetic, zipf_trace)
 from .textfmt import (TextFormatError, iter_text, line_to_record, read_text,
@@ -23,8 +23,8 @@ __all__ = [
     "BRootWorkload", "BinaryFormatError", "ClientClassSpec", "Mutation",
     "PROTOCOLS", "PcapError", "QueryMutator", "QueryRecord",
     "RecursiveWorkload", "SYNTHETIC_SPECS", "TextFormatError", "Trace",
-    "TraceSummary", "all_protocol", "cdf_points", "client_load_cdf",
-    "filter_queries_only", "fixed_interval_trace",
+    "TraceSummary", "all_protocol", "burst_trace", "cdf_points",
+    "client_load_cdf", "filter_queries_only", "fixed_interval_trace",
     "inactive_client_fraction", "interarrivals", "iter_binary", "iter_pcap",
     "iter_text", "line_to_record", "make_hierarchy_zones",
     "make_query_record", "make_root_zone", "mean", "per_client_counts",

@@ -169,6 +169,32 @@ def fixed_interval_trace(interval: float, duration: float,
     return Trace(records, name=name)
 
 
+def burst_trace(query_count: int, client_count: int = 64,
+                server: str = DEFAULT_SERVER_ADDRESS,
+                domain: str = "example.com.",
+                name: str = "burst") -> Trace:
+    """``query_count`` queries all due at t=0: a saturation workload.
+
+    The §4.3 throughput methodology ("a continuous stream … without
+    timer events") as a trace: every record carries the same timestamp,
+    so the timing discipline releases them immediately and the replay
+    runs as fast as the client machinery allows.  Sources rotate through
+    ``client_count`` addresses so sticky routing still spreads the load
+    across the whole distributor/querier tree.
+    """
+    clients = [_address_block("10.144.0.0", i) for i in range(client_count)]
+    records = []
+    for index in range(query_count):
+        qname = f"b{index:09d}.{domain}"
+        records.append(QueryRecord(
+            0.0, clients[index % client_count],
+            1024 + (index * 7) % 60000, server, DNS_PORT, "udp",
+            Message.make_query(Name.from_text(qname), RRType.A,
+                               msg_id=(index % 0xFFFF) + 1,
+                               edns=Edns()).to_wire()))
+    return Trace(records, name=name)
+
+
 def zipf_trace(query_count: int, population: int = 200,
                exponent: float = 1.1, interval: float = 0.001,
                client_count: int = 100,

@@ -97,8 +97,9 @@ class TestCli:
         assert sorted(calls) == sorted(cli.EXPERIMENTS)
 
     def test_experiment_registry_complete(self):
-        expected = {"table1", "fig6", "fig7", "fig8", "fig9", "fig10",
-                    "fig11", "fig13", "fig14", "fig15", "hierarchy", "dos"}
+        expected = {"table1", "fig6", "fig7", "fig8", "fig9", "fig9scale",
+                    "fig10", "fig11", "fig13", "fig14", "fig15",
+                    "hierarchy", "dos"}
         assert set(cli.EXPERIMENTS) == expected
 
 

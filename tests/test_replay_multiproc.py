@@ -1,0 +1,229 @@
+"""Tests for the multi-process replay topology (repro.replay.multiproc)."""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.replay import (DistributedConfig, LiveDistributedReplay,
+                          LiveUdpEchoServer, ProcessTopology, ReplayWatchdog,
+                          SupervisionConfig, UdpEchoServerProcess)
+from repro.replay.multiproc import _WorkerHandle
+from repro.replay.protocol import ROLE_QUERIER
+from repro.trace import Trace, fixed_interval_trace, table1_synthetic
+
+
+def process_config(**overrides):
+    defaults = dict(distributors=2, queriers_per_distributor=2,
+                    topology="processes", start_delay=0.05)
+    defaults.update(overrides)
+    return DistributedConfig(**defaults)
+
+
+class TestProcessTopology:
+    def test_replays_and_answers(self):
+        trace = fixed_interval_trace(0.02, 1.0, client_count=16,
+                                     name="mp-basic")
+        with LiveUdpEchoServer() as server:
+            replay = LiveDistributedReplay(
+                (server.address, server.port), process_config())
+            result = replay.replay(trace)
+        assert len(result) == len(trace)
+        assert result.answered_fraction() > 0.9
+
+    def test_source_affinity_across_processes(self):
+        trace = fixed_interval_trace(0.01, 1.0, client_count=12,
+                                     name="mp-affinity")
+        with LiveUdpEchoServer() as server:
+            replay = LiveDistributedReplay(
+                (server.address, server.port), process_config())
+            result = replay.replay(trace)
+        per_source = {}
+        for query in result.sent:
+            per_source.setdefault(query.source, set()).add(query.querier_id)
+        assert all(len(ids) == 1 for ids in per_source.values())
+        assert len({q.querier_id for q in result.sent}) > 1
+
+    def test_merged_indices_unique_and_dense(self):
+        trace = fixed_interval_trace(0.02, 1.0, client_count=8,
+                                     name="mp-indices")
+        with LiveUdpEchoServer() as server:
+            replay = LiveDistributedReplay(
+                (server.address, server.port), process_config())
+            result = replay.replay(trace)
+        indices = sorted(q.index for q in result.sent)
+        assert indices == list(range(len(result.sent)))
+
+    def test_cross_process_metrics_merge(self):
+        trace = fixed_interval_trace(0.02, 1.0, client_count=8,
+                                     name="mp-metrics")
+        with LiveUdpEchoServer() as server:
+            replay = LiveDistributedReplay(
+                (server.address, server.port), process_config())
+            result = replay.replay(trace)
+        state = replay.metrics.to_state()
+        assert state["counts"]["replay.records_sent"] == len(result.sent)
+        assert state["counts"]["replay.records_routed"] == len(trace)
+        latency = state["histograms"]["query.latency_s"]
+        answered = sum(1 for q in result.sent if q.answered_at is not None)
+        assert latency["count"] == answered
+
+    def test_empty_trace(self):
+        replay = LiveDistributedReplay(("127.0.0.1", 1), process_config())
+        result = replay.replay(Trace())
+        assert len(result) == 0
+
+    def test_unknown_topology_rejected(self):
+        replay = LiveDistributedReplay(
+            ("127.0.0.1", 1), DistributedConfig(topology="carrier-pigeon"))
+        with pytest.raises(ValueError):
+            replay.replay(fixed_interval_trace(0.5, 1.0))
+
+
+class TestDifferentialThreadsVsProcesses:
+    def test_syn1_aggregates_match(self):
+        """ISSUE acceptance: both topologies replay syn-1 to the same
+        merged aggregate — same query set, same sources, all answered."""
+        trace = table1_synthetic("syn-1", duration=2.0)
+        results = {}
+        for topology in ("threads", "processes"):
+            with LiveUdpEchoServer() as server:
+                replay = LiveDistributedReplay(
+                    (server.address, server.port),
+                    process_config(topology=topology))
+                results[topology] = replay.replay(trace)
+        threaded, processed = results["threads"], results["processes"]
+        assert len(threaded) == len(processed) == len(trace)
+        assert threaded.answered_fraction() == 1.0
+        assert processed.answered_fraction() == 1.0
+
+        def per_source(result):
+            counts = {}
+            for query in result.sent:
+                counts[query.source] = counts.get(query.source, 0) + 1
+            return counts
+
+        assert per_source(threaded) == per_source(processed)
+        assert {q.qname for q in threaded.sent} \
+            == {q.qname for q in processed.sent}
+        assert threaded.failure_counts() == processed.failure_counts()
+        assert threaded.degradation() == processed.degradation()
+
+
+class TestSupervision:
+    def test_dead_querier_process_is_flagged_and_replay_finishes(self):
+        """Kill one querier process mid-replay: the watchdog flags the
+        dead worker and collection skips it instead of hanging."""
+        trace = fixed_interval_trace(0.01, 2.0, client_count=8,
+                                     name="mp-dead")
+        config = process_config(
+            distributors=1, queriers_per_distributor=2,
+            supervision=SupervisionConfig(heartbeat_interval=0.05,
+                                          stall_timeout=10.0))
+        with LiveUdpEchoServer() as server:
+            topology = ProcessTopology((server.address, server.port), config)
+            import threading
+
+            def assassin():
+                # Wait for the tree to wire up, then kill one querier.
+                deadline = time.monotonic() + 5.0
+                while time.monotonic() < deadline:
+                    if topology.querier_handles:
+                        victim = topology.querier_handles[0].process
+                        if victim is not None and victim.pid:
+                            os.kill(victim.pid, signal.SIGKILL)
+                            return
+                    time.sleep(0.02)
+
+            killer = threading.Thread(target=assassin, daemon=True)
+            killer.start()
+            started = time.monotonic()
+            result = topology.replay(trace)
+            elapsed = time.monotonic() - started
+            killer.join(timeout=1.0)
+        # Must terminate well before the 10s stall timeout: death is
+        # detected via is_alive(), not heartbeat staleness.
+        assert elapsed < 9.0
+        assert result.watchdog_stalls >= 1
+        # The surviving querier kept answering.
+        answered = sum(1 for q in result.sent if q.answered_at is not None)
+        assert answered > 0
+
+    def test_watchdog_flags_dead_worker_handle(self):
+        class FakeDeadProcess:
+            pid = 12345
+
+            @staticmethod
+            def is_alive():
+                return False
+
+        class FakeSocket:
+            def close(self):
+                pass
+
+        handle = _WorkerHandle(ROLE_QUERIER, 0, FakeSocket(), 0)
+        handle.process = FakeDeadProcess()
+        flagged = []
+        watchdog = ReplayWatchdog(
+            SupervisionConfig(heartbeat_interval=0.02, stall_timeout=60.0),
+            [handle], on_stall=flagged.append)
+        watchdog.start()
+        deadline = time.monotonic() + 2.0
+        while not flagged and time.monotonic() < deadline:
+            time.sleep(0.01)
+        watchdog.stop()
+        watchdog.join(timeout=1.0)
+        assert flagged == [handle]
+
+    def test_watchdog_ignores_unstarted_handle(self):
+        class FakeSocket:
+            def close(self):
+                pass
+
+        handle = _WorkerHandle(ROLE_QUERIER, 0, FakeSocket(), 0)
+        # No process attached yet: is_alive() False but pid None.
+        flagged = []
+        watchdog = ReplayWatchdog(
+            SupervisionConfig(heartbeat_interval=0.02, stall_timeout=60.0),
+            [handle], on_stall=flagged.append)
+        watchdog.start()
+        time.sleep(0.15)
+        watchdog.stop()
+        watchdog.join(timeout=1.0)
+        assert flagged == []
+
+    def test_deadline_sheds_across_processes(self):
+        """The wall-clock budget propagates as SHUTDOWN frames and the
+        shed counts come back in the merged aggregate."""
+        trace = fixed_interval_trace(0.05, 30.0, client_count=8,
+                                     name="mp-deadline")
+        config = process_config(
+            distributors=1, queriers_per_distributor=2,
+            supervision=SupervisionConfig(heartbeat_interval=0.05,
+                                          stall_timeout=5.0,
+                                          deadline=1.0))
+        with LiveUdpEchoServer() as server:
+            replay = LiveDistributedReplay(
+                (server.address, server.port), config)
+            started = time.monotonic()
+            result = replay.replay(trace)
+            elapsed = time.monotonic() - started
+        assert elapsed < 25.0           # nowhere near the 30s trace
+        assert result.deadline_shed > 0
+        assert len(result.sent) + result.deadline_shed <= len(trace)
+
+
+class TestUdpEchoServerProcess:
+    def test_start_echo_stop(self):
+        import socket
+        with UdpEchoServerProcess() as server:
+            assert server.port
+            sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            sock.settimeout(2.0)
+            sock.sendto(b"\x12\x34" + b"\x00" * 10,
+                        (server.address, server.port))
+            data, _peer = sock.recvfrom(65535)
+            sock.close()
+            assert data[:2] == b"\x12\x34"
+        assert server._process is None

@@ -1,14 +1,22 @@
 """Tests for the inter-node replay protocol and distributed live replay."""
 
+import socket
+import struct
 import threading
+import time
 
 import pytest
 
 from repro.replay import (DistributedConfig, LiveDistributedReplay,
-                          LiveUdpEchoServer, MSG_END, MSG_RECORD,
-                          MSG_TIME_SYNC, MessageSocket, connected_pair)
+                          LiveUdpEchoServer, MAX_FRAME, MSG_END, MSG_HELLO,
+                          MSG_METRICS, MSG_RECORD, MSG_RESULT, MSG_SHUTDOWN,
+                          MSG_TIME_SYNC, MessageSocket, ProtocolError,
+                          ROLE_QUERIER, connect, connected_pair)
+from repro.replay.distributed import _LiveQuerier
 from repro.trace import BRootWorkload, fixed_interval_trace, \
     make_query_record
+
+_HEADER = struct.Struct("!IB")
 
 
 class TestMessageSocket:
@@ -68,6 +76,261 @@ class TestMessageSocket:
         assert [r.wire for r in received] == [r.wire for r in records]
         assert receiver.messages_received == 51
         sender.close(), receiver.close()
+
+
+class TestControlFrames:
+    def test_hello_roundtrip(self):
+        sender, receiver = connected_pair()
+        sender.send_hello(ROLE_QUERIER, 7, 5353)
+        kind, payload = receiver.receive()
+        assert kind == MSG_HELLO
+        assert payload == (ROLE_QUERIER, 7, 5353)
+        sender.close(), receiver.close()
+
+    def test_result_roundtrip(self):
+        from repro.replay import ReplayResult, SentQuery
+        shard = ReplayResult("querier-3")
+        shard.add(SentQuery(index=0, source="10.0.0.1", trace_time=0.0,
+                            scheduled_at=1.0, sent_at=1.001,
+                            protocol="udp", qname="a.example.com.",
+                            answered_at=1.02, querier_id=3))
+        shard.deadline_shed = 4
+        sender, receiver = connected_pair()
+        sender.send_result(shard.to_dict())
+        kind, payload = receiver.receive()
+        assert kind == MSG_RESULT
+        restored = ReplayResult.from_dict(payload)
+        assert len(restored) == 1
+        assert restored.sent[0].qname == "a.example.com."
+        assert restored.sent[0].latency == pytest.approx(0.019)
+        assert restored.deadline_shed == 4
+        sender.close(), receiver.close()
+
+    def test_metrics_roundtrip(self):
+        from repro.telemetry import MetricsRegistry
+        metrics = MetricsRegistry()
+        metrics.incr("replay.records_sent", 42)
+        metrics.observe("query.latency_s", 0.003)
+        sender, receiver = connected_pair()
+        sender.send_metrics(metrics.to_state())
+        kind, payload = receiver.receive()
+        assert kind == MSG_METRICS
+        restored = MetricsRegistry.from_state(payload)
+        merged = MetricsRegistry()
+        merged.merge_state(payload)
+        for registry in (restored, merged):
+            state = registry.to_state()
+            assert state["counts"]["replay.records_sent"] == 42
+            assert state["histograms"]["query.latency_s"]["count"] == 1
+        sender.close(), receiver.close()
+
+    def test_shutdown_roundtrip(self):
+        sender, receiver = connected_pair()
+        sender.send_shutdown()
+        assert receiver.receive() == (MSG_SHUTDOWN, None)
+        sender.close(), receiver.close()
+
+    def test_connect_reaches_listener(self):
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        client = connect(listener.getsockname())
+        accepted, _peer = listener.accept()
+        server_side = MessageSocket(accepted)
+        client.send_end()
+        assert server_side.receive() == (MSG_END, None)
+        client.close(), server_side.close(), listener.close()
+
+
+class TestProtocolErrorPaths:
+    """ISSUE satellite: a hostile or corrupt peer must raise
+    ProtocolError — never hang, never buffer unbounded memory.  Each
+    case crafts raw bytes below the framing layer."""
+
+    def raw_pair(self):
+        sender, receiver = connected_pair()
+        return sender._socket, receiver, sender, receiver
+
+    def test_zero_length_frame_rejected(self):
+        raw, receiver, s, r = self.raw_pair()
+        # length=0 claims a frame with no kind byte; pre-fix this asked
+        # the buffer for -1 payload bytes and desynchronized the stream.
+        raw.sendall(_HEADER.pack(0, MSG_END))
+        with pytest.raises(ProtocolError, match="length"):
+            receiver.receive()
+        s.close(), r.close()
+
+    def test_oversized_frame_rejected_without_buffering(self):
+        raw, receiver, s, r = self.raw_pair()
+        # A corrupt length field must be rejected from the header alone
+        # (pre-fix the receiver tried to buffer 4 GiB).
+        raw.sendall(_HEADER.pack(0xFFFFFFFF, MSG_RECORD))
+        with pytest.raises(ProtocolError, match="length"):
+            receiver.receive()
+        assert len(receiver._buffer) < 1024
+        s.close(), r.close()
+
+    def test_max_frame_boundary(self):
+        sender, receiver = connected_pair()
+        raw = sender._socket
+        raw.sendall(_HEADER.pack(MAX_FRAME + 1, MSG_RECORD))
+        with pytest.raises(ProtocolError):
+            receiver.receive()
+        sender.close(), receiver.close()
+
+    def test_truncated_header_raises(self):
+        raw, receiver, s, r = self.raw_pair()
+        raw.sendall(b"\x00\x00")   # 2 of the 5 header bytes
+        s.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            receiver.receive()
+        r.close()
+
+    def test_eof_mid_payload_raises(self):
+        raw, receiver, s, r = self.raw_pair()
+        raw.sendall(_HEADER.pack(100, MSG_RECORD) + b"partial")
+        s.close()
+        with pytest.raises(ProtocolError, match="mid-frame"):
+            receiver.receive()
+        r.close()
+
+    def test_unknown_kind_rejected(self):
+        raw, receiver, s, r = self.raw_pair()
+        raw.sendall(_HEADER.pack(1, 99))
+        with pytest.raises(ProtocolError, match="unknown"):
+            receiver.receive()
+        s.close(), r.close()
+
+    def test_bad_time_sync_payload(self):
+        raw, receiver, s, r = self.raw_pair()
+        raw.sendall(_HEADER.pack(1 + 3, MSG_TIME_SYNC) + b"abc")
+        with pytest.raises(ProtocolError, match="TIME_SYNC"):
+            receiver.receive()
+        s.close(), r.close()
+
+    def test_bad_json_payload(self):
+        raw, receiver, s, r = self.raw_pair()
+        raw.sendall(_HEADER.pack(1 + 4, MSG_RESULT) + b"{oop")
+        with pytest.raises(ProtocolError, match="JSON"):
+            receiver.receive()
+        s.close(), r.close()
+
+    def test_bad_hello_payload(self):
+        raw, receiver, s, r = self.raw_pair()
+        raw.sendall(_HEADER.pack(1 + 2, MSG_HELLO) + b"xy")
+        with pytest.raises(ProtocolError, match="HELLO"):
+            receiver.receive()
+        s.close(), r.close()
+
+    def test_clean_eof_still_returns_none(self):
+        sender, receiver = connected_pair()
+        sender.send_end()
+        sender.close()
+        assert receiver.receive() == (MSG_END, None)
+        assert receiver.receive() is None   # frame-boundary EOF: orderly
+        receiver.close()
+
+
+class _MangledEchoServer:
+    """Echoes each datagram with the same message id but a *different*
+    question section: a stale/forged response.  A querier matching on id
+    alone credits it to the in-flight query; full-key matching must not."""
+
+    def __init__(self):
+        self._socket = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self._socket.bind(("127.0.0.1", 0))
+        self._socket.settimeout(0.2)
+        self.address, self.port = self._socket.getsockname()
+        self._mangled = make_query_record(
+            0.0, "10.9.9.9", "forged.elsewhere.example.").wire
+        self._running = False
+        self._thread = None
+
+    def __enter__(self):
+        self._running = True
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+        self._thread.start()
+        return self
+
+    def _serve(self):
+        while self._running:
+            try:
+                data, peer = self._socket.recvfrom(65535)
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            if len(data) < 12:
+                continue
+            reply = bytearray(data[:2] + self._mangled[2:])
+            reply[2] |= 0x80  # QR
+            try:
+                self._socket.sendto(bytes(reply), peer)
+            except OSError:
+                break
+
+    def __exit__(self, *exc):
+        self._running = False
+        self._thread.join(timeout=2.0)
+        self._socket.close()
+
+
+class TestResponseMatching:
+    def test_forged_qname_not_credited(self):
+        """ISSUE bugfix: live queriers matched UDP responses on message
+        id alone; a response with a colliding id but the wrong question
+        was credited to the query.  Match on (id, qname, qtype)."""
+        trace = fixed_interval_trace(0.05, 0.3, client_count=2,
+                                     name="mangled")
+        with _MangledEchoServer() as server:
+            replay = LiveDistributedReplay(
+                (server.address, server.port),
+                DistributedConfig(distributors=1,
+                                  queriers_per_distributor=1))
+            result = replay.replay(trace)
+        assert len(result) == len(trace)
+        # Pre-fix: answered_fraction == 1.0 (forged responses credited).
+        assert result.answered_fraction() == 0.0
+        assert result.unmatched_responses >= 1
+
+
+class _WedgedQuerier(_LiveQuerier):
+    """Never services its sockets: simulates a thread wedged in C code."""
+
+    def run(self):
+        self._wedge = threading.Event()
+        self._wedge.wait(30.0)
+
+
+class TestQuerierSocketReclaim:
+    def test_abandoned_querier_sockets_closed(self):
+        """ISSUE bugfix: a querier thread that outlives the join
+        deadline used to be abandoned as a daemon with its UDP socket
+        and both MessageSocket ends open (FD leak).  The controller now
+        force-closes them on the way out."""
+        queriers = []
+
+        def factory(*args, **kwargs):
+            querier = _WedgedQuerier(*args, **kwargs)
+            queriers.append(querier)
+            return querier
+
+        trace = fixed_interval_trace(0.05, 0.2, client_count=2,
+                                     name="wedged")
+        with LiveUdpEchoServer() as server:
+            replay = LiveDistributedReplay(
+                (server.address, server.port),
+                DistributedConfig(distributors=1,
+                                  queriers_per_distributor=1,
+                                  settle_time=0.1,
+                                  querier_factory=factory))
+            replay.replay(trace)
+        assert len(queriers) == 1
+        wedged = queriers[0]
+        assert wedged.is_alive()            # thread is genuinely stuck
+        # Pre-fix: both fds stayed open until interpreter exit.
+        assert wedged._sock.fileno() == -1
+        assert wedged.inbound._socket.fileno() == -1
 
 
 class TestDistributedLiveReplay:

@@ -77,6 +77,87 @@ class TestReplayResult:
         assert len(result) == 0
 
 
+class TestMergeAndSerialization:
+    def make_shard(self, name, offset, count):
+        shard = ReplayResult(name)
+        for i in range(count):
+            shard.add(query(i, f"10.1.0.{offset + i}", float(i),
+                            200.0 + i, answered_at=200.5 + i))
+        return shard
+
+    def test_merge_reindexes_and_sums(self):
+        a = self.make_shard("querier-0", 0, 3)
+        a.udp_timeouts = 2
+        a.deadline_shed = 1
+        b = self.make_shard("querier-1", 10, 2)
+        b.udp_timeouts = 5
+        b.reassigned_queries = 3
+        merged = a.merge(b)
+        assert merged is a
+        assert len(a) == 5
+        assert [q.index for q in a.sent] == [0, 1, 2, 3, 4]
+        assert a.udp_timeouts == 7
+        assert a.deadline_shed == 1
+        assert a.reassigned_queries == 3
+
+    def test_merge_keeps_earliest_clocks(self):
+        a, b = ReplayResult(), ReplayResult()
+        a.start_clock, a.trace_start = 105.0, 3.0
+        b.start_clock, b.trace_start = 100.0, 1.0
+        a.merge(b)
+        assert a.start_clock == 100.0
+        assert a.trace_start == 1.0
+        # None on either side never wins over a real clock.
+        c = ReplayResult()
+        a.merge(c)
+        assert a.start_clock == 100.0
+
+    def test_merge_covers_every_counter(self):
+        from repro.replay.result import _COUNTER_FIELDS
+        a, b = ReplayResult(), ReplayResult()
+        for i, name in enumerate(_COUNTER_FIELDS):
+            setattr(b, name, i + 1)
+        a.merge(b)
+        for i, name in enumerate(_COUNTER_FIELDS):
+            assert getattr(a, name) == i + 1
+
+    def test_counter_fields_exhaustive(self):
+        """Every integer attribute a fresh ReplayResult carries must be
+        merge-summed — a counter added later but left out of
+        _COUNTER_FIELDS would silently vanish in process mode."""
+        from repro.replay.result import _COUNTER_FIELDS
+        fresh = ReplayResult()
+        int_attrs = {name for name, value in vars(fresh).items()
+                     if isinstance(value, int)}
+        assert int_attrs == set(_COUNTER_FIELDS)
+
+    def test_dict_roundtrip_exact(self):
+        import json
+        shard = self.make_shard("querier-2", 0, 2)
+        shard.sent[1].answered_at = None
+        shard.sent[1].retries = 2
+        shard.sent[1].gave_up = True
+        shard.watchdog_stalls = 1
+        shard.start_clock, shard.trace_start = 99.5, 0.25
+        wire = json.dumps(shard.to_dict())   # must be JSON-safe
+        restored = ReplayResult.from_dict(json.loads(wire))
+        assert restored.name == "querier-2"
+        assert restored.start_clock == 99.5
+        assert restored.trace_start == 0.25
+        assert restored.watchdog_stalls == 1
+        assert len(restored) == 2
+        assert restored.sent[0].to_dict() == shard.sent[0].to_dict()
+        assert restored.sent[1].gave_up is True
+        assert restored.sent[1].latency is None
+
+    def test_sent_query_roundtrip(self):
+        from repro.replay import SentQuery
+        original = query(4, "10.0.0.9", 1.5, 101.5, answered_at=101.6,
+                         protocol="tls", fresh=True)
+        restored = SentQuery.from_dict(original.to_dict())
+        assert restored == original
+
+
 class TestWireReaderWriter:
     def test_patch_u16(self):
         writer = WireWriter(compress=False)

@@ -110,6 +110,46 @@ class TestMetricsRegistry:
         assert a.histogram("lat").count == 2
         assert a.count("queries") == 1
 
+    def test_state_roundtrip_is_exact(self):
+        """to_state/from_state is the cross-process METRICS snapshot;
+        unlike to_dict (a summary), it must be lossless."""
+        registry = MetricsRegistry()
+        registry.incr("queries", 7)
+        registry.add_time("replay", 1.25)
+        registry.set_gauge("rate", 42.5)
+        for value in (1e-7, 0.001, 0.02, 3.5):
+            registry.observe("lat", value)
+        wire = json.dumps(registry.to_state())   # must be JSON-safe
+        restored = MetricsRegistry.from_state(json.loads(wire))
+        assert restored.snapshot() == registry.snapshot()
+        original, copy = registry.histogram("lat"), restored.histogram("lat")
+        assert copy.count == original.count
+        assert copy.total == pytest.approx(original.total)
+        assert copy.min == original.min
+        assert copy.max == original.max
+        assert copy.buckets() == original.buckets()
+        assert copy.quantile(0.9) == original.quantile(0.9)
+
+    def test_merge_state_folds_worker_snapshot(self):
+        worker = MetricsRegistry()
+        worker.incr("replay.records_sent", 10)
+        worker.observe("query.latency_s", 0.004)
+        controller = MetricsRegistry()
+        controller.incr("replay.records_sent", 5)
+        controller.observe("query.latency_s", 0.002)
+        controller.merge_state(json.loads(json.dumps(worker.to_state())))
+        assert controller.count("replay.records_sent") == 15
+        assert controller.histogram("query.latency_s").count == 2
+
+    def test_histogram_state_roundtrip_empty(self):
+        empty = Histogram(growth=1.5, min_value=1e-3)
+        restored = Histogram.from_state(
+            json.loads(json.dumps(empty.to_state())))
+        assert restored.count == 0
+        assert restored.growth == 1.5
+        assert restored.min_value == 1e-3
+        assert restored.mean() is None
+
     def test_perf_counters_is_a_registry(self):
         # The facade: old call sites keep working, new histogram API
         # available on the same object, merge accepts either direction.
