@@ -7,7 +7,7 @@ from typing import List, Optional, Tuple
 
 from .constants import DEFAULT_EDNS_PAYLOAD, EDNS_DO_BIT, RRClass, RRType
 from .name import ROOT
-from .wire import WireReader, WireWriter
+from .wire import WireError, WireReader, WireWriter
 
 
 @dataclass
@@ -58,6 +58,11 @@ class Edns:
             code = reader.read_u16()
             length = reader.read_u16()
             options.append(EdnsOption(code, reader.read_bytes(length)))
+        if reader.remaining():
+            # 1-3 leftover bytes are a malformed option header, not
+            # padding; swallowing them would mask attacker truncation.
+            raise WireError(
+                f"{reader.remaining()} trailing bytes in OPT rdata")
         return cls(
             payload_size=rrclass,
             dnssec_ok=bool(ttl & EDNS_DO_BIT),

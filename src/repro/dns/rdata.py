@@ -303,6 +303,8 @@ class DS(Rdata):
 
     @classmethod
     def from_wire(cls, reader: WireReader, rdlength: int) -> "DS":
+        if rdlength < 4:
+            raise WireError(f"DS rdata needs >= 4 bytes, got {rdlength}")
         return cls(reader.read_u16(), reader.read_u8(), reader.read_u8(),
                    reader.read_bytes(rdlength - 4))
 
@@ -336,6 +338,8 @@ class DNSKEY(Rdata):
 
     @classmethod
     def from_wire(cls, reader: WireReader, rdlength: int) -> "DNSKEY":
+        if rdlength < 4:
+            raise WireError(f"DNSKEY rdata needs >= 4 bytes, got {rdlength}")
         return cls(reader.read_u16(), reader.read_u8(), reader.read_u8(),
                    reader.read_bytes(rdlength - 4))
 
@@ -542,6 +546,8 @@ class TLSA(Rdata):
 
     @classmethod
     def from_wire(cls, reader: WireReader, rdlength: int) -> "TLSA":
+        if rdlength < 3:
+            raise WireError(f"TLSA rdata needs >= 3 bytes, got {rdlength}")
         return cls(reader.read_u8(), reader.read_u8(), reader.read_u8(),
                    reader.read_bytes(rdlength - 3))
 

@@ -74,6 +74,12 @@ class WireReader:
         return value
 
     def read_bytes(self, count: int) -> bytes:
+        if count < 0:
+            # A lying length field (e.g. an RDLENGTH smaller than a
+            # record's fixed fields) produces a negative tail read; a
+            # plain slice would silently *rewind* the cursor, masking
+            # the overrun from the consumed-length check downstream.
+            raise WireError(f"negative read of {count} bytes")
         self._need(count)
         data = self._wire[self._offset : self._offset + count]
         self._offset += count

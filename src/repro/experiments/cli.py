@@ -38,6 +38,13 @@ EXPERIMENTS: Dict[str, Callable[[Scale], object]] = {
 
 
 def main(argv=None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "fuzz":
+        # The verification harness has its own argument surface; hand
+        # off before the experiment parser rejects the subcommand.
+        from ..verify.fuzz import main as fuzz_main
+        return fuzz_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="ldplayer",
         description="Reproduce LDplayer's tables and figures "

@@ -38,7 +38,8 @@ import threading
 from typing import Iterator, Optional, Tuple, Union
 
 from ..trace import QueryRecord
-from ..trace.binfmt import pack_record_body, unpack_record_body
+from ..trace.binfmt import BinaryFormatError, pack_record_body, \
+    unpack_record_body
 
 MSG_TIME_SYNC = 1
 MSG_RECORD = 2
@@ -66,6 +67,108 @@ Message = Tuple[int, Union[float, QueryRecord, dict, tuple, None]]
 
 class ProtocolError(RuntimeError):
     pass
+
+
+# -- control-payload schemas ------------------------------------------------
+#
+# RESULT and METRICS frames carry JSON produced by a *peer process*; a
+# malformed field must fail here, at the protocol boundary, as a
+# ProtocolError — not as a KeyError/TypeError deep inside the controller
+# merge loop after the worker has already been torn down.  Each schema
+# entry maps a field to the types it may carry (bool is deliberately a
+# valid int, matching Python's own subtyping).
+
+_NUMBER = (int, float)
+_OPTIONAL_NUMBER = (int, float, type(None))
+
+# SentQuery.from_dict calls cls(**data): fields without defaults must be
+# present, and any unknown key would raise TypeError inside the worker
+# merge, so both directions are validated.
+_SENT_REQUIRED = {
+    "index": int, "source": str, "trace_time": _NUMBER,
+    "scheduled_at": _NUMBER, "sent_at": _NUMBER, "protocol": str,
+    "qname": str,
+}
+_SENT_OPTIONAL = {
+    "answered_at": _OPTIONAL_NUMBER, "fresh_connection": bool,
+    "querier_id": int, "retries": int, "timeouts": int,
+    "tcp_fallback": bool, "gave_up": bool,
+}
+
+_HISTOGRAM_FIELDS = {
+    "growth": _NUMBER, "min_value": _NUMBER, "count": int,
+    "total": _NUMBER, "min": _OPTIONAL_NUMBER, "max": _OPTIONAL_NUMBER,
+    "buckets": dict,
+}
+
+
+def _require(condition: bool, what: str) -> None:
+    if not condition:
+        raise ProtocolError(what)
+
+
+def _check_fields(entry: dict, required: dict, optional: dict,
+                  label: str) -> None:
+    _require(isinstance(entry, dict), f"{label} must be an object")
+    for name, types in required.items():
+        _require(name in entry, f"{label} missing field {name!r}")
+        _require(isinstance(entry[name], types),
+                 f"{label} field {name!r} has type "
+                 f"{type(entry[name]).__name__}")
+    for name, value in entry.items():
+        if name in required:
+            continue
+        types = optional.get(name)
+        _require(types is not None, f"{label} has unknown field {name!r}")
+        _require(isinstance(value, types),
+                 f"{label} field {name!r} has type {type(value).__name__}")
+
+
+def validate_result_payload(payload: object) -> dict:
+    """Check a RESULT frame's JSON against the ReplayResult shard shape."""
+    _require(isinstance(payload, dict), "RESULT payload must be an object")
+    _check_fields(payload, {"sent": list},
+                  {"name": str, "start_clock": _OPTIONAL_NUMBER,
+                   "trace_start": _OPTIONAL_NUMBER, "counters": dict},
+                  "RESULT")
+    for name, value in payload.get("counters", {}).items():
+        _require(isinstance(name, str) and isinstance(value, int),
+                 f"RESULT counter {name!r} must map str -> int")
+    for index, entry in enumerate(payload["sent"]):
+        _check_fields(entry, _SENT_REQUIRED, _SENT_OPTIONAL,
+                      f"RESULT sent[{index}]")
+    return payload
+
+
+def validate_metrics_payload(payload: object) -> dict:
+    """Check a METRICS frame's JSON against MetricsRegistry.to_state()."""
+    _require(isinstance(payload, dict), "METRICS payload must be an object")
+    _check_fields(payload, {},
+                  {"counts": dict, "timings": dict, "gauges": dict,
+                   "histograms": dict},
+                  "METRICS")
+    for section, types in (("counts", int), ("timings", _NUMBER),
+                           ("gauges", _NUMBER)):
+        for name, value in payload.get(section, {}).items():
+            _require(isinstance(name, str) and isinstance(value, types),
+                     f"METRICS {section} entry {name!r} has bad type")
+    for name, state in payload.get("histograms", {}).items():
+        _check_fields(state, _HISTOGRAM_FIELDS, {},
+                      f"METRICS histogram {name!r}")
+        for index, count in state["buckets"].items():
+            _require(isinstance(index, str) and _is_int_key(index)
+                     and isinstance(count, int),
+                     f"METRICS histogram {name!r} bucket {index!r} "
+                     f"must map int-keyed str -> int")
+    return payload
+
+
+def _is_int_key(text: str) -> bool:
+    try:
+        int(text)
+    except ValueError:
+        return False
+    return True
 
 
 class MessageSocket:
@@ -138,20 +241,31 @@ class MessageSocket:
                 raise ProtocolError(f"bad TIME_SYNC payload: {exc}")
             return (MSG_TIME_SYNC, trace_start)
         if kind == MSG_RECORD:
-            return (MSG_RECORD, unpack_record_body(bytes(payload)))
+            try:
+                return (MSG_RECORD, unpack_record_body(bytes(payload)))
+            except BinaryFormatError as exc:
+                raise ProtocolError(f"bad RECORD payload: {exc}")
         if kind == MSG_END:
+            _require(not payload, "END frame must carry no payload")
             return (MSG_END, None)
         if kind == MSG_HELLO:
             try:
-                return (MSG_HELLO, _HELLO.unpack(payload))
+                fields = _HELLO.unpack(payload)
             except struct.error as exc:
                 raise ProtocolError(f"bad HELLO payload: {exc}")
+            _require(fields[0] in (ROLE_DISTRIBUTOR, ROLE_QUERIER),
+                     f"bad HELLO role {fields[0]}")
+            return (MSG_HELLO, fields)
         if kind in (MSG_RESULT, MSG_METRICS):
             try:
-                return (kind, json.loads(payload.decode("utf-8")))
+                decoded = json.loads(payload.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
                 raise ProtocolError(f"bad JSON payload: {exc}")
+            if kind == MSG_RESULT:
+                return (kind, validate_result_payload(decoded))
+            return (kind, validate_metrics_payload(decoded))
         if kind == MSG_SHUTDOWN:
+            _require(not payload, "SHUTDOWN frame must carry no payload")
             return (MSG_SHUTDOWN, None)
         raise ProtocolError(f"unknown message kind {kind}")
 

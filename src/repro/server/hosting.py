@@ -89,6 +89,12 @@ class HostedDnsServer:
                                 self._cache_hit_rate)
             telemetry.add_probe("server.queries",
                                 lambda: self.perf.count("hosting.queries"))
+            if self.overload is not None:
+                # Should sample flat zero; any excursion pinpoints when
+                # the admission pipeline lost track of a query.
+                telemetry.add_probe(
+                    "server.overload_conservation_delta",
+                    lambda: float(self.overload.conservation_delta()))
         self.decode_errors = 0
         self.responses_dropped_on_closed = 0
         self.pipelining_aborts = 0

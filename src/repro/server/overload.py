@@ -343,6 +343,7 @@ class OverloadControl:
         is silently discarded (early drop or a queue drop policy) — the
         hosting layer uses it to charge the reduced shed CPU cost.
         """
+        self.perf.incr("overload.arrived")
         if (self.rrl is not None and transport == "udp"
                 and self.rrl.should_early_drop(
                     source, self._qname_key(query), self.loop.now)):
@@ -352,7 +353,44 @@ class OverloadControl:
         if self.queue is not None:
             self.queue.submit(execute, shed, on_drop)
         else:
+            # RRL-only configuration: no queue in front of the engine,
+            # but the query still has to land in a terminal counter or
+            # the conservation identity breaks.
+            self.perf.incr("overload.served")
             execute()
+
+    # -- conservation ----------------------------------------------------
+
+    def conservation_delta(self) -> int:
+        """``arrived - (terminal outcomes + still queued)``; 0 when sound.
+
+        Every query that enters :meth:`admit` must end in exactly one
+        terminal counter — served, RRL early drop, one of the queue drop
+        policies, or a SERVFAIL shed — or still be waiting in the
+        admission queue.  Anything else is accounting drift: a query the
+        experiment lost without measuring it, exactly the silent
+        degradation this module exists to prevent.
+        """
+        count = self.perf.count
+        accounted = (count("overload.served")
+                     + count("rrl.early_drops")
+                     + count("overload.dropped_oldest")
+                     + count("overload.dropped_newest")
+                     + count("overload.shed_servfail"))
+        if self.queue is not None:
+            accounted += self.queue.depth()
+        return count("overload.arrived") - accounted
+
+    def check_conservation(self) -> int:
+        """Publish the conservation delta gauge and fail loudly on drift."""
+        delta = self.conservation_delta()
+        self.perf.set_gauge("overload.conservation_delta", delta)
+        if delta:
+            raise AssertionError(
+                f"overload counter conservation violated: "
+                f"{delta:+d} queries unaccounted for "
+                f"(arrived={self.perf.count('overload.arrived')})")
+        return delta
 
     # -- response stage --------------------------------------------------
 

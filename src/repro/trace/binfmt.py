@@ -53,6 +53,11 @@ def pack_record_body(record: QueryRecord) -> bytes:
 
 def unpack_record_body(body: bytes) -> QueryRecord:
     """Inverse of :func:`pack_record_body`."""
+    if len(body) < _RECORD_FIXED.size:
+        # Guard before unpack_from: a truncated control frame must fail
+        # as a format error, not leak struct.error to protocol peers.
+        raise BinaryFormatError(
+            f"record body too short: {len(body)} < {_RECORD_FIXED.size}")
     (timestamp, src, sport, dst, dport, protocol_index, _reserved,
      wire_length) = _RECORD_FIXED.unpack_from(body)
     wire = body[_RECORD_FIXED.size : _RECORD_FIXED.size + wire_length]

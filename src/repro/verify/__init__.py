@@ -1,0 +1,34 @@
+"""Adversarial verification harness: generators, oracles, exploration.
+
+ROADMAP item 5: the correctness backstop that lets later performance
+and subsystem work land fast.  Three attack directions on the protocol
+stack, all seeded and deterministic:
+
+* :mod:`repro.verify.generators` — hostile DNS wire messages, TCP
+  schedules, replay-protocol frames, and fault plans from a seed;
+* :mod:`repro.verify.oracles` — the reusable differential ``Oracle``
+  library (run one workload through two configurations, diff wires,
+  result facts, and metrics);
+* :mod:`repro.verify.explorer` — bounded DFS over event orderings for
+  the TCP state machine and the overload admission pipeline;
+* :mod:`repro.verify.fuzz` — the campaign driver behind
+  ``ldplayer fuzz``: crash corpus, ddmin minimization, CI budgets.
+"""
+
+from .explorer import (AdmissionScenarioModel, ExplorationResult, Explorer,
+                       TcpScenarioModel, Violation, explore_admission,
+                       explore_all, explore_tcp)
+from .fuzz import Crash, FuzzReport, TARGETS, ddmin, run_fuzz
+from .generators import (hostile_frames, hostile_wires, tcp_schedules,
+                         valid_message, wire_seed_corpus)
+from .oracles import (Divergence, Observation, Oracle, OracleReport,
+                      diff_observations, zero_msg_id)
+
+__all__ = [
+    "AdmissionScenarioModel", "Crash", "Divergence", "ExplorationResult",
+    "Explorer", "FuzzReport", "Observation", "Oracle", "OracleReport",
+    "TARGETS", "TcpScenarioModel", "Violation", "ddmin",
+    "diff_observations", "explore_admission", "explore_all", "explore_tcp",
+    "hostile_frames", "hostile_wires", "run_fuzz", "tcp_schedules",
+    "valid_message", "wire_seed_corpus", "zero_msg_id",
+]

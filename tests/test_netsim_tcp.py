@@ -213,6 +213,52 @@ class TestTimeoutsAndClose:
         loop.run(max_time=60)
         assert client.count_by_state() == {}
 
+    def test_simultaneous_close_both_sides_time_wait(self, pair):
+        # Both ends close while the peer's FIN is still in flight: each
+        # goes FIN_WAIT_1 -> TIME_WAIT (the stack's shortcut for the
+        # CLOSING leg) and both tables must eventually empty.
+        loop, client, server = pair
+        accepted = []
+
+        def on_accept(conn):
+            accepted.append(conn)
+        server.listen("10.1.0.2", 53, on_accept,
+                      TcpOptions(nagle=False, time_wait_duration=5.0))
+        conn = client.connect("10.1.0.1", "10.1.0.2", 53,
+                              TcpOptions(nagle=False,
+                                         time_wait_duration=5.0))
+        loop.call_at(1.0, conn.close)
+        loop.call_at(1.0, lambda: accepted[0].close())
+        loop.run(max_time=4)
+        assert conn.state == TcpState.TIME_WAIT
+        assert accepted[0].state == TcpState.TIME_WAIT
+        assert client.time_wait_count() == server.time_wait_count() == 1
+        loop.run(max_time=20)   # both TIME_WAIT timers expire
+        assert client.count_by_state() == {}
+        assert server.count_by_state() == {}
+        assert conn.state == TcpState.CLOSED
+        assert accepted[0].state == TcpState.CLOSED
+
+    def test_send_after_close_raises_cleanly(self, pair):
+        # The API contract the fuzz harness leans on: writing to a
+        # connection the application already closed is a NetworkError
+        # naming the state, never silent loss or corruption.
+        loop, client, server = pair
+        echo_listener(server, nagle=False)
+        conn = client.connect("10.1.0.1", "10.1.0.2", 53,
+                              TcpOptions(nagle=False,
+                                         time_wait_duration=5.0))
+        conn.on_connected = lambda cn: cn.send(b"q")
+        conn.on_data = lambda cn, d: cn.close()
+        loop.run(max_time=4)
+        assert conn.state == TcpState.TIME_WAIT
+        with pytest.raises(NetworkError, match="TIME_WAIT"):
+            conn.send(b"late")
+        loop.run(max_time=60)
+        assert conn.state == TcpState.CLOSED
+        with pytest.raises(NetworkError, match="CLOSED"):
+            conn.send(b"later")
+
     def test_close_flushes_pending_data_first(self, pair):
         loop, client, server = pair
         got = []

@@ -5,7 +5,9 @@ one: a ``HostedDnsServer`` built with ``overload=None``, with the
 default (all-off) ``OverloadConfig``, or with limits set far above the
 offered load must produce byte-identical response streams over both
 UDP and TCP.  The subsystem may only change behaviour when a knob is
-deliberately turned.
+deliberately turned.  The byte comparison runs on the shared
+:class:`repro.verify.Oracle` library (baseline: no overload control;
+candidate: the configuration under test).
 """
 
 import pytest
@@ -15,6 +17,7 @@ from repro.netsim import EventLoop, Network, TcpOptions, TcpStack
 from repro.server import (AuthoritativeServer, HostedDnsServer,
                           OverloadConfig, RrlConfig, StreamFramer,
                           TransportConfig, frame_message)
+from repro.verify import Observation, Oracle
 
 ZONE = """
 $ORIGIN example.com.
@@ -92,16 +95,23 @@ def run_tcp(overload):
     return wires
 
 
+def inert_oracle(driver):
+    """Baseline: no overload control at all.  Candidate: the overload
+    configuration passed as the workload."""
+    return Oracle(f"overload-inert-{driver.__name__}",
+                  baseline=lambda _config: Observation(tuple(driver(None))),
+                  candidate=lambda config: Observation(tuple(driver(config))))
+
+
 @pytest.mark.parametrize("driver", [run_udp, run_tcp],
                          ids=["udp", "tcp"])
 class TestDefaultsAreInert:
     def test_default_config_matches_no_config(self, driver):
-        reference = driver(None)
-        assert len(reference) == len(QUERIES)
-        assert driver(OverloadConfig()) == reference
+        report = inert_oracle(driver).check(OverloadConfig())
+        assert len(report.baseline.wires) == len(QUERIES)
 
     def test_generous_limits_match_no_config(self, driver):
-        assert driver(GENEROUS) == driver(None)
+        inert_oracle(driver).check(GENEROUS)
 
 
 def test_default_config_builds_no_control():

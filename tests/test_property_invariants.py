@@ -4,11 +4,14 @@ import struct
 
 from hypothesis import given, settings, strategies as st
 
-from repro.dns import Name, RRClass, RRType, Zone, AnswerKind, make_soa
+from repro.dns import (AnswerKind, Edns, Message, Name, RRClass, RRType,
+                       WireError, Zone, make_soa)
 from repro.dns import rdata as rd
 from repro.dns.rrset import RR
 from repro.netsim import EventLoop, Network, TcpOptions, TcpStack
 from repro.trace.pcap import _TcpStreamAssembler
+from repro.verify.generators import (dnssec_rdata, edns_options,
+                                     wire_messages)
 
 # ---------------------------------------------------------------------------
 # TCP: any payload, any MSS -> exact in-order delivery.
@@ -106,6 +109,57 @@ def test_zone_lookup_classification_consistent(case):
     # AAAA at an existing name is NODATA, never NXDOMAIN.
     if qlabel in hosts:
         assert zone.lookup(qname, RRType.AAAA).kind == AnswerKind.NODATA
+
+
+# ---------------------------------------------------------------------------
+# Codec round trips: EDNS options and DNSSEC rdata survive the wire.
+# ---------------------------------------------------------------------------
+
+
+@settings(max_examples=100, deadline=None)
+@given(options=edns_options(),
+       payload_size=st.integers(min_value=512, max_value=4096),
+       dnssec_ok=st.booleans(),
+       version=st.integers(min_value=0, max_value=255))
+def test_edns_round_trips_through_wire(options, payload_size, dnssec_ok,
+                                       version):
+    edns = Edns(payload_size=payload_size, dnssec_ok=dnssec_ok,
+                version=version, options=options)
+    query = Message.make_query(Name.from_text("e.example.com."), RRType.A,
+                               msg_id=7, edns=edns)
+    decoded = Message.from_wire(query.to_wire()).edns
+    assert decoded is not None
+    assert decoded.payload_size == payload_size
+    assert decoded.dnssec_ok == dnssec_ok
+    assert decoded.version == version
+    assert [(o.code, o.data) for o in decoded.options] == \
+        [(o.code, o.data) for o in options]
+
+
+@settings(max_examples=100, deadline=None)
+@given(rdata=dnssec_rdata())
+def test_dnssec_rdata_round_trips_through_wire(rdata):
+    rrtype = RRType[type(rdata).__name__]
+    response = Message(msg_id=9)
+    response.answer.append(
+        RR(Name.from_text("sec.example.com."), 300, RRClass.IN, rdata))
+    decoded = Message.from_wire(response.to_wire())
+    assert decoded.answer[0].rrtype == rrtype
+    assert decoded.answer[0].rdata == rdata
+
+
+@settings(max_examples=150, deadline=None)
+@given(wire=wire_messages())
+def test_decoder_total_on_hostile_wires(wire):
+    # The hardening satellite's closure property: any byte string either
+    # decodes (and then re-encodes and re-decodes) or raises WireError —
+    # no other exception type, no cursor corruption.
+    try:
+        message = Message.from_wire(wire)
+    except WireError:
+        return
+    reencoded = message.to_wire()
+    Message.from_wire(reencoded)
 
 
 # ---------------------------------------------------------------------------

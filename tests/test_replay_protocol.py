@@ -231,6 +231,111 @@ class TestProtocolErrorPaths:
         receiver.close()
 
 
+class TestSchemaValidation:
+    """ISSUE satellite: RESULT/METRICS JSON from a peer is checked
+    against the shard/metrics schemas before it reaches the controller
+    merge loop; every malformation is a ProtocolError at the boundary."""
+
+    def good_result(self):
+        return {"name": "querier-1",
+                "sent": [{"index": 0, "source": "10.0.0.1",
+                          "trace_time": 0.0, "scheduled_at": 1.0,
+                          "sent_at": 1.001, "protocol": "udp",
+                          "qname": "a.example.com.",
+                          "answered_at": 1.02, "querier_id": 1}],
+                "counters": {"deadline_shed": 4}}
+
+    def good_metrics(self):
+        from repro.telemetry import MetricsRegistry
+        metrics = MetricsRegistry()
+        metrics.incr("replay.records_sent", 42)
+        metrics.observe("query.latency_s", 0.003)
+        return metrics.to_state()
+
+    def roundtrip(self, send):
+        sender, receiver = connected_pair()
+        try:
+            send(sender)
+            return receiver.receive()
+        finally:
+            sender.close(), receiver.close()
+
+    def test_valid_payloads_pass(self):
+        from repro.replay.protocol import (validate_metrics_payload,
+                                           validate_result_payload)
+        assert validate_result_payload(self.good_result())
+        assert validate_metrics_payload(self.good_metrics()) is not None
+        kind, payload = self.roundtrip(
+            lambda s: s.send_result(self.good_result()))
+        assert kind == MSG_RESULT and payload["name"] == "querier-1"
+
+    @pytest.mark.parametrize("mangle,match", [
+        (lambda p: p.pop("sent"), "missing field 'sent'"),
+        (lambda p: p.update(sent={}), "field 'sent' has type dict"),
+        (lambda p: p.update(extra=1), "unknown field 'extra'"),
+        (lambda p: p["sent"][0].pop("qname"), r"sent\[0\] missing"),
+        (lambda p: p["sent"][0].update(qname=7), "field 'qname'"),
+        (lambda p: p["sent"][0].update(surprise=1), "unknown field"),
+        (lambda p: p["sent"][0].update(answered_at="soon"),
+         "field 'answered_at'"),
+        (lambda p: p["counters"].update(bad="x"), "counter 'bad'"),
+    ], ids=["no-sent", "sent-not-list", "unknown-top", "missing-qname",
+            "qname-int", "unknown-sent-field", "answered-str",
+            "counter-str"])
+    def test_bad_result_rejected(self, mangle, match):
+        payload = self.good_result()
+        mangle(payload)
+        with pytest.raises(ProtocolError, match=match):
+            self.roundtrip(lambda s: s.send_result(payload))
+
+    def test_result_must_be_object(self):
+        with pytest.raises(ProtocolError, match="must be an object"):
+            self.roundtrip(lambda s: s.send_result([1, 2, 3]))
+
+    @pytest.mark.parametrize("mangle,match", [
+        (lambda p: p.update(surprise={}), "unknown field 'surprise'"),
+        (lambda p: p["counts"].update(bad="x"), "counts entry 'bad'"),
+        (lambda p: p["histograms"]["query.latency_s"].pop("count"),
+         "missing field 'count'"),
+        (lambda p: p["histograms"]["query.latency_s"].update(count=1.5),
+         "field 'count'"),
+        (lambda p: p["histograms"]["query.latency_s"]["buckets"]
+         .update({"xx": 1}), "bucket 'xx'"),
+        (lambda p: p["histograms"]["query.latency_s"]["buckets"]
+         .update({"3": 1.5}), "bucket '3'"),
+    ], ids=["unknown-section", "count-str", "histogram-missing-count",
+            "count-float", "bucket-key", "bucket-value"])
+    def test_bad_metrics_rejected(self, mangle, match):
+        payload = self.good_metrics()
+        mangle(payload)
+        with pytest.raises(ProtocolError, match=match):
+            self.roundtrip(lambda s: s.send_metrics(payload))
+
+    def test_bad_hello_role_rejected(self):
+        sender, receiver = connected_pair()
+        sender._socket.sendall(
+            _HEADER.pack(1 + 5, MSG_HELLO) + struct.pack("!BHH", 9, 0, 0))
+        with pytest.raises(ProtocolError, match="HELLO role 9"):
+            receiver.receive()
+        sender.close(), receiver.close()
+
+    @pytest.mark.parametrize("kind", [MSG_END, MSG_SHUTDOWN],
+                             ids=["end", "shutdown"])
+    def test_end_frames_must_be_empty(self, kind):
+        sender, receiver = connected_pair()
+        sender._socket.sendall(_HEADER.pack(1 + 1, kind) + b"x")
+        with pytest.raises(ProtocolError, match="no payload"):
+            receiver.receive()
+        sender.close(), receiver.close()
+
+    def test_corrupt_record_body_is_protocol_error(self):
+        sender, receiver = connected_pair()
+        sender._socket.sendall(_HEADER.pack(1 + 3, MSG_RECORD) + b"abc")
+        with pytest.raises(ProtocolError, match="RECORD"):
+            receiver.receive()
+        sender.close(), receiver.close()
+
+
 class _MangledEchoServer:
     """Echoes each datagram with the same message id but a *different*
     question section: a stale/forged response.  A querier matching on id

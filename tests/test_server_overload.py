@@ -324,3 +324,59 @@ class TestHostedIntegration:
         # TCP clients proved their address; no TCP response is limited.
         assert len(answers) == 6
         assert all(m.rcode == Rcode.NOERROR for m in answers)
+
+
+class TestCounterConservation:
+    """arrived == served + early-dropped + queue-dropped + shed + queued."""
+
+    def control(self, config):
+        loop = EventLoop()
+        perf = PerfCounters()
+        return loop, perf, OverloadControl(config, loop, perf)
+
+    def admit_n(self, control, n, execute=None):
+        for i in range(n):
+            control.admit(make_query(msg_id=i), "10.0.0.1", "udp",
+                          execute or (lambda: None), lambda: None)
+
+    def test_rrl_only_inline_path_is_counted(self):
+        # The queue-less branch used to execute without touching any
+        # counter, leaving every query unaccounted for.
+        loop, perf, control = self.control(
+            OverloadConfig(rrl=RrlConfig(early_drop=False)))
+        self.admit_n(control, 5)
+        assert perf.count("overload.served") == 5
+        assert control.check_conservation() == 0
+
+    def test_queue_policies_conserve(self):
+        for policy in ("drop-oldest", "drop-newest", "servfail-shed"):
+            loop, perf, control = self.control(
+                OverloadConfig(queue_limit=2, queue_policy=policy,
+                               service_rate=10.0))
+            self.admit_n(control, 8)
+            # Mid-drain: queued items count toward the identity.
+            assert control.check_conservation() == 0
+            loop.run(max_time=2.0)
+            assert control.check_conservation() == 0
+            assert perf.gauge("overload.conservation_delta") == 0
+
+    def test_early_drop_conserves(self):
+        loop, perf, control = self.control(
+            OverloadConfig(queue_limit=4, service_rate=100.0,
+                           rrl=RrlConfig(responses_per_second=1.0,
+                                         window=1.0)))
+        # Put the key into debt via the response path, then admit more.
+        for _ in range(4):
+            control.filter_response(make_query(), "10.0.0.1", "udp",
+                                    minimal_wire(make_query()))
+        self.admit_n(control, 6)
+        loop.run(max_time=2.0)
+        assert perf.count("rrl.early_drops") > 0
+        assert control.check_conservation() == 0
+
+    def test_drift_raises(self):
+        loop, perf, control = self.control(OverloadConfig(queue_limit=1))
+        perf.incr("overload.arrived")  # a query the pipeline never saw
+        with pytest.raises(AssertionError, match="conservation"):
+            control.check_conservation()
+        assert perf.gauge("overload.conservation_delta") == 1

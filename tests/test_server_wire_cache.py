@@ -4,7 +4,8 @@ The load-bearing property is *differential*: for any query, the cached
 ``serve_wire`` bytes must equal the uncached
 ``handle_query`` + ``encode_response`` bytes once the 2-byte message ID
 is zeroed — the optimization may never change what the paper's pipeline
-would have sent.
+would have sent.  The comparison runs on the shared
+:class:`repro.verify.Oracle` library.
 """
 
 import pytest
@@ -13,6 +14,7 @@ from repro.dns import Edns, Flag, Message, Name, RRType, Rcode, read_zone
 from repro.server import (AuthoritativeServer, ResponseWireCache, View,
                           WireCacheEntry, ZoneSet)
 from repro.trace import zipf_trace
+from repro.verify import Observation, Oracle, zero_msg_id
 
 ZONE_TEXT = """
 $ORIGIN example.com.
@@ -64,44 +66,60 @@ INTERESTING_QUERIES = [
 ]
 
 
+def serve_all(server, queries):
+    """Run ``(query, source, transport)`` triples through one engine and
+    capture what it sent plus where its stats ended up."""
+    wires = [server.serve_wire(query, source=source, transport=transport)
+             for query, source, transport in queries]
+    return Observation.capture(wires, facts=dict(vars(server.stats)))
+
+
+def wire_cache_oracle():
+    cached, reference = make_pair()
+    return cached, Oracle(
+        "wire-cache",
+        baseline=lambda queries: serve_all(reference, queries),
+        candidate=lambda queries: serve_all(cached, queries),
+        normalize_wire=zero_msg_id)
+
+
 class TestDifferential:
     @pytest.mark.parametrize("qname,qtype,edns", INTERESTING_QUERIES)
     @pytest.mark.parametrize("transport", ["udp", "tcp"])
     def test_cached_matches_uncached(self, qname, qtype, edns, transport):
-        cached, reference = make_pair()
-        for msg_id in (7, 4242):  # second ask is a cache hit
-            query = query_for(qname, qtype, msg_id=msg_id, edns=edns)
-            got = cached.serve_wire(query, transport=transport)
-            want = reference.serve_wire(query, transport=transport)
-            assert got[:2] == msg_id.to_bytes(2, "big")
-            assert zero_id(got) == zero_id(want)
+        cached, oracle = wire_cache_oracle()
+        workload = [(query_for(qname, qtype, msg_id=msg_id, edns=edns),
+                     None, transport)
+                    for msg_id in (7, 4242)]  # second ask is a cache hit
+        report = oracle.check(workload)
+        # The oracle masks IDs for comparison, but the real reply must
+        # still echo the client's message ID.
+        for (query, _src, _tp), wire in zip(workload,
+                                            report.candidate.wires):
+            raw = cached.serve_wire(query, transport=_tp)
+            assert raw[:2] == query.msg_id.to_bytes(2, "big")
 
     def test_every_query_of_a_zipf_replay_matches(self):
         # The acceptance-criterion sweep: a whole synthetic trace, every
         # response byte-compared against the uncached engine, twice so
         # the second pass is served almost entirely from the cache.
-        cached, reference = make_pair()
+        cached, oracle = wire_cache_oracle()
         trace = zipf_trace(400, population=30, domain="wild.example.com.",
                            server="192.0.2.1")
-        for _pass in range(2):
-            for record in trace.records:
-                query = Message.from_wire(record.wire)
-                got = cached.serve_wire(query, source=record.src)
-                want = reference.serve_wire(query, source=record.src)
-                assert zero_id(got) == zero_id(want)
+        workload = [(Message.from_wire(record.wire), record.src, "udp")
+                    for _pass in range(2) for record in trace.records]
+        oracle.check(workload)
         assert cached.wire_cache.hit_rate() > 0.5
-        assert reference.wire_cache is None
 
     def test_stats_match_uncached_engine(self):
         # Replaying stat deltas on hits must leave ServerStats exactly
-        # where the uncached engine would have put them.
-        cached, reference = make_pair()
-        for _pass in range(3):
-            for qname, qtype, edns in INTERESTING_QUERIES:
-                query = query_for(qname, qtype, edns=edns)
-                cached.serve_wire(query)
-                reference.serve_wire(query)
-        assert vars(cached.stats) == vars(reference.stats)
+        # where the uncached engine would have put them; the oracle's
+        # facts channel compares the two ServerStats snapshots.
+        _cached, oracle = wire_cache_oracle()
+        workload = [(query_for(qname, qtype, edns=edns), None, "udp")
+                    for _pass in range(3)
+                    for qname, qtype, edns in INTERESTING_QUERIES]
+        oracle.check(workload)
 
 
 class TestCacheBehaviour:

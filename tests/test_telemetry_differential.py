@@ -20,6 +20,7 @@ from repro.replay import QuerierConfig, ReplayConfig, SimReplayEngine
 from repro.server import AuthoritativeServer, HostedDnsServer
 from repro.telemetry import Telemetry, TelemetryConfig, chrome_trace
 from repro.trace import percentile, table1_synthetic
+from repro.verify import Observation, Oracle
 
 QUERY_COUNT = 300  # syn-1 at 0.1 s intervals for 30 s
 
@@ -66,14 +67,25 @@ def result_facts(result):
     }
 
 
+def observe_syn1(telemetry_factory):
+    """Runner for the inertness oracle: the workload is the ``faults``
+    flag, the observation is every response wire plus result facts."""
+    def runner(faults):
+        result, wires = run_syn1(telemetry_factory(), faults=faults)
+        return Observation.capture(wires, facts=result_facts(result))
+    return runner
+
+
 class TestTelemetryIsInert:
     @pytest.mark.parametrize("faults", [False, True],
                              ids=["clean", "faulty"])
     def test_full_telemetry_changes_nothing(self, faults):
-        off_result, off_wires = run_syn1(None, faults=faults)
-        on_result, on_wires = run_syn1(Telemetry(FULL_ON), faults=faults)
-        assert on_wires == off_wires           # byte-identical responses
-        assert result_facts(on_result) == result_facts(off_result)
+        # Baseline: telemetry off.  Candidate: everything on.  The
+        # response stream and the ReplayResult must not move by a byte.
+        Oracle("telemetry-inert",
+               baseline=observe_syn1(lambda: None),
+               candidate=observe_syn1(lambda: Telemetry(FULL_ON))
+               ).check(faults)
 
     def test_default_config_attaches_nothing(self):
         telemetry = Telemetry()  # all-off defaults
