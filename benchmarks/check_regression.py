@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Guard the committed benchmark baselines against silent regressions.
+
+CI regenerates ``BENCH_hotpath.json`` / ``BENCH_multiproc.json`` on
+every run; this script diffs a fresh run against the committed baseline
+and fails when any throughput figure fell more than ``--tolerance``
+(default 20%) below it — wide enough to ride out shared-runner noise,
+tight enough to catch a real hot-path slip.
+
+Comparisons are honest about hardware: a record whose assertion was
+self-gated off (``skip_reason`` set — e.g. a scale-out figure measured
+on a 1-CPU host) is reported but never compared, and records measured
+on hosts with different core counts are declared incomparable rather
+than diffed.  Throughput keys are the scalar fields containing ``qps``
+(``fastpath_qps``, ``aggregate_qps_concurrent``, ...) minus the
+``baseline_*`` constants; higher is better, so only downward moves can
+fail the guard.
+
+Usage::
+
+    python benchmarks/check_regression.py \
+        --baseline .bench-baseline/BENCH_hotpath.json \
+        --candidate BENCH_hotpath.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+DEFAULT_TOLERANCE = 0.20
+
+
+def throughput_keys(record: Dict) -> List[str]:
+    """Scalar higher-is-better rate fields of one benchmark record."""
+    return sorted(
+        key for key, value in record.items()
+        if "qps" in key
+        and not key.startswith("baseline_")
+        and isinstance(value, (int, float))
+        and not isinstance(value, bool))
+
+
+def compare(baseline: Dict[str, Dict], candidate: Dict[str, Dict],
+            tolerance: float) -> Tuple[List[str], List[str]]:
+    """Diff two benchmark documents; returns (report lines, failures)."""
+    lines: List[str] = []
+    failures: List[str] = []
+    for name, base in sorted(baseline.items()):
+        fresh = candidate.get(name)
+        if fresh is None:
+            failures.append(f"{name}: record missing from candidate run")
+            continue
+        skip = base.get("skip_reason") or fresh.get("skip_reason")
+        if skip:
+            lines.append(f"  {name}: not compared ({skip})")
+            continue
+        base_cpus, fresh_cpus = base.get("cpu_count"), fresh.get("cpu_count")
+        if base_cpus != fresh_cpus:
+            lines.append(f"  {name}: not comparable — baseline ran on "
+                         f"{base_cpus} cpu(s), this run on {fresh_cpus}")
+            continue
+        for key in throughput_keys(base):
+            if key not in fresh:
+                failures.append(f"{name}.{key}: dropped from candidate")
+                continue
+            floor = base[key] * (1.0 - tolerance)
+            verdict = "ok" if fresh[key] >= floor else "REGRESSED"
+            line = (f"  {name}.{key}: {fresh[key]:,.1f} vs baseline "
+                    f"{base[key]:,.1f} (floor {floor:,.1f}) {verdict}")
+            lines.append(line)
+            if verdict != "ok":
+                failures.append(line.strip())
+    for name in sorted(set(candidate) - set(baseline)):
+        lines.append(f"  {name}: new record (no baseline yet)")
+    return lines, failures
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", required=True, type=Path,
+                        help="committed benchmark JSON")
+    parser.add_argument("--candidate", required=True, type=Path,
+                        help="freshly generated benchmark JSON")
+    parser.add_argument("--tolerance", type=float,
+                        default=DEFAULT_TOLERANCE,
+                        help="allowed fractional drop (default 0.20)")
+    options = parser.parse_args(argv)
+
+    baseline = json.loads(options.baseline.read_text())
+    candidate = json.loads(options.candidate.read_text())
+    lines, failures = compare(baseline, candidate, options.tolerance)
+
+    print(f"{options.candidate} vs {options.baseline} "
+          f"(tolerance {options.tolerance:.0%}):")
+    for line in lines:
+        print(line)
+    if failures:
+        print(f"\n{len(failures)} regression(s):", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("no regressions")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@ Run with::
 """
 
 import json
+import os
 from pathlib import Path
 
 import pytest
@@ -60,8 +61,15 @@ def pytest_addoption(parser):
 
 @pytest.fixture(scope="session")
 def bench_json_record():
-    """A callable recording one named measurement dict into the report."""
+    """A callable recording one named measurement dict into the report.
+
+    Every record carries the host's ``cpu_count`` (a benchmark may
+    override it with its own value): scale-out figures are meaningless
+    without knowing how many cores the run actually had, and the
+    regression guard uses it to decide which assertions were live.
+    """
     def record(name, **fields):
+        fields.setdefault("cpu_count", os.cpu_count() or 1)
         _BENCH_RECORDS[name] = fields
     return record
 

@@ -45,9 +45,13 @@ def test_multiproc_scaleout(benchmark, bench_json_record):
     threads, processes = measurements["threads"], measurements["processes"]
     cpus = os.cpu_count() or 1
     ratio = processes["qps"] / max(threads["qps"], 1e-9)
+    skip_reason = (None if cpus >= MIN_CPUS_FOR_SPEEDUP else
+                   f"host has {cpus} cpu(s) < {MIN_CPUS_FOR_SPEEDUP}: "
+                   f"speedup assertion not run")
     bench_json_record(
         "multiproc_scaleout",
         cpu_count=cpus,
+        skip_reason=skip_reason,
         distributors=DISTRIBUTORS,
         queriers_per_distributor=QUERIERS_PER,
         query_count=QUERY_COUNT,

@@ -179,6 +179,10 @@ class Message:
 
     @classmethod
     def from_wire(cls, wire: bytes) -> "Message":
+        if type(wire) is not bytes:
+            # Zero-copy responses arrive as WireView/memoryview; decoding
+            # needs a real buffer, so this consumer pays the copy.
+            wire = bytes(wire)
         try:
             return cls._decode(wire)
         except WireError:

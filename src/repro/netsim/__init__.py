@@ -12,7 +12,9 @@ from .faults import (FaultInjector, FaultPlan, FaultSpec, RetryPolicy)
 from .network import (FilterRule, Host, LatencyModel, Netfilter, Network,
                       NetworkError, TrafficMeter, TunDevice, UdpSocket)
 from .packet import (Address, IpPacket, TcpFlags, TcpSegment, UdpSegment,
-                     make_tcp_packet, make_udp_packet)
+                     WireView, make_tcp_packet, make_udp_packet,
+                     packet_checksum)
+from .shard import (CrossShardFabric, ShardCoordinator, ShardPlan, shard_of)
 from .resources import (CostModel, CpuMeter, ResourceMonitor, ResourceSample,
                         ServerResourceModel)
 from .tcp import (TcpConnection, TcpListener, TcpOptions, TcpStack, TcpState,
@@ -20,14 +22,16 @@ from .tcp import (TcpConnection, TcpListener, TcpOptions, TcpStack, TcpState,
 from .tls import SessionCache, TlsEndpoint, TlsState
 
 __all__ = [
-    "Address", "CostModel", "CpuMeter", "DELAYED_ACK_TIMEOUT", "EventLoop",
+    "Address", "CostModel", "CpuMeter", "CrossShardFabric",
+    "DELAYED_ACK_TIMEOUT", "EventLoop",
     "FaultInjector", "FaultPlan", "FaultSpec", "FilterRule", "Host",
     "IpPacket", "LatencyModel", "MSS", "Netfilter",
     "Network", "NetworkError", "ResourceMonitor", "ResourceSample",
-    "RetryPolicy", "ServerResourceModel", "SessionCache", "SimulationError",
+    "RetryPolicy", "ServerResourceModel", "SessionCache", "ShardCoordinator",
+    "ShardPlan", "SimulationError",
     "TcpConnection",
     "TcpFlags", "TcpListener", "TcpOptions", "TcpSegment", "TcpStack",
     "TcpState", "TIME_WAIT_DURATION", "Timer", "TlsEndpoint", "TlsState",
-    "TrafficMeter", "TunDevice", "UdpSegment", "UdpSocket",
-    "make_tcp_packet", "make_udp_packet",
+    "TrafficMeter", "TunDevice", "UdpSegment", "UdpSocket", "WireView",
+    "make_tcp_packet", "make_udp_packet", "packet_checksum", "shard_of",
 ]

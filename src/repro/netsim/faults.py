@@ -340,6 +340,18 @@ class FaultInjector:
                               for extra, pkt in deliveries]
         return deliveries
 
+    def process_batch(self, packets: List[IpPacket], sender: "Host",
+                      receiver: "Host"
+                      ) -> List[List[Tuple[float, IpPacket]]]:
+        """Per-packet verdicts for a batch, RNG consumed in list order.
+
+        Exactly equivalent to calling :meth:`process` once per packet in
+        order — the per-spec rate RNG advances identically — so batched
+        transmission cannot change which packets a fault window hits.
+        """
+        process = self.process
+        return [process(packet, sender, receiver) for packet in packets]
+
     def _note(self, kind: str, packet: IpPacket) -> None:
         """Record the verdict on the network's telemetry hub, if any.
 
@@ -360,7 +372,8 @@ def _corrupt(packet: IpPacket) -> IpPacket:
     """
     segment = packet.segment
     if segment.data:
-        data = bytearray(segment.data)
+        # bytes() first: zero-copy WireView payloads are not buffers.
+        data = bytearray(bytes(segment.data))
         data[len(data) // 2] ^= 0xFF
         if isinstance(segment, UdpSegment):
             segment = UdpSegment(segment.sport, segment.dport, bytes(data))

@@ -17,7 +17,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
 from .core import EventLoop
-from .packet import Address, IpPacket, TcpSegment, UdpSegment, validate_address
+from .packet import (Address, IpPacket, TcpSegment, UdpSegment,
+                     packet_checksum, validate_address)
 
 LOOPBACK_DELAY = 0.00002  # 20 microseconds for same-host delivery
 
@@ -84,6 +85,12 @@ class TrafficMeter:
         bucket = self._buckets.setdefault(int(self._loop.now), [0, 0])
         bucket[0] += size
         bucket[1] += 1
+
+    def record_many(self, size: int, count: int) -> None:
+        """One bucket update for ``count`` packets totalling ``size``."""
+        bucket = self._buckets.setdefault(int(self._loop.now), [0, 0])
+        bucket[0] += size
+        bucket[1] += count
 
     def series(self) -> List[Tuple[int, int, int]]:
         return [(second, data[0], data[1])
@@ -165,8 +172,14 @@ class Netfilter:
     def clear(self) -> None:
         self._rules.clear()
 
+    @property
+    def empty(self) -> bool:
+        return not self._rules
+
     def process(self, chain: str, packet: IpPacket) -> Optional[IpPacket]:
         """Return the packet to continue with, or None if diverted."""
+        if not self._rules:
+            return packet
         for rule in self._rules:
             if rule.chain == chain and rule.matches(packet):
                 if rule.divert_to is not None:
@@ -185,18 +198,57 @@ class UdpSocket:
         self.address = address
         self.port = port
         self.on_datagram = on_datagram
+        # Optional batch receive path: called with a list of
+        # (data, src, sport) tuples instead of one callback per
+        # datagram.  Falls back to per-datagram ``on_datagram`` when
+        # unset, so only batch-aware endpoints opt in.
+        self.on_datagram_batch = None
         self.closed = False
 
     def sendto(self, data: bytes, dst: Address, dport: int) -> None:
         if self.closed:
             raise NetworkError("socket is closed")
-        packet = IpPacket(self.address, dst,
-                          UdpSegment(self.port, dport, data)).with_checksum()
-        self.host.send_packet(packet)
+        # Construct once with the checksum precomputed (``with_checksum``
+        # pays a second dataclass construction on the hot path).
+        segment = UdpSegment(self.port, dport, data)
+        self.host.send_packet(IpPacket(
+            self.address, dst, segment,
+            packet_checksum(self.address, dst, segment)))
+
+    def sendto_batch(self, datagrams: List[Tuple[bytes, Address, int]]
+                     ) -> None:
+        """Send ``(data, dst, dport)`` datagrams through the batch path."""
+        if self.closed:
+            raise NetworkError("socket is closed")
+        address = self.address
+        port = self.port
+        packets = []
+        for data, dst, dport in datagrams:
+            segment = UdpSegment(port, dport, data)
+            packets.append(IpPacket(address, dst, segment,
+                                    packet_checksum(address, dst, segment)))
+        self.host.send_packet_batch(packets)
 
     def deliver(self, data: bytes, src: Address, sport: int) -> None:
         if self.on_datagram is not None and not self.closed:
             self.on_datagram(self, data, src, sport)
+
+    def deliver_batch(self, datagrams: List[Tuple[bytes, Address, int]]
+                      ) -> None:
+        """Deliver a batch, preserving per-datagram ``closed`` semantics."""
+        if self.closed:
+            return
+        handler = self.on_datagram_batch
+        if handler is not None:
+            handler(self, datagrams)
+            return
+        on_datagram = self.on_datagram
+        if on_datagram is None:
+            return
+        for data, src, sport in datagrams:
+            if self.closed:
+                return
+            on_datagram(self, data, src, sport)
 
     def close(self) -> None:
         if not self.closed:
@@ -319,10 +371,46 @@ class Host:
             if processed is None:
                 return
             packet = processed
+        size = packet.wire_size()
         self.counters.packets_out += 1
-        self.counters.bytes_out += packet.wire_size()
-        self.meter_out.record(packet.wire_size())
+        self.counters.bytes_out += size
+        self.meter_out.record(size)
         self.network.transmit(packet, self)
+
+    def send_packet_batch(self, packets: List[IpPacket]) -> None:
+        """Send a batch: one counter/meter update, one fabric handoff.
+
+        Semantically identical to :meth:`send_packet` per packet (same
+        capture hooks, same output-chain verdicts, same transmit order);
+        the per-packet Python overhead — counter increments, meter
+        bucket lookups, one ``Network.transmit`` call each — is paid
+        once per batch instead.
+        """
+        if not packets:
+            return
+        hooks = self.capture_hooks
+        if hooks:
+            for packet in packets:
+                for hook in hooks:
+                    hook("out", packet)
+        netfilter = self.netfilter
+        if not netfilter.empty:
+            kept = []
+            for packet in packets:
+                processed = netfilter.process("output", packet)
+                if processed is not None:
+                    kept.append(processed)
+            packets = kept
+            if not packets:
+                return
+        total = 0
+        for packet in packets:
+            total += packet.wire_size()
+        counters = self.counters
+        counters.packets_out += len(packets)
+        counters.bytes_out += total
+        self.meter_out.record_many(total, len(packets))
+        self.network.transmit_batch(packets, self)
 
     def receive_packet(self, packet: IpPacket) -> None:
         for hook in self.capture_hooks:
@@ -333,9 +421,10 @@ class Host:
         processed = self.netfilter.process("input", packet)
         if processed is None:
             return
+        size = packet.wire_size()
         self.counters.packets_in += 1
-        self.counters.bytes_in += packet.wire_size()
-        self.meter_in.record(packet.wire_size())
+        self.counters.bytes_in += size
+        self.meter_in.record(size)
         segment = packet.segment
         if isinstance(segment, UdpSegment):
             sock = (self._udp_sockets.get((packet.dst, segment.dport))
@@ -349,6 +438,64 @@ class Host:
                 self.counters.unreachable_drops += 1
                 return
             self.tcp_stack.receive(packet)
+
+    def receive_packet_batch(self, packets: List[IpPacket]) -> None:
+        """Receive a batch delivered at one instant.
+
+        Equivalent to :meth:`receive_packet` per packet in order.  Hosts
+        with capture hooks or input-chain rules fall back to the
+        per-packet path (those are observation/diversion features, not
+        hot paths).  Consecutive datagrams for the same UDP socket are
+        coalesced into one :meth:`UdpSocket.deliver_batch` call; the
+        run-based coalescing (rather than a per-socket dict) preserves
+        the exact cross-socket delivery order of the sequential path.
+        """
+        if self.capture_hooks or not self.netfilter.empty:
+            for packet in packets:
+                self.receive_packet(packet)
+            return
+        counters = self.counters
+        udp_sockets = self._udp_sockets
+        packets_in = 0
+        bytes_in = 0
+        run_sock = None
+        run_datagrams: List[Tuple[bytes, Address, int]] = []
+        for packet in packets:
+            if not packet.checksum_ok():
+                counters.checksum_drops += 1
+                continue
+            packets_in += 1
+            bytes_in += packet.wire_size()
+            segment = packet.segment
+            if type(segment) is UdpSegment:
+                sock = (udp_sockets.get((packet.dst, segment.dport))
+                        or udp_sockets.get(("0.0.0.0", segment.dport)))
+                if sock is None:
+                    counters.unreachable_drops += 1
+                    continue
+                if sock is run_sock:
+                    run_datagrams.append(
+                        (segment.data, packet.src, segment.sport))
+                else:
+                    if run_sock is not None:
+                        run_sock.deliver_batch(run_datagrams)
+                    run_sock = sock
+                    run_datagrams = [(segment.data, packet.src,
+                                      segment.sport)]
+            else:
+                if run_sock is not None:
+                    run_sock.deliver_batch(run_datagrams)
+                    run_sock = None
+                    run_datagrams = []
+                if self.tcp_stack is None:
+                    counters.unreachable_drops += 1
+                    continue
+                self.tcp_stack.receive(packet)
+        if run_sock is not None:
+            run_sock.deliver_batch(run_datagrams)
+        counters.packets_in += packets_in
+        counters.bytes_in += bytes_in
+        self.meter_in.record_many(bytes_in, packets_in)
 
     def __repr__(self) -> str:
         return f"Host({self.name}, {self.addresses})"
@@ -379,6 +526,12 @@ class Network:
         # Telemetry hub, installed by Telemetry.attach_network only when
         # lifecycle tracing is on; the off path pays one None check.
         self.telemetry = None
+        # Cross-shard handoff, installed by repro.netsim.shard when this
+        # network is one shard of a partitioned simulation.  Called with
+        # (packet, sender) for destinations with no local host; returns
+        # True if the packet was routed to another shard, False to fall
+        # through to the normal no-route drop.
+        self.remote_router = None
 
     def add_host(self, name: str, *addresses: Address) -> Host:
         if name in self._hosts:
@@ -403,6 +556,9 @@ class Network:
     def transmit(self, packet: IpPacket, sender: Host) -> None:
         receiver = self._hosts_by_address.get(packet.dst)
         if receiver is None:
+            if self.remote_router is not None \
+                    and self.remote_router(packet, sender):
+                return
             # Matches the paper's observation: packets to addresses with
             # no testbed route (e.g. real Internet IPs that leaked past
             # the proxies) are simply dropped.
@@ -439,3 +595,85 @@ class Network:
         for extra_delay, delivered in deliveries:
             self.loop.call_later(delay + extra_delay,
                                  receiver.receive_packet, delivered)
+
+    def transmit_batch(self, packets: List[IpPacket], sender: Host) -> None:
+        """Move a packet batch through loss, faults, and delivery at once.
+
+        Per-packet semantics are exact: the loss RNG, the fault
+        injector, and the jitter RNG are each consulted once per packet
+        *in transmit order*, so a batch produces verdict-for-verdict the
+        same outcomes as the same packets sent one-by-one (the
+        differential in ``tests/test_netsim_faults.py`` holds this).
+        Deliveries landing on the same receiver at the same instant are
+        coalesced into one :meth:`Host.receive_packet_batch` event;
+        delivery *times* are bit-identical to the sequential path, so
+        batching never changes what the simulation computes — only how
+        much Python runs per packet.
+        """
+        loop = self.loop
+        now = loop.now
+        hosts = self._hosts_by_address
+        telemetry = self.telemetry
+        injector = self.fault_injector
+        latency = self.latency
+        loss_rate = self.loss_rate
+        loss_random = self._loss_rng.random if loss_rate > 0 else None
+        sender_name = sender.name
+        bandwidth = sender.egress_bandwidth_bps
+        # (id(receiver), delivery_time) -> [receiver, when, [packets]];
+        # dict insertion order keeps groups in first-arrival order.
+        groups: Dict[Tuple[int, float], list] = {}
+        for packet in packets:
+            receiver = hosts.get(packet.dst)
+            if receiver is None:
+                if self.remote_router is not None \
+                        and self.remote_router(packet, sender):
+                    continue
+                self.dropped_no_route += 1
+                sender.counters.no_route_drops += 1
+                if telemetry is not None:
+                    telemetry.on_net_drop(packet, "no_route")
+                continue
+            if loss_random is not None and receiver is not sender \
+                    and loss_random() < loss_rate:
+                self.dropped_by_loss += 1
+                if telemetry is not None:
+                    telemetry.on_net_drop(packet, "loss")
+                continue
+            if injector is not None:
+                deliveries = injector.process(packet, sender, receiver)
+                if not deliveries:
+                    continue
+            else:
+                deliveries = ((0.0, packet),)
+            if telemetry is not None:
+                telemetry.on_transmit(packet)
+            if receiver is sender:
+                delay = LOOPBACK_DELAY
+            else:
+                delay = latency.one_way(sender_name, receiver.name)
+            if bandwidth:
+                start = max(now, sender._egress_busy_until)
+                finish = start + packet.wire_size() * 8 / bandwidth
+                sender._egress_busy_until = finish
+                delay += finish - now
+            for extra_delay, delivered in deliveries:
+                # Same expression as the sequential path's call_later
+                # (now + max(delay + extra, 0)) so delivery instants are
+                # bit-identical, not merely close.
+                when = now + max(delay + extra_delay, 0.0)
+                key = (id(receiver), when)
+                group = groups.get(key)
+                if group is None:
+                    groups[key] = [receiver, when, [delivered]]
+                else:
+                    group[2].append(delivered)
+        if not groups:
+            return
+        entries = []
+        for receiver, when, batch in groups.values():
+            if len(batch) == 1:
+                entries.append((when, receiver.receive_packet, (batch[0],)))
+            else:
+                entries.append((when, receiver.receive_packet_batch, (batch,)))
+        loop.call_at_many(entries)

@@ -42,6 +42,82 @@ def _packed(address: Address) -> bytes:
     return packed
 
 
+class WireView:
+    """A zero-copy DNS response wire: 2-byte scratch header + shared body.
+
+    Wire-cache hits used to be served as ``msg_id + entry.wire[2:]`` — a
+    full ``bytes`` copy per hit.  A :class:`WireView` instead pairs a
+    per-response 2-byte message-ID header with a readonly ``memoryview``
+    over the immutable cached buffer, so a 500-byte response costs a
+    2-byte header object instead of a 500-byte copy.  The body view is
+    shared between every hit for the same cache entry; it is readonly,
+    so no consumer can mutate the cached wire through it (the aliasing
+    guard in ``tests/test_shard_differential.py`` proves this).
+
+    The container behaves like ``bytes`` where the hot path needs it
+    (``len``, indexing, slicing, equality, hashing) without
+    materializing; anything that genuinely needs contiguous bytes calls
+    ``bytes(view)`` / :meth:`tobytes` and pays the copy explicitly.
+    """
+
+    __slots__ = ("header", "body")
+
+    def __init__(self, header: bytes, body: memoryview) -> None:
+        self.header = header
+        self.body = body
+
+    def parts(self) -> Tuple[bytes, memoryview]:
+        return (self.header, self.body)
+
+    def tobytes(self) -> bytes:
+        return self.header + bytes(self.body)
+
+    def __bytes__(self) -> bytes:
+        return self.header + bytes(self.body)
+
+    def __len__(self) -> int:
+        return 2 + len(self.body)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, WireView):
+            return (self.header == other.header
+                    and self.body == other.body)
+        if isinstance(other, (bytes, bytearray, memoryview)):
+            return self.tobytes() == bytes(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self.tobytes())
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            if step == 1:
+                if stop <= 2:
+                    return self.header[start:stop]
+                if start >= 2:
+                    return bytes(self.body[start - 2:stop - 2])
+            return self.tobytes()[index]
+        if index < 0:
+            index += len(self)
+        if index < 2:
+            return self.header[index]
+        return self.body[index - 2]
+
+    def __iter__(self):
+        yield from self.header
+        yield from self.body
+
+    def __add__(self, other):
+        return self.tobytes() + bytes(other)
+
+    def __radd__(self, other):
+        return bytes(other) + self.tobytes()
+
+    def __repr__(self) -> str:
+        return f"WireView(len={len(self)}, id={self.header.hex()})"
+
+
 class TcpFlags(IntFlag):
     SYN = 0x02
     ACK = 0x10
@@ -54,7 +130,9 @@ class TcpFlags(IntFlag):
 class UdpSegment:
     sport: int
     dport: int
-    data: bytes
+    # ``bytes`` everywhere except the zero-copy response path, where the
+    # wire cache hands the segment a WireView instead.
+    data: Union[bytes, WireView]
 
     def header_size(self) -> int:
         return 8
@@ -62,9 +140,12 @@ class UdpSegment:
     def wire_size(self) -> int:
         return self.header_size() + len(self.data)
 
-    def pseudo_bytes(self) -> bytes:
+    def pseudo_prefix(self) -> bytes:
         return (b"U" + self.sport.to_bytes(2, "big")
-                + self.dport.to_bytes(2, "big") + self.data)
+                + self.dport.to_bytes(2, "big"))
+
+    def pseudo_bytes(self) -> bytes:
+        return self.pseudo_prefix() + bytes(self.data)
 
 
 @dataclass(frozen=True, slots=True)
@@ -118,8 +199,7 @@ class IpPacket:
         return IP_HEADER_SIZE + self.segment.wire_size()
 
     def compute_checksum(self) -> int:
-        header_crc = zlib.crc32(_packed(self.dst), zlib.crc32(_packed(self.src)))
-        return zlib.crc32(self.segment.pseudo_bytes(), header_crc) & 0xFFFFFFFF
+        return packet_checksum(self.src, self.dst, self.segment)
 
     def with_checksum(self) -> "IpPacket":
         return replace(self, checksum=self.compute_checksum())
@@ -142,9 +222,31 @@ class IpPacket:
                 self.protocol)
 
 
+def packet_checksum(src: Address, dst: Address, segment: Segment) -> int:
+    """Pseudo-header checksum without constructing a packet first.
+
+    Computed incrementally when the payload is a :class:`WireView` —
+    ``crc32`` over the parts, never materializing the joined wire — so
+    zero-copy responses stay zero-copy through checksumming too.
+    """
+    crc = zlib.crc32(_packed(dst), zlib.crc32(_packed(src)))
+    data = getattr(segment, "data", b"")
+    if type(data) is WireView:
+        crc = zlib.crc32(segment.pseudo_prefix(), crc)
+        crc = zlib.crc32(data.header, crc)
+        crc = zlib.crc32(data.body, crc)
+    else:
+        crc = zlib.crc32(segment.pseudo_bytes(), crc)
+    return crc & 0xFFFFFFFF
+
+
 def make_udp_packet(src: Address, sport: int, dst: Address, dport: int,
                     data: bytes) -> IpPacket:
-    return IpPacket(src, dst, UdpSegment(sport, dport, data)).with_checksum()
+    # Construct once with the final checksum: ``with_checksum`` costs a
+    # second dataclass construction via ``replace`` on the hot path.
+    segment = UdpSegment(sport, dport, data)
+    return IpPacket(src, dst, segment,
+                    checksum=packet_checksum(src, dst, segment))
 
 
 def make_tcp_packet(src: Address, sport: int, dst: Address, dport: int,

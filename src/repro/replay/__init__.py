@@ -6,11 +6,13 @@ from .distributor import (Controller, DistributionStats, Distributor,
 from .protocol import (MAX_FRAME, MSG_END, MSG_HELLO, MSG_METRICS,
                        MSG_RECORD, MSG_RESULT, MSG_SHUTDOWN, MSG_TIME_SYNC,
                        MessageSocket, ProtocolError, ROLE_DISTRIBUTOR,
-                       ROLE_QUERIER, connect, connected_pair)
+                       ROLE_QUERIER, ROLE_SHARD, connect, connected_pair)
 from .engine import ReplayConfig, SimReplayEngine
 from .live import (LiveReplay, LiveUdpEchoServer, ThroughputReport,
                    ThroughputSample, measure_throughput)
-from .multiproc import ProcessTopology, UdpEchoServerProcess
+from .multiproc import (ProcessTopology, ShardTopology,
+                        UdpEchoServerProcess, default_shard_scenario,
+                        shard_slice)
 from .querier import QuerierConfig, SimQuerier
 from .result import ReplayResult, SentQuery
 from .supervision import (AimdPacer, PacingConfig, ReplayWatchdog,
@@ -23,9 +25,11 @@ __all__ = [
     "MSG_END", "MSG_HELLO", "MSG_METRICS", "MSG_RECORD", "MSG_RESULT",
     "MSG_SHUTDOWN", "MSG_TIME_SYNC", "MessageSocket", "PacingConfig",
     "ProcessTopology", "ProtocolError", "ROLE_DISTRIBUTOR", "ROLE_QUERIER",
-    "connect", "connected_pair", "LiveUdpEchoServer", "QuerierConfig",
-    "ReplayConfig", "ReplayResult", "ReplayWatchdog", "SentQuery",
-    "SimQuerier", "SimReplayEngine", "StickyAssigner", "SupervisionConfig",
-    "ThroughputReport", "ThroughputSample", "TimerJitterModel",
-    "TimingController", "UdpEchoServerProcess", "measure_throughput",
+    "ROLE_SHARD", "ShardTopology", "connect", "connected_pair",
+    "LiveUdpEchoServer", "QuerierConfig", "ReplayConfig", "ReplayResult",
+    "ReplayWatchdog", "SentQuery", "SimQuerier", "SimReplayEngine",
+    "StickyAssigner", "SupervisionConfig", "ThroughputReport",
+    "ThroughputSample", "TimerJitterModel", "TimingController",
+    "UdpEchoServerProcess", "default_shard_scenario", "measure_throughput",
+    "shard_slice",
 ]

@@ -15,6 +15,7 @@ timing discipline:
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
@@ -43,6 +44,13 @@ class ReplayConfig:
     client_address_base: str = "10.250.0."
     start_delay: float = 0.5             # settle time before first query
     fast_replay_rate: Optional[float] = None  # cap for track_timing=False
+    # Group records landing on the same (querier, instant) into one
+    # batched send (on by default; a no-op when send times never
+    # coincide).  ``batch_window`` additionally quantizes fast-replay
+    # send times up to the next multiple of the window so bursts *do*
+    # coincide — an explicit opt-in, since it changes send timestamps.
+    batch_sends: bool = True
+    batch_window: Optional[float] = None
     # §2.5: "at lower query rates, we could manipulate a live query
     # stream in near real time" — a QueryMutator applied per record on
     # the dispatch path rather than ahead of time.
@@ -121,8 +129,18 @@ class SimReplayEngine:
         fast_gap = (1.0 / self.config.fast_replay_rate
                     if self.config.fast_replay_rate else 0.0)
 
+        window = (self.config.batch_window
+                  if not self.config.track_timing else None)
         with self.perf.timed("replay.schedule"):
+            scheduled = 0
             batch = []
+            # Records due at the same instant coalesce per querier into
+            # one batched-send event.  Send times are nondecreasing, so
+            # one open instant (``group_at``) suffices; within it each
+            # querier keeps its items in record order, and groups flush
+            # in first-seen querier order when the instant advances.
+            group_at = None
+            groups: dict = {}
             for index, record in enumerate(trace.records):
                 if self.config.live_mutator is not None:
                     record = self.config.live_mutator.apply_record(record)
@@ -138,13 +156,53 @@ class SimReplayEngine:
                     send_at = max(available, target, self.loop.now)
                 else:
                     send_at = max(available, start_clock + index * fast_gap)
-                batch.append((send_at, self._dispatch_send,
-                              (querier, index, record, send_at)))
+                    if window:
+                        # Quantize *up*: never earlier than unquantized.
+                        send_at = math.ceil(send_at / window) * window
+                scheduled += 1
+                if not self.config.batch_sends:
+                    batch.append((send_at, self._dispatch_send,
+                                  (querier, index, record, send_at)))
+                    continue
+                if send_at != group_at:
+                    for grouped, items in groups.values():
+                        batch.append(self._group_entry(grouped, group_at,
+                                                       items))
+                    groups.clear()
+                    group_at = send_at
+                entry = groups.get(id(querier))
+                if entry is None:
+                    groups[id(querier)] = (querier,
+                                           [(index, record, send_at)])
+                else:
+                    entry[1].append((index, record, send_at))
+            for grouped, items in groups.values():
+                batch.append(self._group_entry(grouped, group_at, items))
             self.loop.call_at_many(batch)
-            self.perf.incr("replay.queries_scheduled", len(batch))
+            self.perf.incr("replay.queries_scheduled", scheduled)
         return self.result
 
+    def _group_entry(self, querier: SimQuerier, send_at: float, items: List):
+        """One scheduler entry for a run of same-(querier, time) records."""
+        if len(items) == 1:
+            index, record, at = items[0]
+            return (send_at, self._dispatch_send,
+                    (querier, index, record, at))
+        return (send_at, self._dispatch_send_batch, (querier, items))
+
     # -- failover ---------------------------------------------------------
+
+    def _dispatch_send_batch(self, querier: SimQuerier, items: List) -> None:
+        """Batched counterpart of :meth:`_dispatch_send`.
+
+        The crash-failover case degrades to per-record dispatch; the
+        normal case hands the whole run to the querier in one call.
+        """
+        if querier.host.down:
+            for index, record, send_at in items:
+                self._dispatch_send(querier, index, record, send_at)
+            return
+        querier.send_batch(items)
 
     def _dispatch_send(self, querier: SimQuerier, index: int, record,
                        send_at: float) -> None:

@@ -42,12 +42,15 @@ queues and report truthful ``deadline_shed`` counts.
 
 from __future__ import annotations
 
+import importlib
 import multiprocessing
 import socket
 import threading
 import time
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from ..netsim.shard import shard_of
+from ..perf import PerfCounters
 from ..telemetry.metrics import MetricsRegistry
 from ..trace import Trace
 from .distributed import (DistributedConfig, ServerAddress,
@@ -55,7 +58,7 @@ from .distributed import (DistributedConfig, ServerAddress,
 from .distributor import StickyAssigner
 from .protocol import (MSG_HELLO, MSG_METRICS, MSG_RESULT, MSG_SHUTDOWN,
                        MessageSocket, ProtocolError, ROLE_DISTRIBUTOR,
-                       ROLE_QUERIER, connect)
+                       ROLE_QUERIER, ROLE_SHARD, connect)
 from .result import ReplayResult
 from .supervision import ReplayWatchdog
 
@@ -154,6 +157,112 @@ def _querier_main(control_addr: Tuple[str, int], querier_id: int,
     control.close()
 
 
+# ---------------------------------------------------------------------------
+# Simulation shard workers (ROADMAP item 3: one event loop per core)
+# ---------------------------------------------------------------------------
+#
+# A *shard worker* is the replicated-server deployment shape of
+# :mod:`repro.netsim.shard`: each process owns a complete simulated
+# world (its own EventLoop, Network, server replica, and
+# SimReplayEngine) and replays only the trace records whose source
+# address hashes to its shard (``shard_of(record.src, n) == index``).
+# Nothing crosses shards mid-run, so the workers are embarrassingly
+# parallel; the controller merges the per-shard ReplayResult and
+# PerfCounters snapshots over the same HELLO/RESULT/METRICS control
+# plane the distributor/querier tiers use.
+#
+# Workers *self-source* their slice instead of receiving streamed
+# records: a trace factory spec ``(module, function, kwargs)`` is
+# resolved by import inside the worker, so only a few hundred bytes
+# cross the process boundary on the way in, not the trace itself.
+# Factories must be importable top-level callables (a requirement under
+# the ``spawn`` start method anyway) and deterministic for fixed kwargs
+# (§2.1 repeatability — every worker regenerates the identical trace).
+
+FactorySpec = Tuple[str, str, dict]
+
+
+def _resolve_factory(spec: FactorySpec):
+    module_name, attribute, _kwargs = spec
+    target = importlib.import_module(module_name)
+    for part in attribute.split("."):
+        target = getattr(target, part)
+    return target
+
+
+def shard_slice(trace: Trace, shard_index: int, num_shards: int) -> Trace:
+    """The records of ``trace`` owned by ``shard_index``.
+
+    Sticky-by-source, like every other routing decision in the replay
+    tree: a client's whole query stream lands on one shard, so per-source
+    state (sockets, retries, connections) never splits.
+    """
+    records = [record for record in trace.records
+               if shard_of(record.src, num_shards) == shard_index]
+    return Trace(records, name=f"{trace.name}#shard{shard_index}")
+
+
+def default_shard_scenario(perf: Optional[PerfCounters] = None,
+                           fast_replay_rate: float = 200000.0,
+                           batch_window: Optional[float] = None,
+                           client_instances: int = 2,
+                           queriers_per_instance: int = 6):
+    """The canonical shard world: evaluation topology + wildcard zone.
+
+    One server replica on the Figure 5 testbed answering every query
+    from its response-wire cache; the engine replays as fast as the
+    machinery allows (the §4.3 throughput discipline).  Returns a
+    :class:`~repro.replay.engine.SimReplayEngine` ready for
+    ``engine.replay(trace)``.
+    """
+    from ..experiments.fig6_timing import wildcard_example_zone
+    from ..experiments.topology import build_evaluation_topology
+    from ..server import AuthoritativeServer, HostedDnsServer
+    from .engine import ReplayConfig, SimReplayEngine
+
+    if perf is None:
+        perf = PerfCounters()
+    testbed = build_evaluation_topology()
+    server = AuthoritativeServer.single_view([wildcard_example_zone()])
+    server.perf = perf
+    HostedDnsServer(testbed.server_host, server, perf=perf)
+    return SimReplayEngine(
+        testbed.network,
+        ReplayConfig(track_timing=False, fast_replay_rate=fast_replay_rate,
+                     batch_window=batch_window,
+                     client_instances=client_instances,
+                     queriers_per_instance=queriers_per_instance),
+        perf=perf)
+
+
+def _shard_main(control_addr: Tuple[str, int], shard_index: int,
+                num_shards: int, trace_spec: FactorySpec,
+                scenario_spec: FactorySpec) -> None:
+    control = connect(control_addr)
+    control.send_hello(ROLE_SHARD, shard_index, 0)
+    try:
+        trace = _resolve_factory(trace_spec)(**trace_spec[2])
+        slice_ = shard_slice(trace, shard_index, num_shards)
+        perf = PerfCounters()
+        engine = _resolve_factory(scenario_spec)(perf=perf,
+                                                 **scenario_spec[2])
+        started = time.perf_counter()
+        result = engine.replay(slice_)
+        wall = time.perf_counter() - started
+        result.name = f"shard-{shard_index}"
+        perf.incr("shard.records", len(slice_.records))
+        perf.set_gauge(f"shard.{shard_index}.wall_s", wall)
+        perf.set_gauge(f"shard.{shard_index}.qps",
+                       len(slice_.records) / wall if wall > 0 else 0.0)
+        control.send_result(result.to_dict())
+        control.send_metrics(perf.to_state())
+        _await_shutdown(control)
+    except OSError:
+        pass
+    finally:
+        control.close()
+
+
 def _udp_echo_main(conn) -> None:
     from .live import LiveUdpEchoServer
     server = LiveUdpEchoServer().start()
@@ -248,8 +357,28 @@ class _WorkerHandle:
 
     @property
     def name(self) -> str:
-        kind = "distributor" if self.role == ROLE_DISTRIBUTOR else "querier"
+        kind = {ROLE_DISTRIBUTOR: "distributor",
+                ROLE_QUERIER: "querier",
+                ROLE_SHARD: "shard"}.get(self.role, f"role{self.role}")
         return f"{kind}-{self.worker_id}"
+
+
+def _accept_hello(listener: socket.socket,
+                  expected_role: int) -> _WorkerHandle:
+    accepted, _peer = listener.accept()
+    accepted.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    control = MessageSocket(accepted)
+    control.settimeout(_SETUP_TIMEOUT)
+    message = control.receive()
+    control.settimeout(None)
+    if message is None or message[0] != MSG_HELLO:
+        control.close()
+        raise ProtocolError("worker did not HELLO")
+    role, worker_id, listen_port = message[1]
+    if role != expected_role:
+        control.close()
+        raise ProtocolError(f"unexpected worker role {role}")
+    return _WorkerHandle(role, worker_id, control, listen_port)
 
 
 class ProcessTopology:
@@ -309,20 +438,7 @@ class ProcessTopology:
 
     def _accept_hello(self, listener: socket.socket,
                       expected_role: int) -> _WorkerHandle:
-        accepted, _peer = listener.accept()
-        accepted.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-        control = MessageSocket(accepted)
-        control.settimeout(_SETUP_TIMEOUT)
-        message = control.receive()
-        control.settimeout(None)
-        if message is None or message[0] != MSG_HELLO:
-            control.close()
-            raise ProtocolError("worker did not HELLO")
-        role, worker_id, listen_port = message[1]
-        if role != expected_role:
-            control.close()
-            raise ProtocolError(f"unexpected worker role {role}")
-        return _WorkerHandle(role, worker_id, control, listen_port)
+        return _accept_hello(listener, expected_role)
 
     # -- the run -----------------------------------------------------------
 
@@ -484,21 +600,151 @@ class ProcessTopology:
         return self.result
 
     def _collect(self, handle: _WorkerHandle, deadline: float) -> None:
-        if handle.failed:
-            return
-        handle.control.settimeout(max(deadline - time.monotonic(), 0.5))
+        _collect_worker(handle, deadline)
+
+
+def _collect_worker(handle: _WorkerHandle, deadline: float) -> None:
+    """Drain one worker's RESULT + METRICS pair (or mark it failed)."""
+    if handle.failed:
+        return
+    handle.control.settimeout(max(deadline - time.monotonic(), 0.5))
+    try:
+        while handle.shard is None or handle.metrics_state is None:
+            message = handle.control.receive()
+            if message is None:
+                handle.failed = True
+                return
+            kind, payload = message
+            if kind == MSG_RESULT:
+                handle.shard = ReplayResult.from_dict(payload)
+            elif kind == MSG_METRICS:
+                handle.metrics_state = payload
+    except (TimeoutError, ProtocolError, OSError):
+        handle.failed = True
+    finally:
+        handle.control.settimeout(None)
+
+
+# ---------------------------------------------------------------------------
+# Sharded simulation controller
+# ---------------------------------------------------------------------------
+
+class ShardTopology:
+    """N self-sourcing simulation shards as real OS processes.
+
+    The replicated-server shape of :mod:`repro.netsim.shard` deployed
+    over the PR-5 control plane: every worker regenerates the trace from
+    an importable factory spec, keeps only its
+    ``shard_of(record.src, num_shards)`` slice, replays it against its
+    own in-process server replica, and reports a RESULT + METRICS pair
+    back.  The controller's job is spawn / HELLO / collect / merge —
+    no trace bytes ever cross the process boundary.
+
+    Determinism: the merged :class:`ReplayResult` is the union of the
+    per-shard results merged in shard-id order, and each shard's result
+    depends only on its own slice (sticky-by-source partitioning, one
+    closed world per shard) — so the aggregate is independent of how the
+    OS schedules the workers.  ``tests/test_shard_differential.py``
+    checks this against the single-shard run.
+    """
+
+    def __init__(self, num_shards: int, trace_factory: FactorySpec,
+                 scenario_factory: Optional[FactorySpec] = None,
+                 start_method: Optional[str] = None,
+                 collect_timeout: float = 600.0):
+        if num_shards < 1:
+            raise ValueError("num_shards must be >= 1")
+        self.num_shards = num_shards
+        self.trace_factory = (trace_factory[0], trace_factory[1],
+                              dict(trace_factory[2]))
+        if scenario_factory is None:
+            scenario_factory = ("repro.replay.multiproc",
+                                "default_shard_scenario", {})
+        self.scenario_factory = (scenario_factory[0], scenario_factory[1],
+                                 dict(scenario_factory[2]))
+        self.start_method = start_method
+        self.collect_timeout = collect_timeout
+        self.result = ReplayResult("sharded-replay")
+        self.metrics = MetricsRegistry()
+        self.shard_handles: List[_WorkerHandle] = []
+        self.wall_s: Optional[float] = None     # controller wall clock
+        self.shard_walls: List[Optional[float]] = []
+        self.lost_shards = 0
+
+    def replay(self) -> ReplayResult:
+        ctx = _mp_context(self.start_method)
+        processes = []
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        started = time.perf_counter()
         try:
-            while handle.shard is None or handle.metrics_state is None:
-                message = handle.control.receive()
-                if message is None:
-                    handle.failed = True
-                    return
-                kind, payload = message
-                if kind == MSG_RESULT:
-                    handle.shard = ReplayResult.from_dict(payload)
-                elif kind == MSG_METRICS:
-                    handle.metrics_state = payload
-        except (TimeoutError, ProtocolError, OSError):
-            handle.failed = True
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(self.num_shards)
+            listener.settimeout(_SETUP_TIMEOUT)
+            control_addr = listener.getsockname()
+            for shard_index in range(self.num_shards):
+                process = ctx.Process(
+                    target=_shard_main,
+                    args=(control_addr, shard_index, self.num_shards,
+                          self.trace_factory, self.scenario_factory),
+                    daemon=True, name=f"replay-shard-{shard_index}")
+                process.start()
+                processes.append(process)
+            by_id: Dict[int, _WorkerHandle] = {}
+            for _ in range(self.num_shards):
+                handle = _accept_hello(listener, ROLE_SHARD)
+                handle.process = processes[handle.worker_id]
+                by_id[handle.worker_id] = handle
+            self.shard_handles = [by_id[i] for i in range(self.num_shards)]
+        except Exception:
+            for process in processes:
+                if process.is_alive():
+                    process.terminate()
+            raise
         finally:
-            handle.control.settimeout(None)
+            listener.close()
+
+        deadline = time.monotonic() + self.collect_timeout
+        for handle in self.shard_handles:
+            _collect_worker(handle, deadline)
+        self.wall_s = time.perf_counter() - started
+
+        self.shard_walls = []
+        for handle in self.shard_handles:
+            if handle.shard is not None:
+                self.result.merge(handle.shard)
+            else:
+                self.lost_shards += 1
+            state = handle.metrics_state
+            if state is not None:
+                self.metrics.merge_state(state)
+                self.shard_walls.append(state.get("gauges", {}).get(
+                    f"shard.{handle.worker_id}.wall_s"))
+            else:
+                self.shard_walls.append(None)
+        if self.lost_shards:
+            self.metrics.incr("multiproc.lost_shards", self.lost_shards)
+        self.metrics.incr("multiproc.shards", len(self.shard_handles))
+
+        for handle in self.shard_handles:
+            try:
+                handle.control.send_shutdown()
+            except OSError:
+                pass
+            handle.control.close()
+        for process in processes:
+            process.join(timeout=2.0)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        return self.result
+
+    def aggregate_qps(self) -> Optional[float]:
+        """Aggregate queries/second over the controller's wall clock.
+
+        Conservative: the denominator includes process spawn, trace
+        regeneration, and collection, not just the replay loops.
+        """
+        if not self.wall_s or not self.result.sent:
+            return None
+        return len(self.result.sent) / self.wall_s

@@ -52,6 +52,7 @@ MSG_SHUTDOWN = 7
 # Worker roles carried in HELLO frames (multi-process topology).
 ROLE_DISTRIBUTOR = 1
 ROLE_QUERIER = 2
+ROLE_SHARD = 3      # self-sourcing simulation shard (ShardTopology)
 
 # Upper bound on one frame's length field.  Record frames are tiny;
 # RESULT frames carry a whole per-worker ReplayResult shard as JSON, so
@@ -253,7 +254,8 @@ class MessageSocket:
                 fields = _HELLO.unpack(payload)
             except struct.error as exc:
                 raise ProtocolError(f"bad HELLO payload: {exc}")
-            _require(fields[0] in (ROLE_DISTRIBUTOR, ROLE_QUERIER),
+            _require(fields[0] in (ROLE_DISTRIBUTOR, ROLE_QUERIER,
+                                   ROLE_SHARD),
                      f"bad HELLO role {fields[0]}")
             return (MSG_HELLO, fields)
         if kind in (MSG_RESULT, MSG_METRICS):

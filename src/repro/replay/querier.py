@@ -24,6 +24,7 @@ from ..dns import DNS_OVER_TLS_PORT, DNS_PORT, Message, Rcode, WireError
 from ..netsim import (EventLoop, Host, NetworkError, RetryPolicy,
                       SessionCache, TcpConnection, TcpOptions, TcpStack,
                       Timer, TlsEndpoint, UdpSocket)
+from ..netsim.packet import IpPacket, UdpSegment, packet_checksum
 from ..server.dnsio import StreamFramer, frame_message
 from ..trace import QueryRecord
 from .result import ReplayResult, SentQuery
@@ -33,6 +34,12 @@ from .supervision import AimdPacer, PacingConfig
 # alone mismatches when two in-flight queries share an id on one
 # connection; the question section disambiguates, as a real stub does.
 MatchKey = Tuple[int, str, int]
+
+# Presentation-format qnames memoized on question-section bytes, shared
+# across queriers (the distributor spreads the same sources over many).
+# The cap is a safety valve for traces with unbounded name populations.
+_QNAME_MEMO: Dict[bytes, str] = {}
+_QNAME_MEMO_LIMIT = 1 << 16
 
 
 def _record_key(record: QueryRecord) -> MatchKey:
@@ -232,6 +239,67 @@ class SimQuerier:
                 return
         self._send_now(index, record, scheduled_at)
 
+    def send_batch(self, items: List[Tuple[int, QueryRecord, float]]) -> None:
+        """Send several records due at the same instant, in order.
+
+        Per-record semantics match :meth:`send` exactly; datagrams for
+        consecutive same-socket records leave through one
+        ``UdpSocket.sendto_batch`` call, amortizing the packet path.
+        Paced or per-query-traced queriers (and singleton batches) fall
+        back to the one-by-one path — pacing reshapes per-query timing
+        and tracing hooks are per-send.
+        """
+        if (self._pacer is not None or self.telemetry is not None
+                or len(items) == 1):
+            for index, record, scheduled_at in items:
+                self.send(index, record, scheduled_at)
+            return
+        loop = self.loop
+        now = loop.now
+        policy = self.config.retry
+        result = self.result
+        querier_id = self.querier_id
+        udp_pending = self._udp_pending
+        # UDP packets accumulate across *all* this querier's sockets
+        # (they share the host) and leave through one
+        # ``Host.send_packet_batch`` — the batch survives the per-source
+        # socket model instead of degenerating into runs of one.
+        packets: List[IpPacket] = []
+        for index, record, scheduled_at in items:
+            entry = SentQuery(
+                index=index, source=record.src, trace_time=record.timestamp,
+                scheduled_at=scheduled_at, sent_at=now,
+                protocol=record.protocol, qname=self._qname(record),
+                querier_id=querier_id)
+            result.add(entry)
+            self.queries_sent += 1
+            if record.protocol != "udp":
+                if packets:
+                    self.host.send_packet_batch(packets)
+                    packets = []
+                self._send_stream(record, entry)
+                continue
+            sock = self._udp_sockets.get(record.src)
+            if sock is None:
+                sock = self.host.bind_udp(self.host.primary_address, 0,
+                                          self._on_udp_response)
+                self._udp_sockets[record.src] = sock
+            wire = record.wire
+            key = (sock.port, (wire[0] << 8) | wire[1])
+            pending = _PendingUdp(entry, record, sock)
+            udp_pending.setdefault(key, []).append(pending)
+            self._udp_answered.discard(key)
+            segment = UdpSegment(sock.port, record.dport, wire)
+            packets.append(IpPacket(
+                sock.address, record.dst, segment,
+                packet_checksum(sock.address, record.dst, segment)))
+            if policy is not None:
+                pending.timer = loop.call_later(
+                    policy.timeout_for(0), self._udp_timeout_fire, key,
+                    pending)
+        if packets:
+            self.host.send_packet_batch(packets)
+
     def _send_now(self, index: int, record: QueryRecord,
                   scheduled_at: float) -> None:
         entry = SentQuery(
@@ -264,8 +332,20 @@ class SimQuerier:
             self.result.pace_rate_cuts += 1
 
     def _qname(self, record: QueryRecord) -> str:
-        question = record.question()
-        return question[0].to_text() if question else "-"
+        # Memoized on the question-section bytes: replay traces are
+        # heavily skewed (the zipf workloads repeat a few hundred
+        # names), and parse + presentation-format rendering per send was
+        # one of the top hot-path costs.  Records sharing the bytes past
+        # the message ID share the qname by construction.
+        key = record.wire[12:]
+        qname = _QNAME_MEMO.get(key)
+        if qname is None:
+            question = record.question()
+            qname = question[0].to_text() if question else "-"
+            if len(_QNAME_MEMO) >= _QNAME_MEMO_LIMIT:
+                _QNAME_MEMO.clear()
+            _QNAME_MEMO[key] = qname
+        return qname
 
     # -- UDP with timeout/retry ---------------------------------------------
 

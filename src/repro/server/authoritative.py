@@ -22,6 +22,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..dns import (AnswerKind, Edns, Flag, Message, Name, Opcode, Question,
                    RRClass, RRType, RRset, Rcode, UDP_PAYLOAD_LIMIT, Zone)
+from ..netsim.packet import WireView
 from ..perf import PerfCounters
 from .wirecache import ResponseWireCache, WireCacheEntry
 
@@ -443,3 +444,128 @@ class AuthoritativeServer:
         if self.telemetry is not None:
             self.telemetry.server_event(query, "server.cache_miss")
         return wire
+
+    def serve_wire_fast(self, wire_query: bytes, source: str = "0.0.0.0",
+                        transport: str = "udp") -> Optional[WireView]:
+        """Zero-copy cache probe straight off the encoded query.
+
+        The hot-loop complement to :meth:`serve_wire`: the cache key is
+        parsed out of the wire with :func:`_parse_query_key` — no
+        :meth:`Message.from_wire`, which dominates the per-query cost —
+        and a hit is served as a :class:`WireView` pairing the query's
+        own 2-byte message ID with the entry's shared readonly body
+        view: no ``bytes`` copy of the response, ever.
+
+        Returns None whenever the full path must run: cache disabled, a
+        dynamic overlay installed (its per-name policies are invisible
+        to the wire-level key), a query shape the key parser does not
+        cover, no matching view, or simply a cache miss.  Misses are
+        *not* counted here — the slow path's own ``cache.get`` books
+        them — so hit/miss accounting stays single-entry.
+
+        Safety: a fast hit requires an entry under the identical key a
+        previous *fully decoded* query populated, and the parser only
+        produces a key after validating the query's complete structure
+        (header counts, label lengths, exact wire consumption).  A wire
+        the hardened decoder would reject therefore cannot be answered
+        here — there is no entry for it to hit — and falls through to
+        the decode path to fail exactly as before.
+        """
+        cache = self.wire_cache
+        if cache is None or self.dynamic is not None:
+            return None
+        parsed = _parse_query_key(wire_query, transport == "udp")
+        if parsed is None:
+            return None
+        view = self.view_for(source)
+        if view is None:
+            return None
+        entry = cache.get_if_hit((id(view),) + parsed, view.zones.version)
+        if entry is None:
+            return None
+        stats = self.stats
+        stats.queries += 1
+        stats.responses += 1
+        stats.note_transport(transport)
+        deltas = entry.stat_deltas
+        stats.refused += deltas[0]
+        stats.nxdomain += deltas[1]
+        stats.referrals += deltas[2]
+        stats.truncated += deltas[3]
+        stats.response_bytes += deltas[4]
+        perf = self.perf
+        if perf is not None:
+            perf.incr("server.wire_cache_hits")
+            perf.incr("server.zero_copy_hits")
+        return WireView(wire_query[:2], entry.body_view)
+
+
+def _parse_query_key(wire: bytes, is_udp: bool) -> Optional[Tuple]:
+    """Extract the wire-cache key fields from an encoded query.
+
+    Returns ``(labels, qtype, qclass, rd, edns_present, do, limit)`` —
+    exactly the tail of the key :meth:`AuthoritativeServer.serve_wire`
+    builds from a decoded :class:`Message` — or None for any shape the
+    fast path does not handle: responses, non-QUERY opcodes, anything
+    but exactly one question, answer/authority records in a query,
+    compressed or oversized labels, more than a lone well-formed OPT in
+    additional, non-IN classes, or trailing bytes (the hardened decoder
+    rejects those, so the fast path must not accept them either).
+    """
+    n = len(wire)
+    if n < 16:  # header + root qname + qtype + qclass
+        return None
+    flags = (wire[2] << 8) | wire[3]
+    if flags & 0x8000 or flags & 0x7800:  # QR set, or opcode != QUERY
+        return None
+    if wire[4] or wire[5] != 1:  # QDCOUNT != 1
+        return None
+    if wire[6] or wire[7] or wire[8] or wire[9]:  # ANCOUNT/NSCOUNT != 0
+        return None
+    if wire[10] or wire[11] > 1:  # ARCOUNT > 1
+        return None
+    pos = 12
+    labels = []
+    name_length = 1
+    while True:
+        length = wire[pos]
+        if length == 0:
+            pos += 1
+            break
+        if length > 63:  # compression pointer or malformed label
+            return None
+        end = pos + 1 + length
+        name_length += length + 1
+        if end >= n or name_length > 255:
+            return None
+        labels.append(wire[pos + 1:end])
+        pos = end
+    if pos + 4 > n:
+        return None
+    qtype = (wire[pos] << 8) | wire[pos + 1]
+    qclass = (wire[pos + 2] << 8) | wire[pos + 3]
+    if qclass != 1:  # IN only, matching the serve_wire cacheable check
+        return None
+    pos += 4
+    edns_present = False
+    dnssec_ok = False
+    payload_size = 0
+    if wire[11]:  # the lone additional record must be a root-owned OPT
+        if pos + 11 > n or wire[pos] != 0:
+            return None
+        if wire[pos + 1] or wire[pos + 2] != 41:  # TYPE != OPT
+            return None
+        edns_present = True
+        payload_size = (wire[pos + 3] << 8) | wire[pos + 4]
+        dnssec_ok = bool(wire[pos + 7] & 0x80)
+        rdlen = (wire[pos + 9] << 8) | wire[pos + 10]
+        pos += 11 + rdlen
+    if pos != n:  # trailing bytes: the decode path rejects these
+        return None
+    if is_udp:
+        limit = max(payload_size, UDP_PAYLOAD_LIMIT) if edns_present \
+            else UDP_PAYLOAD_LIMIT
+    else:
+        limit = None
+    return (tuple(labels), qtype, qclass, bool(flags & 0x0100),
+            edns_present, dnssec_ok, limit)

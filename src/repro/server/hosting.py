@@ -101,6 +101,20 @@ class HostedDnsServer:
         self.stream_overflows = 0
         self._udp_socket = None
         self._tls_endpoints: Dict[TcpConnection, TlsEndpoint] = {}
+        # Cached counter handles: the per-packet paths below bump these
+        # thousands of times per simulated second; a handle is one bound
+        # call instead of registry lookup + string hash per event.
+        perf = self.perf
+        self._queries_counter = perf.counter("hosting.queries")
+        self._decodes_counter = perf.counter("hosting.decodes")
+        self._responses_counter = perf.counter("hosting.responses_sent")
+        self._responses_by_transport: Dict[str, object] = {}
+        # Decode-free zero-copy serving: only when nothing needs the
+        # decoded Message — no admission control, no per-query telemetry
+        # — and the engine can answer straight off the query wire.
+        self._fast_serve = (
+            getattr(engine, "serve_wire_fast", None)
+            if self.overload is None and self.telemetry is None else None)
         self._start()
 
     # -- sampler probes --------------------------------------------------
@@ -123,6 +137,7 @@ class HostedDnsServer:
         if self.config.udp:
             self._udp_socket = self.host.bind_udp(
                 self.address, DNS_PORT, self._on_udp)
+            self._udp_socket.on_datagram_batch = self._on_udp_batch
         options = TcpOptions(nagle=self.config.nagle,
                              idle_timeout=self.config.tcp_idle_timeout)
         if self.config.tcp:
@@ -135,10 +150,60 @@ class HostedDnsServer:
     # -- UDP --------------------------------------------------------------
 
     def _on_udp(self, sock, data: bytes, src: str, sport: int) -> None:
+        fast = self._fast_serve
+        if fast is not None:
+            wire = fast(data, src, "udp")
+            if wire is not None:
+                self._queries_counter.add()
+                self.resources.cpu.charge("udp_query")
+                self._responses_counter.add()
+                self._transport_counter("udp").add()
+                sock.sendto(wire, src, sport)
+                return
         # CPU is charged in _serve, once the admission verdict is known:
         # a query shed at the door costs udp_shed, not the full path.
         self._serve(data, src, "udp",
                     lambda wire: sock.sendto(wire, src, sport))
+
+    def _on_udp_batch(self, sock, datagrams) -> None:
+        """Serve a delivered datagram batch; respond through one batch send.
+
+        Per-datagram semantics match :meth:`_on_udp` exactly (same
+        verdicts, same response bytes, same send order); responses
+        produced synchronously are accumulated and leave through
+        ``sendto_batch`` so a burst of cache hits costs one trip down
+        the send path.  A response that arrives *after* the flush (an
+        async engine resolving later) falls back to its own ``sendto``.
+        """
+        fast = self._fast_serve
+        out = []
+        flushed = [False]
+        fast_hits = 0
+        for data, src, sport in datagrams:
+            if sock.closed:
+                break
+            if fast is not None:
+                wire = fast(data, src, "udp")
+                if wire is not None:
+                    fast_hits += 1
+                    out.append((wire, src, sport))
+                    continue
+
+            def send(wire, src=src, sport=sport):
+                if flushed[0]:
+                    sock.sendto(wire, src, sport)
+                else:
+                    out.append((wire, src, sport))
+
+            self._serve(data, src, "udp", send)
+        if fast_hits:
+            self._queries_counter.add(fast_hits)
+            self.resources.cpu.charge("udp_query", fast_hits)
+            self._responses_counter.add(fast_hits)
+            self._transport_counter("udp").add(fast_hits)
+        flushed[0] = True
+        if out and not sock.closed:
+            sock.sendto_batch(out)
 
     # -- TCP --------------------------------------------------------------
 
@@ -274,10 +339,17 @@ class HostedDnsServer:
 
     # -- engine dispatch -------------------------------------------------
 
+    def _transport_counter(self, transport: str):
+        counter = self._responses_by_transport.get(transport)
+        if counter is None:
+            counter = self.perf.counter(f"hosting.responses_sent.{transport}")
+            self._responses_by_transport[transport] = counter
+        return counter
+
     def _serve(self, wire_query: bytes, source: str, transport: str,
                send: Callable[[bytes], None]) -> None:
         perf = self.perf
-        perf.incr("hosting.queries")
+        self._queries_counter.add()
         try:
             query = Message.from_wire(wire_query)
         except WireError:
@@ -286,7 +358,7 @@ class HostedDnsServer:
             self.decode_errors += 1
             perf.incr("hosting.decode_errors")
             return
-        perf.incr("hosting.decodes")
+        self._decodes_counter.add()
         telemetry = self.telemetry
         if telemetry is not None:
             telemetry.server_event(query, "server.recv",
@@ -369,8 +441,8 @@ class HostedDnsServer:
             if filtered is None:
                 return
             wire = filtered
-        self.perf.incr("hosting.responses_sent")
-        self.perf.incr(f"hosting.responses_sent.{transport}")
+        self._responses_counter.add()
+        self._transport_counter(transport).add()
         if self.telemetry is not None:
             self.telemetry.on_server_response(query, wire, transport)
         send(wire)

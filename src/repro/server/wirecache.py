@@ -25,14 +25,22 @@ CacheKey = Tuple  # (view id, labels, qtype, qclass, rd, edns, do, limit)
 
 
 class WireCacheEntry:
-    """One cached response: canonical wire (message ID zeroed) + validity."""
+    """One cached response: canonical wire (message ID zeroed) + validity.
 
-    __slots__ = ("wire", "zones_version", "zone", "zone_generation",
-                 "stat_deltas")
+    ``body_view`` is a readonly :class:`memoryview` over everything past
+    the 2-byte message ID, shared by every zero-copy hit served from
+    this entry.  The view is created once at construction; because it is
+    readonly and ``wire`` is immutable ``bytes``, no consumer can mutate
+    the cached response through a served reference.
+    """
+
+    __slots__ = ("wire", "body_view", "zones_version", "zone",
+                 "zone_generation", "stat_deltas")
 
     def __init__(self, wire: bytes, zones_version: int, zone,
                  zone_generation: int, stat_deltas: Tuple[int, ...]):
         self.wire = wire
+        self.body_view = memoryview(wire)[2:]
         self.zones_version = zones_version
         self.zone = zone  # None for cached REFUSED (no matching zone)
         self.zone_generation = zone_generation
@@ -76,6 +84,22 @@ class ResponseWireCache:
             del self._entries[key]
             self.invalidations += 1
             self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def get_if_hit(self, key: CacheKey,
+                   zones_version: int) -> Optional[WireCacheEntry]:
+        """Like :meth:`get`, but only *hits* are counted.
+
+        The decode-free fast path probes the cache before the full
+        parse; on a miss (or stale entry) it falls back to the slow path
+        whose own :meth:`get` records the miss/invalidation — counting
+        here too would double-book every miss.
+        """
+        entry = self._entries.get(key)
+        if entry is None or not entry.is_valid(zones_version):
             return None
         self._entries.move_to_end(key)
         self.hits += 1

@@ -1,0 +1,102 @@
+"""Unit tests for the benchmark regression guard (benchmarks/)."""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+SCRIPT = Path(__file__).parent.parent / "benchmarks" / "check_regression.py"
+spec = importlib.util.spec_from_file_location("check_regression", SCRIPT)
+check_regression = importlib.util.module_from_spec(spec)
+sys.modules["check_regression"] = check_regression
+spec.loader.exec_module(check_regression)
+
+compare = check_regression.compare
+throughput_keys = check_regression.throughput_keys
+
+
+def record(**fields):
+    base = {"cpu_count": 4, "skip_reason": None}
+    base.update(fields)
+    return base
+
+
+class TestThroughputKeys:
+    def test_selects_rate_scalars_only(self):
+        row = record(fastpath_qps=100.0, aggregate_qps_concurrent=5,
+                     baseline_qps_pr5=9843.2, speedup=2.0,
+                     cache={"hits": 3}, aggregate_asserted=True)
+        assert throughput_keys(row) == ["aggregate_qps_concurrent",
+                                        "fastpath_qps"]
+
+
+class TestCompare:
+    def test_within_tolerance_passes(self):
+        _lines, failures = compare(
+            {"run": record(fastpath_qps=100.0)},
+            {"run": record(fastpath_qps=81.0)}, tolerance=0.20)
+        assert failures == []
+
+    def test_drop_beyond_tolerance_fails(self):
+        _lines, failures = compare(
+            {"run": record(fastpath_qps=100.0)},
+            {"run": record(fastpath_qps=79.0)}, tolerance=0.20)
+        assert len(failures) == 1
+        assert "REGRESSED" in failures[0]
+
+    def test_improvement_always_passes(self):
+        _lines, failures = compare(
+            {"run": record(fastpath_qps=100.0)},
+            {"run": record(fastpath_qps=500.0)}, tolerance=0.20)
+        assert failures == []
+
+    def test_skip_reason_suppresses_comparison(self):
+        reason = "host has 1 cpu(s) < 4"
+        lines, failures = compare(
+            {"run": record(aggregate_qps_concurrent=60000.0)},
+            {"run": record(aggregate_qps_concurrent=100.0,
+                           skip_reason=reason)}, tolerance=0.20)
+        assert failures == []
+        assert any(reason in line for line in lines)
+
+    def test_cpu_count_mismatch_is_incomparable(self):
+        lines, failures = compare(
+            {"run": record(processes_qps=50000.0, cpu_count=8)},
+            {"run": record(processes_qps=100.0, cpu_count=1)},
+            tolerance=0.20)
+        assert failures == []
+        assert any("not comparable" in line for line in lines)
+
+    def test_missing_record_fails(self):
+        _lines, failures = compare(
+            {"run": record(fastpath_qps=100.0)}, {}, tolerance=0.20)
+        assert failures == ["run: record missing from candidate run"]
+
+    def test_dropped_metric_fails(self):
+        _lines, failures = compare(
+            {"run": record(fastpath_qps=100.0)},
+            {"run": record()}, tolerance=0.20)
+        assert failures == ["run.fastpath_qps: dropped from candidate"]
+
+    def test_new_record_is_reported_not_failed(self):
+        lines, failures = compare(
+            {}, {"fresh": record(fastpath_qps=1.0)}, tolerance=0.20)
+        assert failures == []
+        assert any("new record" in line for line in lines)
+
+
+class TestCli:
+    def test_exit_codes(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        candidate = tmp_path / "cand.json"
+        baseline.write_text('{"run": {"fastpath_qps": 100.0}}')
+        candidate.write_text('{"run": {"fastpath_qps": 95.0}}')
+        assert check_regression.main(
+            ["--baseline", str(baseline),
+             "--candidate", str(candidate)]) == 0
+        assert "no regressions" in capsys.readouterr().out
+
+        candidate.write_text('{"run": {"fastpath_qps": 10.0}}')
+        assert check_regression.main(
+            ["--baseline", str(baseline),
+             "--candidate", str(candidate)]) == 1
+        assert "REGRESSED" in capsys.readouterr().err
