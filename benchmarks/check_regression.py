@@ -1,8 +1,9 @@
 #!/usr/bin/env python3
 """Guard the committed benchmark baselines against silent regressions.
 
-CI regenerates ``BENCH_hotpath.json`` / ``BENCH_multiproc.json`` on
-every run; this script diffs a fresh run against the committed baseline
+CI regenerates ``BENCH_hotpath.json`` / ``BENCH_multiproc.json`` /
+``BENCH_recovery.json`` (clean vs crash-recovered replay q/s) on every
+run; this script diffs a fresh run against the committed baseline
 and fails when any throughput figure fell more than ``--tolerance``
 (default 20%) below it — wide enough to ride out shared-runner noise,
 tight enough to catch a real hot-path slip.

@@ -13,7 +13,12 @@ Two deployment shapes share the primitives in this module:
 * **Replicated servers** (the benchmark shape): every shard carries its
   own server replica, traffic never crosses shards, and shards are
   embarrassingly parallel — real processes via
-  :class:`repro.replay.multiproc.ShardTopology`.
+  :class:`repro.replay.multiproc.ShardTopology`.  Because each replica
+  is self-sourcing and deterministic (it rebuilds its trace slice from
+  the shared factory), a crashed shard process needs no checkpoint:
+  the topology's respawn path simply reruns it at a fresh incarnation
+  under the same :class:`repro.replay.recovery.RespawnPolicy` budget
+  that governs querier workers.
 * **Shared servers** (the general shape): hosts are split across shards
   and cross-shard packets flow through a :class:`CrossShardFabric`,
   exchanged at epoch barriers by an in-process

@@ -34,8 +34,10 @@ from ..dns import WireError
 from ..telemetry.tracing import wire_question_key
 from ..trace import QueryRecord, Trace
 from .distributor import StickyAssigner
-from .protocol import (MSG_END, MSG_RECORD, MSG_SHUTDOWN, MSG_TIME_SYNC,
-                       MessageSocket, ProtocolError, connected_pair)
+from .protocol import (MSG_END, MSG_RECORD, MSG_RECORD_SEQ, MSG_SHUTDOWN,
+                       MSG_TIME_SYNC, MessageSocket, ProtocolError,
+                       connected_pair)
+from .recovery import RecoveryConfig
 from .result import ReplayResult, SentQuery
 from .supervision import ReplayWatchdog, SupervisionConfig
 
@@ -85,6 +87,10 @@ class DistributedConfig:
     # ``_LiveQuerier``.
     supervision: Optional[SupervisionConfig] = None
     querier_factory: Optional[Callable] = None
+    # Self-healing (processes topology only): worker respawn with
+    # checkpointed result shards and exactly-once redelivery.  None
+    # keeps the historical fail-fast behavior byte for byte.
+    recovery: Optional[RecoveryConfig] = None
 
 
 class _LiveQuerier(threading.Thread):
@@ -106,10 +112,22 @@ class _LiveQuerier(threading.Thread):
         self._sock.setblocking(False)
         self._trace_start: Optional[float] = None
         self._clock_start: Optional[float] = None
-        self._queue: List[Tuple[float, int, QueryRecord]] = []
+        self._queue: List[Tuple[float, int, QueryRecord,
+                                Optional[int]]] = []
         self._sequence = 0
         self._done_receiving = False
         self._closed = threading.Event()
+        # Recovery hooks (multiproc recovery mode; all None in thread
+        # mode so the historical behavior is untouched).
+        self.poll_timeout: Optional[float] = None   # bounded receive
+        self.checkpoint_policy = None       # recovery.CheckpointPolicy
+        self.checkpoint_sink: Optional[Callable[[dict], None]] = None
+        self.reconnect: Optional[Callable[[], Optional[MessageSocket]]] \
+            = None                          # inbound re-dial after a drop
+        self._seen_indices: Set[int] = set()  # redelivery dedup (global)
+        self.redundant_records = 0          # redelivered dups dropped here
+        self._last_checkpoint_sent = 0
+        self._last_checkpoint_time = time.monotonic()
         # Supervision surface: the watchdog reads heartbeat/has_work,
         # the deadline handler sets shed_event.
         self.heartbeat = time.monotonic()
@@ -138,16 +156,32 @@ class _LiveQuerier(threading.Thread):
             self.shutdown()
 
     def _run(self) -> None:
+        if self.poll_timeout is not None:
+            self.inbound.settimeout(self.poll_timeout)
         while True:
             self.heartbeat = time.monotonic()
             if not self._done_receiving:
+                stalled_receive = False
                 try:
                     message = self.inbound.receive()
+                except TimeoutError:
+                    # Bounded poll (recovery mode): no frame this round;
+                    # fall through to the send/receive drains below.
+                    message = None
+                    stalled_receive = True
                 except ProtocolError:
                     # A corrupt or torn-down control channel ends the
                     # stream; queued records still drain below.
                     message = None
-                if message is None or message[0] == MSG_END:
+                if stalled_receive:
+                    pass
+                elif message is None:
+                    # EOF without END: the distributor died.  In
+                    # recovery mode its respawn rebinds the same port —
+                    # re-dial with backoff before giving up the stream.
+                    if not self._reconnect_inbound():
+                        self._done_receiving = True
+                elif message[0] == MSG_END:
                     self._done_receiving = True
                 elif message[0] == MSG_SHUTDOWN:
                     # Controller-ordered stop (deadline shedding in the
@@ -155,8 +189,11 @@ class _LiveQuerier(threading.Thread):
                     self.shed_event.set()
                     self._done_receiving = True
                 elif message[0] == MSG_TIME_SYNC:
-                    self._trace_start = message[1]
-                    self._clock_start = time.monotonic()
+                    # Keep the first anchor: a re-sent TIME_SYNC after a
+                    # reconnect must not skew already-scheduled sends.
+                    if self._trace_start is None:
+                        self._trace_start = message[1]
+                        self._clock_start = time.monotonic()
                     if self.deadline is not None \
                             and self._deadline_timer is None:
                         self._deadline_timer = threading.Timer(
@@ -166,10 +203,21 @@ class _LiveQuerier(threading.Thread):
                 elif message[0] == MSG_RECORD:
                     self.records_received += 1
                     self._enqueue(message[1])
+                elif message[0] == MSG_RECORD_SEQ:
+                    index, record = message[1]
+                    if index in self._seen_indices:
+                        # Redelivered copy of a record already queued or
+                        # sent here: exactly-once, drop it locally.
+                        self.redundant_records += 1
+                    else:
+                        self._seen_indices.add(index)
+                        self.records_received += 1
+                        self._enqueue(record, index)
             if self.shed_event.is_set():
                 self._shed_queue()
             self._drain_due()
             self._drain_responses()
+            self._maybe_checkpoint()
             if self._done_receiving and not self._queue:
                 break
         # Settle: catch responses still in flight.
@@ -178,6 +226,37 @@ class _LiveQuerier(threading.Thread):
             self.heartbeat = time.monotonic()
             self._drain_responses()
             time.sleep(0.005)
+        self._maybe_checkpoint()
+
+    def _reconnect_inbound(self) -> bool:
+        """Re-dial a dropped distributor link (recovery mode only)."""
+        if self.reconnect is None or self.shed_event.is_set():
+            return False
+        replacement = self.reconnect()
+        if replacement is None:
+            return False
+        self.inbound.close()
+        self.inbound = replacement
+        if self.poll_timeout is not None:
+            self.inbound.settimeout(self.poll_timeout)
+        with self.lock:
+            self.result.reconnects += 1
+        return True
+
+    def _maybe_checkpoint(self, force: bool = False) -> None:
+        """Emit a cumulative result snapshot if the cadence says so."""
+        if self.checkpoint_sink is None or self.checkpoint_policy is None:
+            return
+        new_records = self.records_sent - self._last_checkpoint_sent
+        since = time.monotonic() - self._last_checkpoint_time
+        if not (force and new_records > 0) \
+                and not self.checkpoint_policy.due(new_records, since):
+            return
+        with self.lock:
+            snapshot = self.result.to_dict()
+        self.checkpoint_sink(snapshot)
+        self._last_checkpoint_sent = self.records_sent
+        self._last_checkpoint_time = time.monotonic()
 
     def shutdown(self) -> None:
         """Close every socket this querier owns (idempotent).
@@ -205,9 +284,10 @@ class _LiveQuerier(threading.Thread):
                 self.result.deadline_shed += len(self._queue)
             self._queue.clear()
 
-    def _enqueue(self, record: QueryRecord) -> None:
+    def _enqueue(self, record: QueryRecord,
+                 index: Optional[int] = None) -> None:
         target = self._target_time(record)
-        heapq.heappush(self._queue, (target, self._sequence, record))
+        heapq.heappush(self._queue, (target, self._sequence, record, index))
         self._sequence += 1
 
     def _target_time(self, record: QueryRecord) -> float:
@@ -220,7 +300,7 @@ class _LiveQuerier(threading.Thread):
             if self.shed_event.is_set():
                 self._shed_queue()
                 return
-            target, _seq, record = self._queue[0]
+            target, _seq, record, index = self._queue[0]
             now = time.monotonic()
             self.heartbeat = now
             if target > now:
@@ -230,15 +310,20 @@ class _LiveQuerier(threading.Thread):
                     continue
                 return
             heapq.heappop(self._queue)
-            self._send(record, target)
+            self._send(record, target, index)
 
-    def _send(self, record: QueryRecord, scheduled_at: float) -> None:
+    def _send(self, record: QueryRecord, scheduled_at: float,
+              index: Optional[int] = None) -> None:
         message_id = self._sequence * 31 % 0xFFFF or 1
         self._sequence += 1
         wire = struct.pack("!H", message_id) + record.wire[2:]
         key = _sent_key(message_id, record)
         entry = SentQuery(
-            index=len(self.result.sent), source=record.src,
+            # Recovery mode carries the global trace index so the
+            # controller's merge can dedup across respawns; classic mode
+            # numbers the local shard and lets merge() re-index.
+            index=index if index is not None else len(self.result.sent),
+            source=record.src,
             trace_time=record.timestamp, scheduled_at=scheduled_at,
             sent_at=time.monotonic(), protocol="udp", qname=key[1],
             querier_id=self.querier_id)
@@ -293,23 +378,50 @@ class _LiveDistributor(threading.Thread):
         self.distributor_id = distributor_id
         self.inbound = inbound
         self.querier_sockets = querier_sockets
-        self.assigner = StickyAssigner(querier_sockets)
+        # allow_empty: a respawned distributor may start with zero
+        # queriers attached and adopt them as they reconnect; records
+        # arriving in that window count as send_failures and are
+        # recovered by the controller's redelivery rounds.
+        self.assigner = StickyAssigner(querier_sockets, allow_empty=True)
         self.result = result
         self.lock = lock
         self.records_routed = 0
         # Per-socket routed counts, so a stalled querier's shed can be
         # computed as routed-to-it minus actually-sent-by-it.
         self.routed_per_socket: Dict[int, int] = {}
+        # Cached for late joiners: a respawned querier attaching after
+        # the broadcast still needs the timing anchor.
+        self._trace_start: Optional[float] = None
+
+    def add_querier(self, outbound: MessageSocket) -> None:
+        """Attach a (re)connected querier mid-run (recovery accept loop).
+
+        The new socket gets the cached TIME_SYNC anchor first, then
+        joins the sticky rotation — sources orphaned by a crashed
+        predecessor rebalance onto it on their next record.
+        """
+        if self._trace_start is not None:
+            try:
+                outbound.send_time_sync(self._trace_start)
+            except OSError:
+                outbound.close()
+                return
+        self.querier_sockets.append(outbound)
+        self.assigner.add(outbound)
 
     def run(self) -> None:
         try:
             for kind, payload in self.inbound.messages():
                 if kind == MSG_TIME_SYNC:
+                    self._trace_start = payload
                     for outbound in self.querier_sockets:
                         outbound.send_time_sync(payload)
                 elif kind == MSG_RECORD:
                     self.records_routed += 1
                     self._route(payload)
+                elif kind == MSG_RECORD_SEQ:
+                    self.records_routed += 1
+                    self._route(payload[1], payload[0])
                 elif kind == MSG_SHUTDOWN:
                     # Controller-ordered stop: relay to the queriers so
                     # they shed their queues, then end the stream.
@@ -328,7 +440,8 @@ class _LiveDistributor(threading.Thread):
                 except OSError:
                     pass
 
-    def _route(self, record: QueryRecord) -> None:
+    def _route(self, record: QueryRecord,
+               index: Optional[int] = None) -> None:
         """Send to the sticky querier; on a dead socket, reroute.
 
         A querier that crashed shows up as a broken pipe on its message
@@ -339,7 +452,10 @@ class _LiveDistributor(threading.Thread):
         while self.assigner.entities:
             outbound = self.assigner.assign(record.src)
             try:
-                outbound.send_record(record)
+                if index is None:
+                    outbound.send_record(record)
+                else:
+                    outbound.send_record_seq(index, record)
                 self.routed_per_socket[id(outbound)] = \
                     self.routed_per_socket.get(id(outbound), 0) + 1
             except OSError:

@@ -21,8 +21,8 @@ class StickyAssigner(Generic[T]):
     """Sticky source→entity assignment with round-robin for new sources."""
 
     def __init__(self, entities: Sequence[T],
-                 sticky: bool = True):
-        if not entities:
+                 sticky: bool = True, allow_empty: bool = False):
+        if not entities and not allow_empty:
             raise ValueError("need at least one entity")
         self.entities = list(entities)
         self.sticky = sticky
@@ -46,6 +46,16 @@ class StickyAssigner(Generic[T]):
         self._assignments = {
             src: ent for src, ent in self._assignments.items()
             if ent is not entity}
+
+    def add(self, entity: T) -> None:
+        """Bring a (re)spawned entity into rotation.
+
+        Only *new* sources land on it at first; sources sticky to live
+        entities stay put, preserving connection reuse, while sources
+        orphaned by an earlier :meth:`remove` rebalance onto it.
+        """
+        if not any(existing is entity for existing in self.entities):
+            self.entities.append(entity)
 
     def assignment_count(self) -> int:
         return len(self._assignments)

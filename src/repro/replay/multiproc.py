@@ -56,10 +56,12 @@ from ..trace import Trace
 from .distributed import (DistributedConfig, ServerAddress,
                           _LiveDistributor, _LiveQuerier)
 from .distributor import StickyAssigner
-from .protocol import (MSG_HELLO, MSG_METRICS, MSG_RESULT, MSG_SHUTDOWN,
-                       MessageSocket, ProtocolError, ROLE_DISTRIBUTOR,
-                       ROLE_QUERIER, ROLE_SHARD, connect)
-from .result import ReplayResult
+from .protocol import (MSG_CHECKPOINT, MSG_HELLO, MSG_METRICS, MSG_RESULT,
+                       MSG_SHUTDOWN, MessageSocket, ProtocolError,
+                       ROLE_DISTRIBUTOR, ROLE_QUERIER, ROLE_SHARD, connect)
+from .recovery import (CheckpointStore, RecoveryConfig, attach_chaos,
+                       merge_recovered, reconnect_with_backoff)
+from .result import ReplayResult, _COUNTER_FIELDS
 from .supervision import ReplayWatchdog
 
 _SETUP_TIMEOUT = 30.0
@@ -89,27 +91,77 @@ def _await_shutdown(control: MessageSocket, timeout: float = 10.0) -> None:
 # ---------------------------------------------------------------------------
 
 def _distributor_main(control_addr: Tuple[str, int], distributor_id: int,
-                      querier_count: int) -> None:
+                      querier_count: int,
+                      recovery: Optional[RecoveryConfig] = None,
+                      incarnation: int = 0, listen_port: int = 0) -> None:
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
-    listener.bind(("127.0.0.1", 0))
-    listener.listen(querier_count)
-    listener.settimeout(_SETUP_TIMEOUT)
+    # SO_REUSEADDR unconditionally: accepted querier sockets inherit it,
+    # so a respawned incarnation can rebind this port while the dead
+    # incarnation's connections are still draining through FIN/TIME_WAIT.
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    if listen_port:
+        # Respawn: rebind the dead incarnation's port so surviving
+        # queriers' reconnect-with-backoff re-dials land here.  The
+        # kernel may need a beat to tear the old socket down.
+        bind_deadline = time.monotonic() + (
+            recovery.hello_timeout if recovery is not None else 5.0)
+        while True:
+            try:
+                listener.bind(("127.0.0.1", listen_port))
+                break
+            except OSError:
+                if time.monotonic() >= bind_deadline:
+                    raise
+                time.sleep(0.05)
+    else:
+        listener.bind(("127.0.0.1", 0))
+    listener.listen(querier_count + 4)
+    listener.settimeout(_SETUP_TIMEOUT if recovery is None
+                        else recovery.hello_timeout)
     control = connect(control_addr)
+    attach_chaos(control, recovery.chaos if recovery else None,
+                 ROLE_DISTRIBUTOR, distributor_id, incarnation)
     control.send_hello(ROLE_DISTRIBUTOR, distributor_id,
-                       listener.getsockname()[1])
+                       listener.getsockname()[1], incarnation)
     querier_sockets: List[MessageSocket] = []
+    accept_stop = threading.Event()
     try:
         for _ in range(querier_count):
-            accepted, _peer = listener.accept()
+            try:
+                accepted, _peer = listener.accept()
+            except TimeoutError:
+                if recovery is None:
+                    raise
+                # Recovery: run with whoever showed up; stragglers and
+                # respawns attach through the late-accept loop below.
+                break
             accepted.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
-            querier_sockets.append(MessageSocket(accepted))
-    finally:
+            querier_sockets.append(MessageSocket(accepted)
+                                   if recovery is None
+                                   else _chaos_socket(accepted, recovery,
+                                                      distributor_id,
+                                                      incarnation))
+    except Exception:
+        listener.close()
+        raise
+    if recovery is None:
         listener.close()
 
     result = ReplayResult(f"distributor-{distributor_id}")
     distributor = _LiveDistributor(distributor_id, control, querier_sockets,
                                    result=result, lock=threading.Lock())
+    if recovery is not None:
+        listener.settimeout(0.1)
+        accept_thread = threading.Thread(
+            target=_accept_late_queriers,
+            args=(listener, distributor, recovery, distributor_id,
+                  incarnation, accept_stop),
+            daemon=True, name=f"distributor-{distributor_id}-accept")
+        accept_thread.start()
     distributor.run()   # synchronous: returns on END/SHUTDOWN/EOF
+    if recovery is not None:
+        accept_stop.set()
+        listener.close()
 
     metrics = MetricsRegistry()
     metrics.incr("replay.records_routed", distributor.records_routed)
@@ -119,17 +171,110 @@ def _distributor_main(control_addr: Tuple[str, int], distributor_id: int,
         _await_shutdown(control)
     except OSError:
         pass
-    for outbound in querier_sockets:
+    for outbound in distributor.querier_sockets:
         outbound.close()
     control.close()
+
+
+def _chaos_socket(accepted: socket.socket, recovery: RecoveryConfig,
+                  distributor_id: int, incarnation: int) -> MessageSocket:
+    """Wrap an accepted querier link, chaos attached to the send path."""
+    accepted.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    msocket = MessageSocket(accepted)
+    attach_chaos(msocket, recovery.chaos, ROLE_DISTRIBUTOR,
+                 distributor_id, incarnation)
+    return msocket
+
+
+def _accept_late_queriers(listener: socket.socket,
+                          distributor: _LiveDistributor,
+                          recovery: RecoveryConfig, distributor_id: int,
+                          incarnation: int,
+                          stop: threading.Event) -> None:
+    """Adopt queriers that (re)connect after startup (respawns)."""
+    while not stop.is_set():
+        try:
+            accepted, _peer = listener.accept()
+        except TimeoutError:
+            continue
+        except OSError:
+            return
+        distributor.add_querier(_chaos_socket(accepted, recovery,
+                                              distributor_id, incarnation))
+
+
+class _CheckpointPump:
+    """Sequence-numbered checkpoint emitter with control-link self-heal.
+
+    Owns the querier's control socket: checkpoints and the final
+    RESULT/METRICS pair all flow through it, and a broken link is
+    re-dialed (connect + re-HELLO with the same incarnation) with
+    backoff before any frame is declared lost.
+    """
+
+    def __init__(self, control: MessageSocket,
+                 control_addr: Tuple[str, int], querier_id: int,
+                 incarnation: int, recovery: RecoveryConfig):
+        self.control = control
+        self._control_addr = control_addr
+        self._querier_id = querier_id
+        self._incarnation = incarnation
+        self._recovery = recovery
+        self._seq = 0
+        self._broken = False
+
+    def _redial(self) -> bool:
+        def factory() -> MessageSocket:
+            replacement = connect(self._control_addr, timeout=2.0)
+            attach_chaos(replacement, self._recovery.chaos, ROLE_QUERIER,
+                         self._querier_id, self._incarnation)
+            replacement.send_hello(ROLE_QUERIER, self._querier_id, 0,
+                                   self._incarnation)
+            return replacement
+        replacement = reconnect_with_backoff(
+            factory, self._recovery.reconnect_attempts,
+            self._recovery.reconnect_backoff)
+        if replacement is None:
+            self._broken = True
+            return False
+        self.control.close()
+        self.control = replacement
+        return True
+
+    def _deliver(self, send) -> bool:
+        if self._broken:
+            return False
+        for _attempt in range(2):
+            try:
+                send()
+                return True
+            except (ProtocolError, OSError):
+                if not self._redial():
+                    return False
+        return False
+
+    def __call__(self, snapshot: dict) -> None:
+        """The querier's checkpoint_sink: emit one cumulative snapshot."""
+        self._seq += 1
+        seq = self._seq
+        self._deliver(lambda: self.control.send_checkpoint(
+            self._querier_id, self._incarnation, seq, snapshot))
+
+    def send_final(self, result: dict, metrics: dict) -> None:
+        self._deliver(lambda: self.control.send_result(result))
+        self._deliver(lambda: self.control.send_metrics(metrics))
 
 
 def _querier_main(control_addr: Tuple[str, int], querier_id: int,
                   distributor_addr: Tuple[str, int],
                   server: ServerAddress,
-                  deadline: Optional[float] = None) -> None:
+                  deadline: Optional[float] = None,
+                  recovery: Optional[RecoveryConfig] = None,
+                  incarnation: int = 0) -> None:
     control = connect(control_addr)
-    control.send_hello(ROLE_QUERIER, querier_id, 0)
+    attach_chaos(control, recovery.chaos if recovery else None,
+                 ROLE_QUERIER, querier_id, incarnation)
+    control.send_hello(ROLE_QUERIER, querier_id, 0, incarnation)
     inbound = connect(distributor_addr)
     result = ReplayResult(f"querier-{querier_id}")
     querier = _LiveQuerier(querier_id, inbound, tuple(server), result,
@@ -139,15 +284,33 @@ def _querier_main(control_addr: Tuple[str, int], querier_id: int,
     # wall-clock budget is enforced locally, anchored at TIME_SYNC —
     # the same zero point thread-mode deadlines use.
     querier.deadline = deadline
+    pump: Optional[_CheckpointPump] = None
+    if recovery is not None:
+        pump = _CheckpointPump(control, control_addr, querier_id,
+                               incarnation, recovery)
+        querier.poll_timeout = 0.05
+        querier.checkpoint_policy = recovery.checkpoint
+        querier.checkpoint_sink = pump
+        querier.reconnect = lambda: reconnect_with_backoff(
+            lambda: connect(distributor_addr, timeout=1.0),
+            recovery.reconnect_attempts, recovery.reconnect_backoff,
+            abort=querier.shed_event.is_set)
     querier.run()   # synchronous; closes its own sockets on exit
 
     metrics = MetricsRegistry()
     metrics.incr("replay.records_received", querier.records_received)
     metrics.incr("replay.records_sent", querier.records_sent)
+    if querier.redundant_records:
+        metrics.incr("replay.redundant_records", querier.redundant_records)
     for entry in result.sent:
         latency = entry.latency
         if latency is not None:
             metrics.observe("query.latency_s", latency)
+    if pump is not None:
+        pump.send_final(result.to_dict(), metrics.to_state())
+        _await_shutdown(pump.control)
+        pump.control.close()
+        return
     try:
         control.send_result(result.to_dict())
         control.send_metrics(metrics.to_state())
@@ -237,9 +400,13 @@ def default_shard_scenario(perf: Optional[PerfCounters] = None,
 
 def _shard_main(control_addr: Tuple[str, int], shard_index: int,
                 num_shards: int, trace_spec: FactorySpec,
-                scenario_spec: FactorySpec) -> None:
+                scenario_spec: FactorySpec,
+                recovery: Optional[RecoveryConfig] = None,
+                incarnation: int = 0) -> None:
     control = connect(control_addr)
-    control.send_hello(ROLE_SHARD, shard_index, 0)
+    attach_chaos(control, recovery.chaos if recovery else None,
+                 ROLE_SHARD, shard_index, incarnation)
+    control.send_hello(ROLE_SHARD, shard_index, 0, incarnation)
     try:
         trace = _resolve_factory(trace_spec)(**trace_spec[2])
         slice_ = shard_slice(trace, shard_index, num_shards)
@@ -332,11 +499,13 @@ class _WorkerHandle:
     """Controller-side view of one worker process (watchdog subject)."""
 
     def __init__(self, role: int, worker_id: int,
-                 control: MessageSocket, listen_port: int):
+                 control: MessageSocket, listen_port: int,
+                 incarnation: int = 0):
         self.role = role
         self.worker_id = worker_id
         self.control = control
         self.listen_port = listen_port
+        self.incarnation = incarnation   # respawn generation (0 = first)
         self.process = None           # attached after the HELLO matches
         self.shard: Optional[ReplayResult] = None
         self.metrics_state: Optional[dict] = None
@@ -363,22 +532,30 @@ class _WorkerHandle:
         return f"{kind}-{self.worker_id}"
 
 
-def _accept_hello(listener: socket.socket,
-                  expected_role: int) -> _WorkerHandle:
-    accepted, _peer = listener.accept()
+def _accept_hello(listener: socket.socket, expected_role: Optional[int],
+                  timeout: float = _SETUP_TIMEOUT) -> _WorkerHandle:
+    accepted, peer = listener.accept()
     accepted.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
     control = MessageSocket(accepted)
-    control.settimeout(_SETUP_TIMEOUT)
-    message = control.receive()
+    # The handshake itself is deadline-bounded: a worker that connects
+    # but never speaks must not hang topology startup.
+    control.settimeout(timeout)
+    try:
+        message = control.receive()
+    except TimeoutError:
+        control.close()
+        raise ProtocolError(
+            f"worker at {peer[0]}:{peer[1]} connected but sent no HELLO "
+            f"within {timeout:.1f}s")
     control.settimeout(None)
     if message is None or message[0] != MSG_HELLO:
         control.close()
-        raise ProtocolError("worker did not HELLO")
-    role, worker_id, listen_port = message[1]
-    if role != expected_role:
+        raise ProtocolError(f"worker at {peer[0]}:{peer[1]} did not HELLO")
+    role, worker_id, listen_port, incarnation = message[1]
+    if expected_role is not None and role != expected_role:
         control.close()
         raise ProtocolError(f"unexpected worker role {role}")
-    return _WorkerHandle(role, worker_id, control, listen_port)
+    return _WorkerHandle(role, worker_id, control, listen_port, incarnation)
 
 
 class ProcessTopology:
@@ -446,6 +623,8 @@ class ProcessTopology:
         records = sorted(trace.records, key=lambda r: r.timestamp)
         if not records:
             return self.result
+        if self.config.recovery is not None:
+            return self._replay_recovering(records)
         config = self.config
         ctx = _mp_context(config.start_method)
         querier_total = (config.distributors
@@ -602,6 +781,492 @@ class ProcessTopology:
     def _collect(self, handle: _WorkerHandle, deadline: float) -> None:
         _collect_worker(handle, deadline)
 
+    # -- self-healing mode (config.recovery is set) ------------------------
+    #
+    # Differences from the classic run above: the control listener stays
+    # open for the whole run so respawned/reconnecting workers can
+    # re-HELLO; every worker gets a dedicated reader thread (CHECKPOINT
+    # frames arrive *during* the replay, not just at collection);
+    # records are streamed as RECORD_SEQ so every send is attributable
+    # to a global trace index; END is withheld until the checkpoint
+    # store accounts for every index (with bounded redelivery rounds
+    # re-streaming lost ones); and the final merge is the exactly-once
+    # merge_recovered over the store instead of the re-indexing
+    # ReplayResult.merge.
+
+    def _replay_recovering(self, records) -> ReplayResult:
+        config = self.config
+        recovery = config.recovery
+        self._ctx = _mp_context(config.start_method)
+        querier_total = (config.distributors
+                         * config.queriers_per_distributor)
+        self._store = CheckpointStore()
+        self._processes: List = []
+        self._pending_processes: Dict[Tuple[int, int, int], object] = {}
+        self._respawn_counts: Dict[Tuple[int, int], int] = {}
+        self._respawns_total = 0
+        self._closing = threading.Event()
+        self._retired_handles: List[_WorkerHandle] = []
+        self._deadline_arg = (config.supervision.deadline
+                              if config.supervision is not None else None)
+
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._listener = listener
+        try:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(config.distributors + querier_total + 4)
+            listener.settimeout(recovery.hello_timeout)
+            self._control_addr = listener.getsockname()
+
+            for distributor_id in range(config.distributors):
+                process = self._ctx.Process(
+                    target=_distributor_main,
+                    args=(self._control_addr, distributor_id,
+                          config.queriers_per_distributor, recovery, 0, 0),
+                    daemon=True, name=f"replay-distributor-{distributor_id}")
+                process.start()
+                self._processes.append(process)
+            by_id: Dict[int, _WorkerHandle] = {}
+            for _ in range(config.distributors):
+                handle = _accept_hello(listener, ROLE_DISTRIBUTOR,
+                                       recovery.hello_timeout)
+                handle.process = self._processes[handle.worker_id]
+                by_id[handle.worker_id] = handle
+            self.distributor_handles = [by_id[i]
+                                        for i in range(config.distributors)]
+
+            for querier_id in range(querier_total):
+                distributor_id = (querier_id
+                                  // config.queriers_per_distributor)
+                distributor_port = \
+                    self.distributor_handles[distributor_id].listen_port
+                process = self._ctx.Process(
+                    target=_querier_main,
+                    args=(self._control_addr, querier_id,
+                          ("127.0.0.1", distributor_port),
+                          self.server_for(querier_id), self._deadline_arg,
+                          recovery, 0),
+                    daemon=True, name=f"replay-querier-{querier_id}")
+                process.start()
+                self._processes.append(process)
+            by_id = {}
+            for _ in range(querier_total):
+                handle = _accept_hello(listener, ROLE_QUERIER,
+                                       recovery.hello_timeout)
+                handle.process = \
+                    self._processes[config.distributors + handle.worker_id]
+                by_id[handle.worker_id] = handle
+            self.querier_handles = [by_id[i] for i in range(querier_total)]
+        except Exception:
+            self._closing.set()
+            for process in self._processes:
+                if process.is_alive():
+                    process.terminate()
+            listener.close()
+            raise
+
+        # Controller-side chaos acts on the record stream to the
+        # distributors; the controller itself never crash-faults.
+        for handle in self.distributor_handles:
+            attach_chaos(handle.control, recovery.chaos, handle.role,
+                         handle.worker_id, handle.incarnation,
+                         controller_side=True)
+        for handle in self.distributor_handles + self.querier_handles:
+            self._start_reader(handle)
+        # Short accept timeout from here on: the accept loop must wake
+        # often enough to notice shutdown.
+        listener.settimeout(0.25)
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, daemon=True,
+            name="replay-recovery-accept")
+        self._accept_thread.start()
+
+        if config.supervision is not None:
+            self.watchdog = ReplayWatchdog(
+                config.supervision,
+                self.querier_handles + self.distributor_handles,
+                on_stall=self._handle_stall_recovering,
+                on_deadline=self._handle_deadline)
+            self.watchdog.start()
+
+        # Reader + Postman with global indices.
+        self._assigner = StickyAssigner(self.distributor_handles)
+        trace_start = records[0].timestamp
+        self._trace_start_value = trace_start
+        self.result.trace_start = trace_start
+        time.sleep(config.start_delay)
+        self.result.start_clock = time.monotonic()
+        for handle in self.distributor_handles:
+            try:
+                handle.control.send_time_sync(trace_start)
+            except OSError:
+                pass
+        streamed = 0
+        for index, record in enumerate(records):
+            if self._deadline_hit:
+                self.result.deadline_shed += len(records) - streamed
+                break
+            self._send_record_seq(index, record)
+            streamed += 1
+
+        # Exactly-once drain: withhold END until the checkpoint store
+        # accounts for every streamed index, re-streaming lost records
+        # in bounded redelivery rounds.
+        duration = records[-1].timestamp - trace_start
+        drain_deadline = time.monotonic() + duration \
+            + config.settle_time + recovery.collect_timeout
+        if not self._deadline_hit:
+            self._drain_exactly_once(records, streamed, drain_deadline)
+
+        # From here on worker death is no longer recoverable work loss
+        # (everything is checkpointed), so stop respawning and let the
+        # tree wind down.
+        self._closing.set()
+        for handle in self.distributor_handles:
+            try:
+                handle.control.send_end()
+            except OSError:
+                pass
+
+        final_deadline = min(drain_deadline,
+                             time.monotonic() + config.settle_time + 8.0)
+        while time.monotonic() < final_deadline:
+            with self._lock:
+                pending = [h for h in (self.querier_handles
+                                       + self.distributor_handles)
+                           if h.shard is None and not h.failed
+                           and h.is_alive()]
+            if not pending:
+                break
+            time.sleep(0.05)
+
+        if self.watchdog is not None:
+            self.watchdog.stop()
+            self.watchdog.join(timeout=1.0)
+        listener.close()
+        self._accept_thread.join(timeout=2.0)
+
+        return self._finish_recovering()
+
+    def _finish_recovering(self) -> ReplayResult:
+        """Merge the store exactly-once, fold counters, tear down."""
+        handles = self.querier_handles + self.distributor_handles
+        with self._lock:
+            snapshots = self._store.snapshots()
+        merged = merge_recovered(snapshots, name=self.result.name)
+        # Controller-side accounting (respawns, redelivery, shedding,
+        # failover) accrued on self.result during the run.
+        for counter in _COUNTER_FIELDS:
+            setattr(merged, counter,
+                    getattr(merged, counter) + getattr(self.result, counter))
+        merged.trace_start = self.result.trace_start
+        if self.result.start_clock is not None:
+            merged.start_clock = self.result.start_clock \
+                if merged.start_clock is None \
+                else min(merged.start_clock, self.result.start_clock)
+        self.result = merged
+
+        lost = 0
+        for handle in handles + self._retired_handles:
+            if handle.metrics_state is not None:
+                self.metrics.merge_state(handle.metrics_state)
+        for handle in handles:
+            if handle.shard is None:
+                lost += 1
+        if lost:
+            self.metrics.incr("multiproc.lost_shards", lost)
+        self.metrics.incr("multiproc.workers", len(handles))
+        if self._respawns_total:
+            self.metrics.incr("multiproc.respawns", self._respawns_total)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.metrics.merge(self.metrics)
+
+        for handle in handles:
+            try:
+                handle.control.send_shutdown()
+            except OSError:
+                pass
+            handle.control.close()
+        for handle in self._retired_handles:
+            handle.control.close()
+        for process in self._processes:
+            process.join(timeout=2.0)
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        return self.result
+
+    def _drain_exactly_once(self, records, streamed: int,
+                            drain_deadline: float) -> None:
+        recovery = self.config.recovery
+        expected = set(range(streamed))
+        rounds = 0
+        last_size = -1
+        last_progress = time.monotonic()
+        while time.monotonic() < drain_deadline:
+            with self._lock:
+                sent = self._store.sent_indices()
+            if expected <= sent:
+                # Every index has a recorded send; also wait out any
+                # still-unanswered sends owned by dead incarnations via
+                # the redelivery below only if they never got answered.
+                missing_answers = self._stale_unanswered(expected)
+                if not missing_answers:
+                    return
+            if len(sent) != last_size:
+                last_size = len(sent)
+                last_progress = time.monotonic()
+                time.sleep(0.05)
+                continue
+            if time.monotonic() - last_progress < recovery.redelivery_grace:
+                time.sleep(0.05)
+                continue
+            with self._lock:
+                live_queriers = any(h.is_alive() and not h.failed
+                                    for h in self.querier_handles)
+            if not self._assigner.entities or not live_queriers:
+                # No live routing path: a respawn is (hopefully) in
+                # flight — don't burn redelivery rounds into the void.
+                time.sleep(0.05)
+                continue
+            if rounds >= recovery.redelivery_rounds:
+                return
+            rounds += 1
+            redeliver = sorted((expected - sent)
+                               | self._stale_unanswered(expected))
+            for index in redeliver:
+                self._send_record_seq(index, records[index])
+            with self._lock:
+                self.result.redelivered_records += len(redeliver)
+            last_progress = time.monotonic()
+
+    def _stale_unanswered(self, expected) -> set:
+        """Indices whose only sends belong to dead incarnations and
+        were never answered — rescue candidates for redelivery."""
+        with self._lock:
+            live_keys = [((h.role, h.worker_id), h.incarnation)
+                         for h in self.querier_handles
+                         if h.is_alive() and not h.failed]
+            answered = self._store.answered_indices()
+            live_sent = self._store.sent_indices(live_keys)
+            sent = self._store.sent_indices()
+        return (sent & expected) - answered - live_sent
+
+    def _send_record_seq(self, index: int, record) -> bool:
+        while self._assigner.entities:
+            handle = self._assigner.assign(record.src)
+            try:
+                handle.control.send_record_seq(index, record)
+                return True
+            except OSError:
+                self._assigner.remove(handle)
+                with self._lock:
+                    self.result.reassigned_queries += 1
+        with self._lock:
+            self.result.send_failures += 1
+        return False
+
+    # -- reader / adoption / respawn ---------------------------------------
+
+    def _start_reader(self, handle: _WorkerHandle) -> None:
+        thread = threading.Thread(
+            target=self._reader_loop, args=(handle, handle.control),
+            daemon=True, name=f"reader-{handle.name}@{handle.incarnation}")
+        thread.start()
+
+    def _reader_loop(self, handle: _WorkerHandle,
+                     control: MessageSocket) -> None:
+        key = (handle.role, handle.worker_id)
+        while True:
+            try:
+                message = control.receive()
+            except (ProtocolError, OSError):
+                break
+            if message is None:
+                break
+            kind, payload = message
+            with self._lock:
+                if kind == MSG_CHECKPOINT:
+                    self._store.offer_frame(key, payload)
+                elif kind == MSG_RESULT:
+                    handle.shard = ReplayResult.from_dict(payload)
+                    # The final RESULT outranks every checkpoint of the
+                    # same incarnation regardless of arrival order.
+                    self._store.offer(key, handle.incarnation, 0,
+                                      payload, final=True)
+                elif kind == MSG_METRICS:
+                    handle.metrics_state = payload
+        # Reader gone: either this socket was replaced by a reconnect
+        # (handle.control moved on — not our problem) or the worker
+        # died and the self-healing path takes over.
+        if handle.control is control and not self._closing.is_set():
+            self._maybe_respawn(handle)
+
+    def _accept_loop(self) -> None:
+        recovery = self.config.recovery
+        while not self._closing.is_set():
+            try:
+                newcomer = _accept_hello(self._listener, None,
+                                         recovery.hello_timeout)
+            except (TimeoutError, ProtocolError):
+                continue
+            except OSError:
+                return
+            self._adopt(newcomer)
+
+    def _adopt(self, newcomer: _WorkerHandle) -> None:
+        """Classify a late HELLO: reconnect of a live incarnation, or a
+        respawned worker taking over its slot."""
+        slots = (self.distributor_handles
+                 if newcomer.role == ROLE_DISTRIBUTOR
+                 else self.querier_handles)
+        with self._lock:
+            if not 0 <= newcomer.worker_id < len(slots):
+                newcomer.control.close()
+                return
+            current = slots[newcomer.worker_id]
+            if (newcomer.incarnation == current.incarnation
+                    and not current.failed):
+                # Same incarnation re-dialing after a dropped socket:
+                # swap the control link, keep every other field.
+                old = current.control
+                current.control = newcomer.control
+                old.close()
+                handle = current
+            elif newcomer.incarnation > current.incarnation:
+                newcomer.process = self._pending_processes.pop(
+                    (newcomer.role, newcomer.worker_id,
+                     newcomer.incarnation), None)
+                slots[newcomer.worker_id] = newcomer
+                self._retired_handles.append(current)
+                handle = newcomer
+                if self.watchdog is not None:
+                    self.watchdog.add_subject(newcomer)
+            else:
+                newcomer.control.close()
+                return
+        if handle is newcomer and newcomer.role == ROLE_DISTRIBUTOR:
+            attach_chaos(newcomer.control, self.config.recovery.chaos,
+                         newcomer.role, newcomer.worker_id,
+                         newcomer.incarnation, controller_side=True)
+            try:
+                newcomer.control.send_time_sync(self._trace_start_value)
+            except OSError:
+                pass
+            self._assigner.add(newcomer)
+        self._start_reader(handle)
+
+    def _maybe_respawn(self, handle: _WorkerHandle) -> None:
+        """A worker's control link died.  Respawn it if it is really
+        dead, its shard is outstanding, and the budget allows."""
+        if handle.process is not None:
+            handle.process.join(timeout=1.5)
+            if handle.process.is_alive():
+                return   # live worker with a dropped socket: it re-dials
+        recovery = self.config.recovery
+        key = (handle.role, handle.worker_id)
+        with self._lock:
+            if (self._closing.is_set() or handle.failed
+                    or handle.shard is not None):
+                return
+            handle.failed = True
+            attempts = self._respawn_counts.get(key, 0)
+            budget_left = (
+                attempts < recovery.respawn.max_per_worker
+                and self._respawns_total < recovery.respawn.max_total)
+            if budget_left:
+                self._respawn_counts[key] = attempts + 1
+                self._respawns_total += 1
+                self.result.respawns += 1
+            else:
+                self.result.watchdog_stalls += 1
+        if handle.role == ROLE_DISTRIBUTOR:
+            self._assigner.remove(handle)
+        if not budget_left:
+            return
+        thread = threading.Thread(
+            target=self._respawn_worker,
+            args=(handle, attempts, handle.incarnation + 1),
+            daemon=True, name=f"respawn-{handle.name}")
+        thread.start()
+
+    def _respawn_worker(self, handle: _WorkerHandle, attempt: int,
+                        incarnation: int) -> None:
+        config = self.config
+        recovery = config.recovery
+        time.sleep(recovery.respawn.backoff(attempt))
+        if self._closing.is_set():
+            return
+        if handle.role == ROLE_QUERIER:
+            distributor_id = (handle.worker_id
+                              // config.queriers_per_distributor)
+            port = self.distributor_handles[distributor_id].listen_port
+            process = self._ctx.Process(
+                target=_querier_main,
+                args=(self._control_addr, handle.worker_id,
+                      ("127.0.0.1", port),
+                      self.server_for(handle.worker_id),
+                      self._deadline_arg, recovery, incarnation),
+                daemon=True,
+                name=f"replay-querier-{handle.worker_id}r{incarnation}")
+        else:
+            process = self._ctx.Process(
+                target=_distributor_main,
+                args=(self._control_addr, handle.worker_id,
+                      config.queriers_per_distributor, recovery,
+                      incarnation, handle.listen_port),
+                daemon=True,
+                name=f"replay-distributor-{handle.worker_id}r{incarnation}")
+        pending_key = (handle.role, handle.worker_id, incarnation)
+        with self._lock:
+            if self._closing.is_set():
+                return
+            self._pending_processes[pending_key] = process
+            self._processes.append(process)
+        process.start()
+        # A respawn that dies before its HELLO is adopted would otherwise
+        # vanish silently (no reader thread watches it yet) — babysit it
+        # through the handshake and retry within the budget.
+        hello_deadline = time.monotonic() + recovery.hello_timeout
+        while time.monotonic() < hello_deadline:
+            if self._closing.is_set():
+                return
+            with self._lock:
+                if pending_key not in self._pending_processes:
+                    return   # adopted: the reader thread owns it now
+            if not process.is_alive():
+                break
+            time.sleep(0.05)
+        else:
+            return
+        with self._lock:
+            if (self._closing.is_set()
+                    or pending_key not in self._pending_processes):
+                return
+            del self._pending_processes[pending_key]
+            key = (handle.role, handle.worker_id)
+            attempts = self._respawn_counts.get(key, 0)
+            if (attempts >= recovery.respawn.max_per_worker
+                    or self._respawns_total >= recovery.respawn.max_total):
+                self.result.watchdog_stalls += 1
+                return
+            self._respawn_counts[key] = attempts + 1
+            self._respawns_total += 1
+            self.result.respawns += 1
+        self._respawn_worker(handle, attempts, incarnation + 1)
+
+    def _handle_stall_recovering(self, handle: _WorkerHandle) -> None:
+        """Watchdog verdict: dead or wedged.  Make death unambiguous
+        (terminate a wedged process) and close the control link so the
+        reader exits into the respawn path."""
+        with self._lock:
+            self.result.watchdog_stalls += 1
+        if handle.is_alive():
+            handle.process.terminate()
+        handle.control.close()
+
 
 def _collect_worker(handle: _WorkerHandle, deadline: float) -> None:
     """Drain one worker's RESULT + METRICS pair (or mark it failed)."""
@@ -651,7 +1316,8 @@ class ShardTopology:
     def __init__(self, num_shards: int, trace_factory: FactorySpec,
                  scenario_factory: Optional[FactorySpec] = None,
                  start_method: Optional[str] = None,
-                 collect_timeout: float = 600.0):
+                 collect_timeout: float = 600.0,
+                 recovery: Optional[RecoveryConfig] = None):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self.num_shards = num_shards
@@ -664,34 +1330,46 @@ class ShardTopology:
                                  dict(scenario_factory[2]))
         self.start_method = start_method
         self.collect_timeout = collect_timeout
+        self.recovery = recovery
         self.result = ReplayResult("sharded-replay")
         self.metrics = MetricsRegistry()
         self.shard_handles: List[_WorkerHandle] = []
         self.wall_s: Optional[float] = None     # controller wall clock
         self.shard_walls: List[Optional[float]] = []
         self.lost_shards = 0
+        self.respawns = 0
+
+    def _spawn_shard(self, ctx, control_addr, shard_index: int,
+                     incarnation: int = 0):
+        process = ctx.Process(
+            target=_shard_main,
+            args=(control_addr, shard_index, self.num_shards,
+                  self.trace_factory, self.scenario_factory,
+                  self.recovery, incarnation),
+            daemon=True,
+            name=f"replay-shard-{shard_index}"
+                 + (f"r{incarnation}" if incarnation else ""))
+        process.start()
+        return process
 
     def replay(self) -> ReplayResult:
         ctx = _mp_context(self.start_method)
         processes = []
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         started = time.perf_counter()
+        hello_timeout = (_SETUP_TIMEOUT if self.recovery is None
+                         else self.recovery.hello_timeout)
         try:
             listener.bind(("127.0.0.1", 0))
             listener.listen(self.num_shards)
-            listener.settimeout(_SETUP_TIMEOUT)
+            listener.settimeout(hello_timeout)
             control_addr = listener.getsockname()
             for shard_index in range(self.num_shards):
-                process = ctx.Process(
-                    target=_shard_main,
-                    args=(control_addr, shard_index, self.num_shards,
-                          self.trace_factory, self.scenario_factory),
-                    daemon=True, name=f"replay-shard-{shard_index}")
-                process.start()
-                processes.append(process)
+                processes.append(
+                    self._spawn_shard(ctx, control_addr, shard_index))
             by_id: Dict[int, _WorkerHandle] = {}
             for _ in range(self.num_shards):
-                handle = _accept_hello(listener, ROLE_SHARD)
+                handle = _accept_hello(listener, ROLE_SHARD, hello_timeout)
                 handle.process = processes[handle.worker_id]
                 by_id[handle.worker_id] = handle
             self.shard_handles = [by_id[i] for i in range(self.num_shards)]
@@ -699,13 +1377,24 @@ class ShardTopology:
             for process in processes:
                 if process.is_alive():
                     process.terminate()
+            listener.close()
             raise
-        finally:
+        if self.recovery is None:
             listener.close()
 
         deadline = time.monotonic() + self.collect_timeout
         for handle in self.shard_handles:
             _collect_worker(handle, deadline)
+        if self.recovery is not None:
+            # Shards are self-sourcing (each regenerates its own slice),
+            # so recovery is simply: respawn a failed shard with a fresh
+            # incarnation and collect again, within the budget.
+            try:
+                self._respawn_failed_shards(ctx, processes,
+                                            listener.getsockname(),
+                                            listener, deadline)
+            finally:
+                listener.close()
         self.wall_s = time.perf_counter() - started
 
         self.shard_walls = []
@@ -724,6 +1413,9 @@ class ShardTopology:
         if self.lost_shards:
             self.metrics.incr("multiproc.lost_shards", self.lost_shards)
         self.metrics.incr("multiproc.shards", len(self.shard_handles))
+        if self.respawns:
+            self.result.respawns += self.respawns
+            self.metrics.incr("multiproc.respawns", self.respawns)
 
         for handle in self.shard_handles:
             try:
@@ -738,6 +1430,50 @@ class ShardTopology:
                 process.terminate()
                 process.join(timeout=2.0)
         return self.result
+
+    def _respawn_failed_shards(self, ctx, processes, control_addr,
+                               listener: socket.socket,
+                               deadline: float) -> None:
+        """Respawn dead shards with fresh incarnations, within budget.
+
+        A shard's replay is deterministic for its slice, so a respawned
+        incarnation redoes the whole slice and its RESULT simply
+        replaces the one the dead incarnation never sent — no partial
+        state to reconcile.
+        """
+        recovery = self.recovery
+        per_worker: Dict[int, int] = {}
+        while time.monotonic() < deadline:
+            failed = [handle for handle in self.shard_handles
+                      if handle.failed and handle.shard is None
+                      and per_worker.get(handle.worker_id, 0)
+                      < recovery.respawn.max_per_worker
+                      and self.respawns < recovery.respawn.max_total]
+            if not failed:
+                return
+            pending: Dict[Tuple[int, int], object] = {}
+            for handle in failed:
+                attempt = per_worker.get(handle.worker_id, 0)
+                per_worker[handle.worker_id] = attempt + 1
+                self.respawns += 1
+                time.sleep(recovery.respawn.backoff(attempt))
+                incarnation = handle.incarnation + 1
+                process = self._spawn_shard(ctx, control_addr,
+                                            handle.worker_id, incarnation)
+                processes.append(process)
+                pending[(handle.worker_id, incarnation)] = process
+            for _ in range(len(pending)):
+                try:
+                    newcomer = _accept_hello(listener, ROLE_SHARD,
+                                             recovery.hello_timeout)
+                except (TimeoutError, ProtocolError):
+                    continue   # died pre-HELLO: next loop pass retries
+                old = self.shard_handles[newcomer.worker_id]
+                old.control.close()
+                newcomer.process = pending.get(
+                    (newcomer.worker_id, newcomer.incarnation))
+                self.shard_handles[newcomer.worker_id] = newcomer
+                _collect_worker(newcomer, deadline)
 
     def aggregate_qps(self) -> Optional[float]:
         """Aggregate queries/second over the controller's wall clock.

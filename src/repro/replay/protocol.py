@@ -9,13 +9,16 @@ length-prefixed internal messages reusing the binary trace record layout
 multi-process deployment need:
 
     frame  := u32 length, u8 kind, payload
-    kinds  := TIME_SYNC (f64 trace-start time)
-            | RECORD    (binary trace record body)
-            | END       (no payload; stream complete)
-            | HELLO     (u8 role, u16 worker id, u16 listen port)
-            | RESULT    (JSON ReplayResult shard)
-            | METRICS   (JSON MetricsRegistry state)
-            | SHUTDOWN  (no payload; stop now, shed queued work)
+    kinds  := TIME_SYNC   (f64 trace-start time)
+            | RECORD      (binary trace record body)
+            | END         (no payload; stream complete)
+            | HELLO       (u8 role, u16 worker id, u16 listen port,
+                           u16 incarnation — legacy 5-byte form accepted)
+            | RESULT      (JSON ReplayResult shard)
+            | METRICS     (JSON MetricsRegistry state)
+            | SHUTDOWN    (no payload; stop now, shed queued work)
+            | CHECKPOINT  (JSON incremental result snapshot, seq-numbered)
+            | RECORD_SEQ  (u32 global trace index + binary record body)
 
 :class:`MessageSocket` wraps a connected TCP socket with framed send /
 receive; :mod:`repro.replay.distributed` builds the controller →
@@ -48,6 +51,15 @@ MSG_HELLO = 4
 MSG_RESULT = 5
 MSG_METRICS = 6
 MSG_SHUTDOWN = 7
+MSG_CHECKPOINT = 8   # incremental RESULT snapshot (recovery mode)
+MSG_RECORD_SEQ = 9   # RECORD tagged with its global trace index
+
+KIND_NAMES = {
+    MSG_TIME_SYNC: "TIME_SYNC", MSG_RECORD: "RECORD", MSG_END: "END",
+    MSG_HELLO: "HELLO", MSG_RESULT: "RESULT", MSG_METRICS: "METRICS",
+    MSG_SHUTDOWN: "SHUTDOWN", MSG_CHECKPOINT: "CHECKPOINT",
+    MSG_RECORD_SEQ: "RECORD_SEQ",
+}
 
 # Worker roles carried in HELLO frames (multi-process topology).
 ROLE_DISTRIBUTOR = 1
@@ -61,13 +73,25 @@ ROLE_SHARD = 3      # self-sourcing simulation shard (ShardTopology)
 MAX_FRAME = 64 * 1024 * 1024
 
 _FRAME_HEADER = struct.Struct("!IB")
-_HELLO = struct.Struct("!BHH")
+_HELLO = struct.Struct("!BHH")          # legacy: role, worker id, port
+_HELLO_V2 = struct.Struct("!BHHH")      # + u16 incarnation (respawn count)
+_RECORD_SEQ = struct.Struct("!I")
 
 Message = Tuple[int, Union[float, QueryRecord, dict, tuple, None]]
 
 
 class ProtocolError(RuntimeError):
     pass
+
+
+class SendError(ProtocolError, ConnectionError):
+    """A frame could not be written to the peer (EPIPE/ECONNRESET/...).
+
+    Subclasses both :class:`ProtocolError` (so protocol-aware callers
+    catch one exception family for both directions) and
+    :class:`ConnectionError` (so the pre-existing ``except OSError``
+    failover paths in the distributor/querier keep working unchanged).
+    """
 
 
 # -- control-payload schemas ------------------------------------------------
@@ -164,6 +188,21 @@ def validate_metrics_payload(payload: object) -> dict:
     return payload
 
 
+def validate_checkpoint_payload(payload: object) -> dict:
+    """Check a CHECKPOINT frame: seq-numbered cumulative result snapshot."""
+    _require(isinstance(payload, dict),
+             "CHECKPOINT payload must be an object")
+    _check_fields(payload,
+                  {"worker": int, "incarnation": int, "seq": int,
+                   "result": dict},
+                  {"final": bool}, "CHECKPOINT")
+    _require(not isinstance(payload["worker"], bool)
+             and payload["incarnation"] >= 0 and payload["seq"] >= 0,
+             "CHECKPOINT worker/incarnation/seq must be non-negative ints")
+    validate_result_payload(payload["result"])
+    return payload
+
+
 def _is_int_key(text: str) -> bool:
     try:
         int(text)
@@ -179,8 +218,12 @@ class MessageSocket:
         self._socket = sock
         self._buffer = bytearray()
         self._send_lock = threading.Lock()
+        self._pending_header: Optional[Tuple[int, int]] = None
         self.messages_sent = 0
         self.messages_received = 0
+        # Optional fault injector (recovery.ChaosEngine): maps one
+        # outgoing frame to zero or more frames actually written.
+        self.chaos = None
 
     # -- sending -----------------------------------------------------------
 
@@ -194,8 +237,9 @@ class MessageSocket:
         self._send(MSG_END, b"")
 
     def send_hello(self, role: int, worker_id: int,
-                   listen_port: int = 0) -> None:
-        self._send(MSG_HELLO, _HELLO.pack(role, worker_id, listen_port))
+                   listen_port: int = 0, incarnation: int = 0) -> None:
+        self._send(MSG_HELLO,
+                   _HELLO_V2.pack(role, worker_id, listen_port, incarnation))
 
     def send_result(self, shard: dict) -> None:
         self._send(MSG_RESULT, json.dumps(shard).encode("utf-8"))
@@ -206,14 +250,33 @@ class MessageSocket:
     def send_shutdown(self) -> None:
         self._send(MSG_SHUTDOWN, b"")
 
+    def send_checkpoint(self, worker_id: int, incarnation: int, seq: int,
+                        result: dict, final: bool = False) -> None:
+        payload = {"worker": worker_id, "incarnation": incarnation,
+                   "seq": seq, "result": result, "final": final}
+        self._send(MSG_CHECKPOINT, json.dumps(payload).encode("utf-8"))
+
+    def send_record_seq(self, index: int, record: QueryRecord) -> None:
+        self._send(MSG_RECORD_SEQ,
+                   _RECORD_SEQ.pack(index) + pack_record_body(record))
+
     def _send(self, kind: int, payload: bytes) -> None:
-        header = _FRAME_HEADER.pack(1 + len(payload), kind)
+        chaos = self.chaos
+        frames = ([(kind, payload)] if chaos is None
+                  else chaos.process(kind, payload))
         # One frame per sendall, serialized: the control channel is
         # written by both the streaming loop and the watchdog thread
         # (deadline SHUTDOWN), and interleaved frames would corrupt it.
-        with self._send_lock:
-            self._socket.sendall(header + payload)
-        self.messages_sent += 1
+        try:
+            with self._send_lock:
+                for each_kind, each_payload in frames:
+                    header = _FRAME_HEADER.pack(1 + len(each_payload),
+                                                each_kind)
+                    self._socket.sendall(header + each_payload)
+                    self.messages_sent += 1
+        except OSError as exc:
+            name = KIND_NAMES.get(kind, str(kind))
+            raise SendError(f"send of {name} frame failed: {exc}") from exc
 
     # -- receiving ----------------------------------------------------------
 
@@ -223,17 +286,26 @@ class MessageSocket:
         Raises :class:`ProtocolError` for anything else: a connection
         dying mid-frame, a length field outside ``[1, MAX_FRAME]``, an
         undecodable payload, or an unknown message kind.
+
+        A :class:`TimeoutError` from a bounded receive (``settimeout``)
+        is resumable: the parsed header and any buffered payload bytes
+        are kept, and the next call picks up mid-frame instead of
+        misreading payload bytes as a new header.
         """
-        header = self._read_exactly(_FRAME_HEADER.size)
-        if header is None:
-            return None
-        length, kind = _FRAME_HEADER.unpack(header)
-        if not 1 <= length <= MAX_FRAME:
-            raise ProtocolError(f"bad frame length {length} "
-                                f"(must be 1..{MAX_FRAME})")
+        if self._pending_header is None:
+            header = self._read_exactly(_FRAME_HEADER.size)
+            if header is None:
+                return None
+            length, kind = _FRAME_HEADER.unpack(header)
+            if not 1 <= length <= MAX_FRAME:
+                raise ProtocolError(f"bad frame length {length} "
+                                    f"(must be 1..{MAX_FRAME})")
+            self._pending_header = (length, kind)
+        length, kind = self._pending_header
         payload = self._read_exactly(length - 1)
         if payload is None:
             raise ProtocolError("connection closed mid-frame")
+        self._pending_header = None
         self.messages_received += 1
         if kind == MSG_TIME_SYNC:
             try:
@@ -251,20 +323,32 @@ class MessageSocket:
             return (MSG_END, None)
         if kind == MSG_HELLO:
             try:
-                fields = _HELLO.unpack(payload)
+                if len(payload) == _HELLO.size:   # legacy: incarnation 0
+                    fields = _HELLO.unpack(payload) + (0,)
+                else:
+                    fields = _HELLO_V2.unpack(payload)
             except struct.error as exc:
                 raise ProtocolError(f"bad HELLO payload: {exc}")
             _require(fields[0] in (ROLE_DISTRIBUTOR, ROLE_QUERIER,
                                    ROLE_SHARD),
                      f"bad HELLO role {fields[0]}")
             return (MSG_HELLO, fields)
-        if kind in (MSG_RESULT, MSG_METRICS):
+        if kind == MSG_RECORD_SEQ:
+            try:
+                (index,) = _RECORD_SEQ.unpack(payload[:_RECORD_SEQ.size])
+                record = unpack_record_body(bytes(payload[_RECORD_SEQ.size:]))
+            except (struct.error, BinaryFormatError) as exc:
+                raise ProtocolError(f"bad RECORD_SEQ payload: {exc}")
+            return (MSG_RECORD_SEQ, (index, record))
+        if kind in (MSG_RESULT, MSG_METRICS, MSG_CHECKPOINT):
             try:
                 decoded = json.loads(payload.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
                 raise ProtocolError(f"bad JSON payload: {exc}")
             if kind == MSG_RESULT:
                 return (kind, validate_result_payload(decoded))
+            if kind == MSG_CHECKPOINT:
+                return (kind, validate_checkpoint_payload(decoded))
             return (kind, validate_metrics_payload(decoded))
         if kind == MSG_SHUTDOWN:
             _require(not payload, "SHUTDOWN frame must carry no payload")

@@ -51,6 +51,7 @@ _COUNTER_FIELDS = (
     "reassigned_queries", "gave_up", "servfails_observed",
     "paced_queries", "pace_rate_cuts", "backpressure_pauses",
     "watchdog_stalls", "stall_shed", "deadline_shed",
+    "respawns", "redelivered_records", "duplicate_merged",
 )
 
 
@@ -80,6 +81,10 @@ class ReplayResult:
         self.watchdog_stalls = 0       # queriers terminated by the watchdog
         self.stall_shed = 0            # queries lost inside stalled queriers
         self.deadline_shed = 0         # queries shed past the replay deadline
+        # Self-healing counters (crash recovery & checkpointed merge).
+        self.respawns = 0              # worker processes respawned
+        self.redelivered_records = 0   # trace records re-streamed after loss
+        self.duplicate_merged = 0      # duplicate sends dropped by the merge
 
     def add(self, query: SentQuery) -> None:
         self.sent.append(query)
@@ -155,6 +160,9 @@ class ReplayResult:
             "gave_up": self.gave_up,
             "unmatched_responses": self.unmatched_responses,
             "send_failures": self.send_failures,
+            "respawns": self.respawns,
+            "redelivered_records": self.redelivered_records,
+            "duplicate_merged": self.duplicate_merged,
         }
 
     def degradation(self) -> Dict[str, int]:

@@ -151,6 +151,10 @@ class ReplayWatchdog(threading.Thread):
         self.stalled.append(subject)
         self.on_stall(subject)
 
+    def add_subject(self, subject) -> None:
+        """Adopt a subject mid-run (a respawned worker handle)."""
+        self.subjects.append(subject)
+
     def deadline_expired(self) -> bool:
         return self._deadline_fired
 

@@ -16,10 +16,12 @@ stack, all seeded and deterministic:
 """
 
 from .explorer import (AdmissionScenarioModel, ExplorationResult, Explorer,
-                       TcpScenarioModel, Violation, explore_admission,
-                       explore_all, explore_tcp)
+                       RecoveryScenarioModel, TcpScenarioModel, Violation,
+                       explore_admission, explore_all, explore_recovery,
+                       explore_tcp)
 from .fuzz import Crash, FuzzReport, TARGETS, ddmin, run_fuzz
-from .generators import (hostile_frames, hostile_wires, tcp_schedules,
+from .generators import (checkpoint_deliveries, checkpoint_emission_history,
+                         hostile_frames, hostile_wires, tcp_schedules,
                          valid_message, wire_seed_corpus)
 from .oracles import (Divergence, Observation, Oracle, OracleReport,
                       diff_observations, zero_msg_id)
@@ -27,8 +29,10 @@ from .oracles import (Divergence, Observation, Oracle, OracleReport,
 __all__ = [
     "AdmissionScenarioModel", "Crash", "Divergence", "ExplorationResult",
     "Explorer", "FuzzReport", "Observation", "Oracle", "OracleReport",
-    "TARGETS", "TcpScenarioModel", "Violation", "ddmin",
-    "diff_observations", "explore_admission", "explore_all", "explore_tcp",
-    "hostile_frames", "hostile_wires", "run_fuzz", "tcp_schedules",
-    "valid_message", "wire_seed_corpus", "zero_msg_id",
+    "RecoveryScenarioModel", "TARGETS", "TcpScenarioModel", "Violation",
+    "checkpoint_deliveries", "checkpoint_emission_history", "ddmin",
+    "diff_observations", "explore_admission", "explore_all",
+    "explore_recovery", "explore_tcp", "hostile_frames", "hostile_wires",
+    "run_fuzz", "tcp_schedules", "valid_message", "wire_seed_corpus",
+    "zero_msg_id",
 ]

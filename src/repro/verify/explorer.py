@@ -471,10 +471,219 @@ class AdmissionScenarioModel:
                 tuple(sorted(self.perf.to_state()["counts"].items())))
 
 
+# -- crash-recovery scenarios -----------------------------------------------
+
+class RecoveryScenarioModel:
+    """Worker crash × checkpoint-frame reorder against the *production*
+    recovery code (:class:`repro.replay.recovery.CheckpointStore` /
+    :func:`repro.replay.recovery.merge_recovered`).
+
+    The model abstracts the process tree to its accounting skeleton:
+    records are routed round-robin to workers, workers execute them and
+    emit cumulative sequence-numbered checkpoint frames, the controller
+    folds delivered frames into a real ``CheckpointStore``.  The
+    explorer owns every source of nondeterminism the real control plane
+    has: frame delivery order (reorder), bounded duplicate delivery,
+    and bounded worker crashes (a crash wipes the worker's
+    un-checkpointed state; the controller redelivers everything the
+    store cannot account for to the respawned incarnation — and stale
+    frames from the dead incarnation may still arrive afterwards).
+
+    ``scenario`` is one of:
+
+    * ``"crash-reorder"`` — 2 workers, 4 records, one crash allowed,
+      frames deliverable in any order (the ISSUE's worker-crash ×
+      frame-reorder grid);
+    * ``"dup-reorder"`` — no crashes, 2 duplicate deliveries allowed:
+      pure idempotence under at-least-once frame transport;
+    * ``"double-crash"`` — both workers may crash once each.
+
+    Terminal invariant: ``merge_recovered`` over the store's snapshots
+    accounts for every record exactly once
+    (:func:`repro.replay.recovery.conservation_violations`), and the
+    store never regresses (stale frames stay stale).
+    """
+
+    def __init__(self, scenario: str = "crash-reorder",
+                 workers: int = 2, total: int = 4):
+        from ..replay.recovery import CheckpointStore
+
+        self.scenario = scenario
+        self.workers = workers
+        self.total = total
+        if scenario == "crash-reorder":
+            self.crash_budget = [1] * workers
+            self.crashes_max = 1
+            self.dup_budget = 0
+        elif scenario == "dup-reorder":
+            self.crash_budget = [0] * workers
+            self.crashes_max = 0
+            self.dup_budget = 2
+        elif scenario == "double-crash":
+            self.crash_budget = [1] * workers
+            self.crashes_max = workers
+            self.dup_budget = 0
+            self.total = total = min(total, 3)
+        else:
+            raise ValueError(f"unknown recovery scenario {scenario!r}")
+        self.store = CheckpointStore()
+        self.routed = 0
+        self.crashes = 0
+        self.dups = 0
+        # Per-worker state, current incarnation only (a crash resets it).
+        self.incarnation = [0] * workers
+        self.assigned: List[List[int]] = [[] for _ in range(workers)]
+        self.executed: List[List[int]] = [[] for _ in range(workers)]
+        self.seq = [0] * workers
+        self.emitted = [0] * workers    # executed count at last emission
+        self.finalized = [False] * workers
+        # In-flight frames: (worker, payload) — delivery order is the
+        # explorer's to choose, and dead incarnations' frames linger.
+        self.pending: List[Tuple[int, dict]] = []
+
+    # -- plumbing --------------------------------------------------------
+
+    def _owner(self, index: int) -> int:
+        return index % self.workers
+
+    def _snapshot(self, worker: int) -> dict:
+        sent = [{"index": index, "source": f"c{self._owner(index)}",
+                 "trace_time": float(index), "scheduled_at": float(index),
+                 "sent_at": float(index), "protocol": "udp",
+                 "qname": "q.example.com.", "answered_at": float(index) + 1,
+                 "querier_id": worker}
+                for index in self.executed[worker]]
+        return {"name": f"querier-{worker}", "sent": sent}
+
+    def _frame(self, worker: int, final: bool = False) -> dict:
+        self.seq[worker] += 1
+        return {"worker": worker,
+                "incarnation": self.incarnation[worker],
+                "seq": self.seq[worker], "final": final,
+                "result": self._snapshot(worker)}
+
+    def _accounted(self) -> set:
+        return self.store.sent_indices()
+
+    # -- the explorer interface ------------------------------------------
+
+    def choices(self) -> List[str]:
+        out: List[str] = []
+        if self.routed < self.total:
+            out.append(f"route[{self.routed}]")
+        for worker in range(self.workers):
+            if self.finalized[worker]:
+                continue
+            if self.assigned[worker]:
+                out.append(f"exec[w{worker}]")
+            if len(self.executed[worker]) > self.emitted[worker]:
+                out.append(f"ckpt[w{worker}]")
+            if (self.routed == self.total and not self.assigned[worker]):
+                out.append(f"final[w{worker}]")
+            if (self.crash_budget[worker] > 0
+                    and self.crashes < self.crashes_max
+                    and (self.assigned[worker] or self.executed[worker])):
+                out.append(f"crash[w{worker}]")
+        for slot in range(len(self.pending)):
+            out.append(f"deliver[{slot}]")
+            if self.dups < self.dup_budget:
+                out.append(f"dup[{slot}]")
+        return out
+
+    def apply(self, index: int) -> None:
+        label = self.choices()[index]
+        action, _, arg = label.partition("[")
+        arg = arg.rstrip("]")
+        if action == "route":
+            record = self.routed
+            self.routed += 1
+            self.assigned[self._owner(record)].append(record)
+        elif action == "exec":
+            worker = int(arg[1:])
+            self.executed[worker].append(self.assigned[worker].pop(0))
+        elif action == "ckpt":
+            worker = int(arg[1:])
+            self.pending.append((worker, self._frame(worker)))
+            self.emitted[worker] = len(self.executed[worker])
+        elif action == "final":
+            worker = int(arg[1:])
+            self.pending.append((worker, self._frame(worker, final=True)))
+            self.finalized[worker] = True
+        elif action == "crash":
+            worker = int(arg[1:])
+            self.crash_budget[worker] -= 1
+            self.crashes += 1
+            lost = [record for record in range(self.routed)
+                    if self._owner(record) == worker
+                    and record not in self._accounted()]
+            # Respawn: fresh incarnation, redeliver what the store
+            # cannot account for.  Frames of the dead incarnation stay
+            # in flight — late arrivals must stay harmless.
+            self.incarnation[worker] += 1
+            self.assigned[worker] = lost
+            self.executed[worker] = []
+            self.seq[worker] = 0
+            self.emitted[worker] = 0
+        elif action == "dup":
+            self.dups += 1
+            worker, payload = self.pending[int(arg)]
+            self.store.offer_frame((1, worker), payload)
+        else:   # deliver
+            worker, payload = self.pending.pop(int(arg))
+            self.store.offer_frame((1, worker), payload)
+
+    def check(self) -> List[Tuple[str, str]]:
+        from ..replay.recovery import merge_recovered
+
+        bad: List[Tuple[str, str]] = []
+        # The merge must never invent records or duplicate an index, at
+        # *every* intermediate state, not just at quiescence.
+        merged = merge_recovered(self.store.snapshots())
+        indices = [query.index for query in merged.sent]
+        if len(indices) != len(set(indices)):
+            bad.append(("merge-duplicates",
+                        f"duplicate indices in {sorted(indices)}"))
+        ghost = set(indices) - set(range(self.routed))
+        if ghost:
+            bad.append(("merge-ghosts",
+                        f"indices never routed: {sorted(ghost)}"))
+        if self.store.frames_stale > self.store.frames_offered:
+            bad.append(("store-accounting",
+                        f"{self.store.frames_stale} stale of "
+                        f"{self.store.frames_offered} offered"))
+        return bad
+
+    def check_terminal(self) -> List[Tuple[str, str]]:
+        from ..replay.recovery import conservation_violations, \
+            merge_recovered
+
+        merged = merge_recovered(self.store.snapshots())
+        return [("conservation", problem)
+                for problem in conservation_violations(merged, self.total)]
+
+    def fingerprint(self):
+        frames = tuple(sorted(
+            (worker, payload["incarnation"], payload["seq"],
+             payload["final"], tuple(q["index"]
+                                     for q in payload["result"]["sent"]))
+            for worker, payload in self.pending))
+        store = tuple(
+            (repr(key), self.store._best[key][0], self.store._best[key][1],
+             tuple(q["index"] for q in self.store._best[key][2]["sent"]))
+            for key in self.store.keys())
+        return (self.routed, self.crashes, self.dups,
+                tuple(self.incarnation),
+                tuple(tuple(a) for a in self.assigned),
+                tuple(tuple(e) for e in self.executed),
+                tuple(self.emitted), tuple(self.finalized),
+                frames, store)
+
+
 # -- canned sweeps ----------------------------------------------------------
 
 TCP_SCENARIOS = ("two-close", "simultaneous-close", "refuse-when-full")
 ADMISSION_POLICIES = ("drop-oldest", "drop-newest", "servfail-shed")
+RECOVERY_SCENARIOS = ("crash-reorder", "dup-reorder", "double-crash")
 
 
 def explore_tcp(scenario: str, max_depth: int = 60) -> ExplorationResult:
@@ -491,6 +700,14 @@ def explore_admission(policy: str, total: int = 4, limit: int = 2,
         max_depth=max_depth).run()
 
 
+def explore_recovery(scenario: str, workers: int = 2, total: int = 4,
+                     max_depth: int = 80) -> ExplorationResult:
+    return Explorer(
+        lambda: RecoveryScenarioModel(scenario, workers=workers,
+                                      total=total),
+        max_depth=max_depth).run()
+
+
 def explore_all(max_depth: int = 60) -> Dict[str, ExplorationResult]:
     """The CI sweep: every canned scenario, keyed by name."""
     out: Dict[str, ExplorationResult] = {}
@@ -501,4 +718,7 @@ def explore_all(max_depth: int = 60) -> Dict[str, ExplorationResult]:
             policy, max_depth=max_depth)
     out["admission/drop-oldest+rrl"] = explore_admission(
         "drop-oldest", rrl=True, max_depth=max_depth)
+    for scenario in RECOVERY_SCENARIOS:
+        out[f"recovery/{scenario}"] = explore_recovery(
+            scenario, max_depth=max(max_depth, 80))
     return out

@@ -232,6 +232,8 @@ def _frame(kind: int, payload: bytes) -> bytes:
 def frame_seed_corpus() -> List[bytes]:
     record = struct.pack("!dIHIHBBH", 1.5, 0x0A000001, 1234, 0x0A000002,
                          53, 0, 0, 4) + b"\x00" * 4
+    checkpoint = (b'{"worker": 1, "incarnation": 0, "seq": 2, '
+                  b'"result": {"name": "q", "sent": []}}')
     return [
         _frame(1, struct.pack("!d", 0.0)),          # valid TIME_SYNC
         _frame(1, b"\x00" * 4),                     # short TIME_SYNC
@@ -240,9 +242,18 @@ def frame_seed_corpus() -> List[bytes]:
         _frame(2, b""),                             # empty RECORD
         _frame(3, b""),                             # END
         _frame(3, b"junk"),                         # END with payload
-        _frame(4, struct.pack("!BHH", 1, 3, 0)),    # valid HELLO
+        _frame(4, struct.pack("!BHH", 1, 3, 0)),    # valid HELLO (legacy v1)
+        _frame(4, struct.pack("!BHHH", 2, 3, 0, 1)),  # HELLO v2 incarnation
         _frame(4, struct.pack("!BHH", 9, 3, 0)),    # bad role
         _frame(4, b"\x01"),                         # short HELLO
+        _frame(8, checkpoint),                      # valid CHECKPOINT
+        _frame(8, b'{"worker": 1}'),                # CHECKPOINT no seq
+        _frame(8, b'{"worker": 1, "incarnation": 0, "seq": "x", '
+                  b'"result": {"name": "q", "sent": []}}'),  # bad seq type
+        _frame(8, b"\xff\xfe"),                     # CHECKPOINT not UTF-8
+        _frame(9, struct.pack("!I", 7) + record),   # valid RECORD_SEQ
+        _frame(9, struct.pack("!I", 7)),            # RECORD_SEQ no record
+        _frame(9, b"\x00"),                         # short RECORD_SEQ
         _frame(5, b"{}"),                           # RESULT missing fields
         _frame(5, b'{"sent": [{}]}'),               # bad SentQuery
         _frame(5, b"\xff\xfe"),                     # not UTF-8
@@ -328,6 +339,66 @@ def tcp_schedules(seed: int,
         produced += 1
 
 
+# -- checkpoint emission histories ------------------------------------------
+
+def _sent_entry(index: int, worker: int) -> dict:
+    return {"index": index, "source": f"c{index % 4}",
+            "trace_time": float(index), "scheduled_at": float(index),
+            "sent_at": float(index), "protocol": "udp",
+            "qname": "q.example.com.", "answered_at": float(index) + 0.5,
+            "querier_id": worker}
+
+
+def checkpoint_emission_history(rng: random.Random, workers: int = 2,
+                                total: int = 8) -> List[dict]:
+    """A legal crash-free emission history of CHECKPOINT/RESULT frames.
+
+    Records are dealt randomly across workers; each worker executes its
+    records in order, emitting cumulative sequence-numbered checkpoint
+    snapshots at random cut points and a final (``final=True``) RESULT
+    snapshot at the end.  Delivering the frames in emission order with
+    no duplicates reproduces the clean run — which is exactly what any
+    *other* delivery order must merge to
+    (:func:`repro.replay.recovery.merge_recovered` idempotence)."""
+    assignment = [rng.randrange(workers) for _ in range(total)]
+    frames: List[dict] = []
+    for worker in range(workers):
+        executed: List[dict] = []
+        seq = 0
+        for index in range(total):
+            if assignment[index] != worker:
+                continue
+            executed.append(_sent_entry(index, worker))
+            if rng.random() < 0.4:
+                seq += 1
+                frames.append({"worker": worker, "incarnation": 0,
+                               "seq": seq, "final": False,
+                               "result": {"name": f"querier-{worker}",
+                                          "sent": list(executed)}})
+        seq += 1
+        frames.append({"worker": worker, "incarnation": 0, "seq": seq,
+                       "final": True,
+                       "result": {"name": f"querier-{worker}",
+                                  "sent": list(executed)}})
+    return frames
+
+
+def checkpoint_deliveries(seed: int, workers: int = 2,
+                          total: int = 8) -> Tuple[List[dict], List[int], int]:
+    """``(frames, delivery_order, total)`` — a pure function of the seed.
+
+    ``delivery_order`` indexes into ``frames`` shuffled arbitrarily with
+    up to three duplicated deliveries appended: an adversarial but
+    at-least-once transport schedule for the checkpoint store."""
+    rng = random.Random(seed)
+    frames = checkpoint_emission_history(rng, workers, total)
+    order = list(range(len(frames)))
+    rng.shuffle(order)
+    order += [rng.randrange(len(frames))
+              for _ in range(rng.randrange(0, 4))]
+    return frames, order, total
+
+
 # -- hypothesis strategy wrappers -------------------------------------------
 
 if HAVE_HYPOTHESIS:
@@ -366,3 +437,14 @@ if HAVE_HYPOTHESIS:
                       st.lists(st.sampled_from(list(QTYPES)), max_size=5)
                       .map(lambda types: tuple(sorted(set(types))))),
         )
+
+    def checkpoint_interleavings(workers: int = 2, total: int = 8):
+        """Strategy producing ``(frames, delivery_order, total)`` tuples.
+
+        The frames are a legal crash-free checkpoint emission history;
+        the delivery order is an arbitrary permutation with duplicates.
+        Property under test: every delivery order merges to the same
+        conserved :class:`ReplayResult` as in-order delivery."""
+        return st.builds(
+            lambda seed: checkpoint_deliveries(seed, workers, total),
+            st.integers(min_value=0, max_value=1 << 30))

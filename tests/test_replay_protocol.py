@@ -8,10 +8,11 @@ import time
 import pytest
 
 from repro.replay import (DistributedConfig, LiveDistributedReplay,
-                          LiveUdpEchoServer, MAX_FRAME, MSG_END, MSG_HELLO,
-                          MSG_METRICS, MSG_RECORD, MSG_RESULT, MSG_SHUTDOWN,
+                          LiveUdpEchoServer, MAX_FRAME, MSG_CHECKPOINT,
+                          MSG_END, MSG_HELLO, MSG_METRICS, MSG_RECORD,
+                          MSG_RECORD_SEQ, MSG_RESULT, MSG_SHUTDOWN,
                           MSG_TIME_SYNC, MessageSocket, ProtocolError,
-                          ROLE_QUERIER, connect, connected_pair)
+                          ROLE_QUERIER, SendError, connect, connected_pair)
 from repro.replay.distributed import _LiveQuerier
 from repro.trace import BRootWorkload, fixed_interval_trace, \
     make_query_record
@@ -84,7 +85,26 @@ class TestControlFrames:
         sender.send_hello(ROLE_QUERIER, 7, 5353)
         kind, payload = receiver.receive()
         assert kind == MSG_HELLO
-        assert payload == (ROLE_QUERIER, 7, 5353)
+        assert payload == (ROLE_QUERIER, 7, 5353, 0)
+        sender.close(), receiver.close()
+
+    def test_hello_carries_incarnation(self):
+        sender, receiver = connected_pair()
+        sender.send_hello(ROLE_QUERIER, 7, 5353, incarnation=3)
+        kind, payload = receiver.receive()
+        assert kind == MSG_HELLO
+        assert payload == (ROLE_QUERIER, 7, 5353, 3)
+        sender.close(), receiver.close()
+
+    def test_legacy_hello_defaults_incarnation(self):
+        # A 5-byte v1 HELLO (no incarnation field) must still decode.
+        sender, receiver = connected_pair()
+        sender._socket.sendall(
+            _HEADER.pack(1 + 5, MSG_HELLO)
+            + struct.pack("!BHH", ROLE_QUERIER, 7, 5353))
+        kind, payload = receiver.receive()
+        assert kind == MSG_HELLO
+        assert payload == (ROLE_QUERIER, 7, 5353, 0)
         sender.close(), receiver.close()
 
     def test_result_roundtrip(self):
@@ -129,6 +149,59 @@ class TestControlFrames:
         sender.send_shutdown()
         assert receiver.receive() == (MSG_SHUTDOWN, None)
         sender.close(), receiver.close()
+
+    def test_checkpoint_roundtrip(self):
+        sender, receiver = connected_pair()
+        snapshot = {"name": "querier-2", "sent": []}
+        sender.send_checkpoint(2, 1, 5, snapshot, final=True)
+        kind, payload = receiver.receive()
+        assert kind == MSG_CHECKPOINT
+        assert payload["worker"] == 2
+        assert payload["incarnation"] == 1
+        assert payload["seq"] == 5
+        assert payload["final"] is True
+        assert payload["result"] == snapshot
+        sender.close(), receiver.close()
+
+    def test_record_seq_roundtrip(self):
+        sender, receiver = connected_pair()
+        record = make_query_record(3.5, "10.9.8.7", "seq.example.com.")
+        sender.send_record_seq(1234, record)
+        kind, payload = receiver.receive()
+        assert kind == MSG_RECORD_SEQ
+        index, restored = payload
+        assert index == 1234
+        assert restored.wire == record.wire
+        assert restored.src == "10.9.8.7"
+        sender.close(), receiver.close()
+
+    def test_send_on_dead_socket_raises_typed_send_error(self):
+        sender, receiver = connected_pair()
+        receiver.close()
+        # The first sends may land in kernel buffers; keep writing until
+        # the RST surfaces.  It must come back as SendError (a
+        # ProtocolError *and* ConnectionError) naming the frame kind.
+        with pytest.raises(SendError, match="RECORD") as excinfo:
+            for _ in range(100):
+                sender.send_record(
+                    make_query_record(0.0, "10.0.0.1", "x.example.com."))
+                time.sleep(0.005)
+        assert isinstance(excinfo.value, ProtocolError)
+        assert isinstance(excinfo.value, ConnectionError)
+        sender.close()
+
+    def test_hello_deadline_is_protocol_error_with_peer(self):
+        from repro.replay.multiproc import _accept_hello
+        listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        listener.bind(("127.0.0.1", 0))
+        listener.listen(1)
+        # Connect but never speak: the accept loop must not hang.
+        mute = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        mute.connect(listener.getsockname())
+        with pytest.raises(ProtocolError, match=r"127\.0\.0\.1:\d+.*HELLO"):
+            _accept_hello(listener, ROLE_QUERIER, timeout=0.2)
+        mute.close()
+        listener.close()
 
     def test_connect_reaches_listener(self):
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)

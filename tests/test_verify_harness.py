@@ -17,7 +17,8 @@ from repro.verify import (ExplorationResult, Explorer, Observation, Oracle,
                           explore_tcp, hostile_frames, hostile_wires,
                           run_fuzz, tcp_schedules, valid_message,
                           wire_seed_corpus, zero_msg_id)
-from repro.verify.explorer import ADMISSION_POLICIES, TCP_SCENARIOS
+from repro.verify.explorer import (ADMISSION_POLICIES, RECOVERY_SCENARIOS,
+                                   TCP_SCENARIOS, explore_recovery)
 from repro.verify.fuzz import TARGETS, fuzz_target
 from repro.verify.generators import fault_plan, frame_seed_corpus
 
@@ -54,6 +55,19 @@ class TestGenerators:
         first = [vars(s) | {"plan": None} for s in tcp_schedules(11, 10)]
         second = [vars(s) | {"plan": None} for s in tcp_schedules(11, 10)]
         assert first == second
+
+    def test_checkpoint_deliveries_pure_function_of_seed(self):
+        from repro.verify.generators import checkpoint_deliveries
+        assert checkpoint_deliveries(5) == checkpoint_deliveries(5)
+        assert checkpoint_deliveries(5) != checkpoint_deliveries(6)
+        frames, order, total = checkpoint_deliveries(5, workers=3, total=9)
+        assert total == 9
+        assert {frame["worker"] for frame in frames} <= {0, 1, 2}
+        # Every worker ends with exactly one final frame.
+        finals = [f for f in frames if f["final"]]
+        assert sorted(f["worker"] for f in finals) == [0, 1, 2]
+        # The delivery order covers every emitted frame at least once.
+        assert set(order) >= set(range(len(frames)))
 
 
 class TestOracle:
@@ -197,6 +211,15 @@ class TestExplorer:
         result = explore_admission("drop-oldest", rrl=True)
         assert result.exhausted and result.ok
 
+    @pytest.mark.fuzz
+    @pytest.mark.parametrize("scenario", RECOVERY_SCENARIOS)
+    def test_recovery_scenarios_exhaust_clean(self, scenario):
+        """ISSUE acceptance: worker-crash × frame-reorder (and its dup
+        and double-crash variants) exhaust with zero violations."""
+        result = explore_recovery(scenario)
+        assert result.exhausted, result.summary()
+        assert result.ok, "\n".join(str(v) for v in result.violations)
+
 
 class TestDdmin:
     def test_minimizes_to_the_culprit(self):
@@ -251,7 +274,7 @@ class TestFuzzDriver:
 
     def test_all_targets_registered(self):
         assert sorted(TARGETS) == ["fault-replay", "protocol-frames",
-                                   "tcp-schedule", "wire-cache",
-                                   "wire-decode"]
+                                   "recovery-schedule", "tcp-schedule",
+                                   "wire-cache", "wire-decode"]
         for target in TARGETS.values():
             assert target.default_examples > 0
