@@ -19,10 +19,11 @@ from conftest import run_once
 
 from repro.experiments.fig6_timing import wildcard_example_zone
 from repro.experiments.topology import build_evaluation_topology
-from repro.replay import ReplayConfig, SimReplayEngine
+from repro.replay import (DistributedConfig, ProcessTopology, ReplayConfig,
+                          SimReplayEngine, UdpEchoServerProcess)
 from repro.server import AuthoritativeServer, HostedDnsServer
 from repro.telemetry import Telemetry, TelemetryConfig, chrome_trace
-from repro.trace import table1_synthetic
+from repro.trace import fixed_interval_trace, table1_synthetic
 
 DURATION = 600.0      # syn-1 at 0.1 s intervals => 6000 queries
 QUERY_COUNT = 6000
@@ -85,3 +86,62 @@ def test_telemetry_budget(benchmark, bench_json_record):
     doc = chrome_trace(full)
     assert sum(1 for e in doc["traceEvents"] if e["ph"] == "b") \
         == QUERY_COUNT
+
+
+STREAM_DURATION = 1.0    # wall-paced: the replay itself takes this long
+STREAM_QUERIES = 500     # 16 clients at 2 ms intervals
+
+
+def _replay_processes(telemetry):
+    trace = fixed_interval_trace(interval=0.002, duration=STREAM_DURATION,
+                                 client_count=16)
+    assert len(trace.records) == STREAM_QUERIES
+    config = DistributedConfig(distributors=2, queriers_per_distributor=2,
+                               topology="processes", settle_time=0.5)
+    with UdpEchoServerProcess() as echo:
+        topology = ProcessTopology((echo.address, echo.port), config,
+                                   telemetry=telemetry)
+        started = time.perf_counter()
+        result = topology.replay(trace)
+        wall = time.perf_counter() - started
+    assert len(result.sent) == STREAM_QUERIES
+    return {"wall_s": wall, "qps": STREAM_QUERIES / wall,
+            "topology": topology}
+
+
+@pytest.mark.benchmark
+def test_streamed_telemetry_budget(benchmark, bench_json_record):
+    """ISSUE 9 budget: streaming live telemetry out of every worker of a
+    process topology costs < 1.5x the wall time of the same replay with
+    streaming off.  The replay is wall-clock paced, so the streamer's
+    cost can only surface as added overhead around it."""
+    off = run_once(benchmark, _replay_processes, None)
+    hub = Telemetry(TelemetryConfig(trace=True, stream_period=0.1))
+    on = _replay_processes(hub)
+
+    ratio = on["wall_s"] / off["wall_s"]
+    cluster = on["topology"].cluster
+    frames = cluster.frames_ingested
+    workers = len(cluster.workers())
+    print()
+    print(f"process tree x{STREAM_QUERIES}: {off['qps']:.0f} q/s off, "
+          f"{on['qps']:.0f} q/s streaming (x{ratio:.2f}, "
+          f"{frames} frames from {workers} workers)")
+
+    bench_json_record(
+        "telemetry_stream_cluster",
+        queries=STREAM_QUERIES,
+        stream_off_qps=round(off["qps"], 1),
+        stream_on_qps=round(on["qps"], 1),
+        stream_ratio=round(ratio, 3),
+        telemetry_frames=frames,
+        workers=workers,
+    )
+
+    assert ratio < 1.5
+    # The run actually streamed: several frames from every worker, and
+    # the merged aggregate landed on the final record count.
+    assert workers == 6
+    assert frames >= 2 * workers
+    assert cluster.merged_metrics().count("replay.records_sent") \
+        == STREAM_QUERIES

@@ -6,6 +6,7 @@ Examples::
     ldplayer fig10 --scale quick
     ldplayer fig13 --scale full
     ldplayer all --scale smoke
+    ldplayer top --kill    # live cluster telemetry + crash artifacts
 """
 
 from __future__ import annotations
@@ -45,6 +46,11 @@ def main(argv=None) -> int:
         # off before the experiment parser rejects the subcommand.
         from ..verify.fuzz import main as fuzz_main
         return fuzz_main(argv[1:])
+    if argv and argv[0] == "top":
+        # Live cluster observability: run a short multi-process replay
+        # with streamed telemetry and dump the trace/console artifacts.
+        from .top import main as top_main
+        return top_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="ldplayer",
         description="Reproduce LDplayer's tables and figures "

@@ -253,6 +253,19 @@ class ShardCoordinator:
             self.epochs_run += 1
             time = barrier
 
+    def export_counters(self, perf) -> None:
+        """Fold the coordinator's run totals into a PerfCounters.
+
+        Call once, after the run: the totals are added as counter
+        increments.  ``shard.fabric_clamped`` is the fidelity cost of
+        the epoch barrier: cross-shard deliveries due before the
+        barrier that were delayed to it.  Zero means the epoch never
+        distorted a latency sample.
+        """
+        perf.incr("shard.epochs", self.epochs_run)
+        perf.incr("shard.fabric_handed_off", self.fabric.handed_off)
+        perf.incr("shard.fabric_clamped", self.fabric.clamped)
+
     def _exchange(self, barrier: float) -> None:
         for shard in self.shards:
             rows = self.fabric.exchange(shard.index, barrier)

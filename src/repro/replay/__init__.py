@@ -5,9 +5,10 @@ from .distributor import (Controller, DistributionStats, Distributor,
                           StickyAssigner)
 from .protocol import (MAX_FRAME, MSG_CHECKPOINT, MSG_END, MSG_HELLO,
                        MSG_METRICS, MSG_RECORD, MSG_RECORD_SEQ, MSG_RESULT,
-                       MSG_SHUTDOWN, MSG_TIME_SYNC, MessageSocket,
-                       ProtocolError, ROLE_DISTRIBUTOR, ROLE_QUERIER,
-                       ROLE_SHARD, SendError, connect, connected_pair)
+                       MSG_SHUTDOWN, MSG_TELEMETRY, MSG_TIME_SYNC,
+                       MessageSocket, ProtocolError, ROLE_DISTRIBUTOR,
+                       ROLE_QUERIER, ROLE_SHARD, SendError, connect,
+                       connected_pair)
 from .recovery import (ChaosConfig, ChaosEngine, CheckpointPolicy,
                        CheckpointStore, RecoveryConfig, RespawnPolicy,
                        attach_chaos, conservation_violations,
@@ -30,7 +31,8 @@ __all__ = [
     "DistributionStats", "Distributor", "LiveDistributedReplay",
     "LiveReplay", "MAX_FRAME", "MSG_CHECKPOINT", "MSG_END", "MSG_HELLO",
     "MSG_METRICS", "MSG_RECORD", "MSG_RECORD_SEQ", "MSG_RESULT",
-    "MSG_SHUTDOWN", "MSG_TIME_SYNC", "MessageSocket", "PacingConfig",
+    "MSG_SHUTDOWN", "MSG_TELEMETRY", "MSG_TIME_SYNC", "MessageSocket",
+    "PacingConfig",
     "ProcessTopology", "ProtocolError", "ROLE_DISTRIBUTOR", "ROLE_QUERIER",
     "ROLE_SHARD", "RecoveryConfig", "RespawnPolicy", "SendError",
     "ShardTopology", "connect", "connected_pair", "LiveUdpEchoServer",

@@ -392,6 +392,9 @@ class _LiveDistributor(threading.Thread):
         # Cached for late joiners: a respawned querier attaching after
         # the broadcast still needs the timing anchor.
         self._trace_start: Optional[float] = None
+        # Monotonic instant the first TIME_SYNC arrived: the clock
+        # offset the cluster telemetry stream reports for alignment.
+        self.sync_mono: Optional[float] = None
 
     def add_querier(self, outbound: MessageSocket) -> None:
         """Attach a (re)connected querier mid-run (recovery accept loop).
@@ -414,6 +417,8 @@ class _LiveDistributor(threading.Thread):
             for kind, payload in self.inbound.messages():
                 if kind == MSG_TIME_SYNC:
                     self._trace_start = payload
+                    if self.sync_mono is None:
+                        self.sync_mono = time.monotonic()
                     for outbound in self.querier_sockets:
                         outbound.send_time_sync(payload)
                 elif kind == MSG_RECORD:

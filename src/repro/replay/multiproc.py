@@ -51,14 +51,19 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from ..netsim.shard import shard_of
 from ..perf import PerfCounters
+from ..telemetry.cluster import (ClusterAggregator, FlightRecorder,
+                                 TelemetryStreamer)
+from ..telemetry.core import Telemetry
 from ..telemetry.metrics import MetricsRegistry
+from ..telemetry.tracing import TelemetryConfig
 from ..trace import Trace
 from .distributed import (DistributedConfig, ServerAddress,
                           _LiveDistributor, _LiveQuerier)
 from .distributor import StickyAssigner
 from .protocol import (MSG_CHECKPOINT, MSG_HELLO, MSG_METRICS, MSG_RESULT,
-                       MSG_SHUTDOWN, MessageSocket, ProtocolError,
-                       ROLE_DISTRIBUTOR, ROLE_QUERIER, ROLE_SHARD, connect)
+                       MSG_SHUTDOWN, MSG_TELEMETRY, MessageSocket,
+                       ProtocolError, ROLE_DISTRIBUTOR, ROLE_QUERIER,
+                       ROLE_SHARD, connect)
 from .recovery import (CheckpointStore, RecoveryConfig, attach_chaos,
                        merge_recovered, reconnect_with_backoff)
 from .result import ReplayResult, _COUNTER_FIELDS
@@ -72,6 +77,15 @@ def _mp_context(start_method: Optional[str] = None):
         methods = multiprocessing.get_all_start_methods()
         start_method = "fork" if "fork" in methods else "spawn"
     return multiprocessing.get_context(start_method)
+
+
+def _streaming(telemetry: Optional[TelemetryConfig]) -> bool:
+    return telemetry is not None and telemetry.streaming()
+
+
+def _make_aggregator(telemetry: TelemetryConfig) -> ClusterAggregator:
+    """Window the live q/s views to a few stream periods."""
+    return ClusterAggregator(window=max(1.0, 4.0 * telemetry.stream_period))
 
 
 def _await_shutdown(control: MessageSocket, timeout: float = 10.0) -> None:
@@ -93,7 +107,8 @@ def _await_shutdown(control: MessageSocket, timeout: float = 10.0) -> None:
 def _distributor_main(control_addr: Tuple[str, int], distributor_id: int,
                       querier_count: int,
                       recovery: Optional[RecoveryConfig] = None,
-                      incarnation: int = 0, listen_port: int = 0) -> None:
+                      incarnation: int = 0, listen_port: int = 0,
+                      telemetry: Optional[TelemetryConfig] = None) -> None:
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     # SO_REUSEADDR unconditionally: accepted querier sockets inherit it,
     # so a respawned incarnation can rebind this port while the dead
@@ -150,6 +165,23 @@ def _distributor_main(control_addr: Tuple[str, int], distributor_id: int,
     result = ReplayResult(f"distributor-{distributor_id}")
     distributor = _LiveDistributor(distributor_id, control, querier_sockets,
                                    result=result, lock=threading.Lock())
+
+    def metrics_snapshot() -> dict:
+        registry = MetricsRegistry()
+        registry.incr("replay.records_routed", distributor.records_routed)
+        return registry.to_state()
+
+    streamer: Optional[TelemetryStreamer] = None
+    if _streaming(telemetry):
+        streamer = TelemetryStreamer(
+            control.send_telemetry, ROLE_DISTRIBUTOR, distributor_id,
+            incarnation, telemetry.stream_period,
+            metrics_snapshot=metrics_snapshot,
+            health=lambda: {
+                "records_routed": distributor.records_routed,
+                "queriers": len(distributor.querier_sockets)},
+            sync_mono=lambda: distributor.sync_mono)
+        streamer.start()
     if recovery is not None:
         listener.settimeout(0.1)
         accept_thread = threading.Thread(
@@ -162,15 +194,20 @@ def _distributor_main(control_addr: Tuple[str, int], distributor_id: int,
     if recovery is not None:
         accept_stop.set()
         listener.close()
+    if streamer is not None:
+        # The definitive frame: cumulative metrics are frozen now, so
+        # this matches the METRICS sent below.  The periodic loop keeps
+        # reporting health while we wait out the controller's SHUTDOWN.
+        streamer.flush(final=True)
 
-    metrics = MetricsRegistry()
-    metrics.incr("replay.records_routed", distributor.records_routed)
     try:
         control.send_result(result.to_dict())
-        control.send_metrics(metrics.to_state())
+        control.send_metrics(metrics_snapshot())
         _await_shutdown(control)
     except OSError:
         pass
+    if streamer is not None:
+        streamer.stop(final=False)
     for outbound in distributor.querier_sockets:
         outbound.close()
     control.close()
@@ -270,7 +307,8 @@ def _querier_main(control_addr: Tuple[str, int], querier_id: int,
                   server: ServerAddress,
                   deadline: Optional[float] = None,
                   recovery: Optional[RecoveryConfig] = None,
-                  incarnation: int = 0) -> None:
+                  incarnation: int = 0,
+                  telemetry: Optional[TelemetryConfig] = None) -> None:
     control = connect(control_addr)
     attach_chaos(control, recovery.chaos if recovery else None,
                  ROLE_QUERIER, querier_id, incarnation)
@@ -295,28 +333,81 @@ def _querier_main(control_addr: Tuple[str, int], querier_id: int,
             lambda: connect(distributor_addr, timeout=1.0),
             recovery.reconnect_attempts, recovery.reconnect_backoff,
             abort=querier.shed_event.is_set)
-    querier.run()   # synchronous; closes its own sockets on exit
 
-    metrics = MetricsRegistry()
-    metrics.incr("replay.records_received", querier.records_received)
-    metrics.incr("replay.records_sent", querier.records_sent)
-    if querier.redundant_records:
-        metrics.incr("replay.redundant_records", querier.redundant_records)
-    for entry in result.sent:
-        latency = entry.latency
-        if latency is not None:
-            metrics.observe("query.latency_s", latency)
+    def metrics_snapshot() -> dict:
+        registry = MetricsRegistry()
+        registry.incr("replay.records_received", querier.records_received)
+        registry.incr("replay.records_sent", querier.records_sent)
+        if querier.redundant_records:
+            registry.incr("replay.redundant_records",
+                          querier.redundant_records)
+        with querier.lock:
+            latencies = [entry.latency for entry in result.sent]
+        for latency in latencies:
+            if latency is not None:
+                registry.observe("query.latency_s", latency)
+        return registry.to_state()
+
+    streamer: Optional[TelemetryStreamer] = None
+    recorder: Optional[FlightRecorder] = None
+    if _streaming(telemetry):
+        hub = Telemetry(telemetry)
+        recorder = FlightRecorder(telemetry.flight_recorder)
+        if hub.per_query:
+            querier.telemetry = hub
+        if hub.tracer is not None:
+            inner_record = hub.tracer._record
+
+            def recording(event):
+                inner_record(event)
+                recorder.record_span(event)
+
+            hub.tracer._record = recording
+        recorder.log(f"querier-{querier_id} inc{incarnation} up")
+        # The pump may replace its control socket on redial; resolve
+        # the live socket at send time so streamed frames follow it.
+        if pump is not None:
+            send = lambda report: pump.control.send_telemetry(report)
+        else:
+            send = control.send_telemetry
+        streamer = TelemetryStreamer(
+            send, ROLE_QUERIER, querier_id, incarnation,
+            telemetry.stream_period,
+            metrics_snapshot=metrics_snapshot,
+            health=lambda: {
+                "records_received": querier.records_received,
+                "records_sent": querier.records_sent,
+                "queue_depth": len(querier._queue),
+                "checkpoint_lag": (querier.records_sent
+                                   - querier._last_checkpoint_sent)},
+            tracer=hub.tracer,
+            recorder=recorder,
+            sync_mono=lambda: querier._clock_start)
+        streamer.start()
+
+    querier.run()   # synchronous; closes its own sockets on exit
+    if streamer is not None:
+        recorder.log(f"querier-{querier_id} inc{incarnation} replay done")
+        # Definitive frame (cumulative metrics frozen); the periodic
+        # loop keeps the health view live until SHUTDOWN arrives.
+        streamer.flush(final=True)
+
+    metrics_state = metrics_snapshot()
     if pump is not None:
-        pump.send_final(result.to_dict(), metrics.to_state())
+        pump.send_final(result.to_dict(), metrics_state)
         _await_shutdown(pump.control)
+        if streamer is not None:
+            streamer.stop(final=False)
         pump.control.close()
         return
     try:
         control.send_result(result.to_dict())
-        control.send_metrics(metrics.to_state())
+        control.send_metrics(metrics_state)
         _await_shutdown(control)
     except OSError:
         pass
+    if streamer is not None:
+        streamer.stop(final=False)
     control.close()
 
 
@@ -402,15 +493,25 @@ def _shard_main(control_addr: Tuple[str, int], shard_index: int,
                 num_shards: int, trace_spec: FactorySpec,
                 scenario_spec: FactorySpec,
                 recovery: Optional[RecoveryConfig] = None,
-                incarnation: int = 0) -> None:
+                incarnation: int = 0,
+                telemetry: Optional[TelemetryConfig] = None) -> None:
     control = connect(control_addr)
     attach_chaos(control, recovery.chaos if recovery else None,
                  ROLE_SHARD, shard_index, incarnation)
     control.send_hello(ROLE_SHARD, shard_index, 0, incarnation)
+    perf = PerfCounters()
+    streamer: Optional[TelemetryStreamer] = None
+    if _streaming(telemetry):
+        # Shards never see TIME_SYNC, so no sync_mono: the aggregator
+        # falls back to min-skew alignment.  Spans are omitted — shard
+        # timestamps are sim-clock, not monotonic, and cannot rebase.
+        streamer = TelemetryStreamer(
+            control.send_telemetry, ROLE_SHARD, shard_index, incarnation,
+            telemetry.stream_period, metrics_snapshot=perf.to_state)
+        streamer.start()
     try:
         trace = _resolve_factory(trace_spec)(**trace_spec[2])
         slice_ = shard_slice(trace, shard_index, num_shards)
-        perf = PerfCounters()
         engine = _resolve_factory(scenario_spec)(perf=perf,
                                                  **scenario_spec[2])
         started = time.perf_counter()
@@ -421,12 +522,17 @@ def _shard_main(control_addr: Tuple[str, int], shard_index: int,
         perf.set_gauge(f"shard.{shard_index}.wall_s", wall)
         perf.set_gauge(f"shard.{shard_index}.qps",
                        len(slice_.records) / wall if wall > 0 else 0.0)
+        if streamer is not None:
+            streamer.stop(final=True)
+            streamer = None
         control.send_result(result.to_dict())
         control.send_metrics(perf.to_state())
         _await_shutdown(control)
     except OSError:
         pass
     finally:
+        if streamer is not None:
+            streamer.stop(final=False)
         control.close()
 
 
@@ -583,11 +689,24 @@ class ProcessTopology:
         self.watchdog: Optional[ReplayWatchdog] = None
         self.distributor_handles: List[_WorkerHandle] = []
         self.querier_handles: List[_WorkerHandle] = []
+        # Live cluster view, populated only when the telemetry config
+        # asks for streaming (stream_period set); None otherwise so the
+        # classic path stays byte-identical to a telemetry-free run.
+        self.cluster: Optional[ClusterAggregator] = None
         self._deadline_hit = False
         self._lock = threading.Lock()
 
     def server_for(self, querier_id: int) -> ServerAddress:
         return self.servers[querier_id % len(self.servers)]
+
+    def _stream_config(self) -> Optional[TelemetryConfig]:
+        """The TelemetryConfig to ship to workers, or None when the run
+        must be observation-free (the differential guarantee: workers
+        only ever learn about telemetry when streaming is on)."""
+        config = getattr(self.telemetry, "config", self.telemetry)
+        if isinstance(config, TelemetryConfig) and config.streaming():
+            return config
+        return None
 
     # -- supervision callbacks --------------------------------------------
 
@@ -600,6 +719,10 @@ class ProcessTopology:
         with self._lock:
             handle.failed = True
             self.result.watchdog_stalls += 1
+        if self.cluster is not None:
+            self.cluster.record_crash(handle.role, handle.worker_id,
+                                      handle.incarnation,
+                                      reason="watchdog stall")
         handle.control.close()
 
     def _handle_deadline(self) -> None:
@@ -626,6 +749,9 @@ class ProcessTopology:
         if self.config.recovery is not None:
             return self._replay_recovering(records)
         config = self.config
+        tconfig = self._stream_config()
+        if tconfig is not None:
+            self.cluster = _make_aggregator(tconfig)
         ctx = _mp_context(config.start_method)
         querier_total = (config.distributors
                          * config.queriers_per_distributor)
@@ -643,7 +769,8 @@ class ProcessTopology:
                 process = ctx.Process(
                     target=_distributor_main,
                     args=(control_addr, distributor_id,
-                          config.queriers_per_distributor),
+                          config.queriers_per_distributor,
+                          None, 0, 0, tconfig),
                     daemon=True, name=f"replay-distributor-{distributor_id}")
                 process.start()
                 processes.append(process)
@@ -667,7 +794,8 @@ class ProcessTopology:
                     target=_querier_main,
                     args=(control_addr, querier_id,
                           ("127.0.0.1", distributor_port),
-                          self.server_for(querier_id), deadline),
+                          self.server_for(querier_id), deadline,
+                          None, 0, tconfig),
                     daemon=True, name=f"replay-querier-{querier_id}")
                 process.start()
                 processes.append(process)
@@ -687,6 +815,12 @@ class ProcessTopology:
             listener.close()
 
         handles = self.querier_handles + self.distributor_handles
+        if self.cluster is not None:
+            # Streaming mode: frames arrive *during* the run, so every
+            # handle gets a dedicated reader thread and collection
+            # becomes a wait instead of a read (one reader per socket).
+            for handle in handles:
+                self._start_stream_reader(handle)
         if config.supervision is not None:
             self.watchdog = ReplayWatchdog(
                 config.supervision, handles,
@@ -700,6 +834,8 @@ class ProcessTopology:
         self.result.trace_start = trace_start
         time.sleep(config.start_delay)
         self.result.start_clock = time.monotonic()
+        if self.cluster is not None:
+            self.cluster.set_anchor(self.result.start_clock)
         for handle in self.distributor_handles:
             handle.control.send_time_sync(trace_start)
         streamed = 0
@@ -779,7 +915,68 @@ class ProcessTopology:
         return self.result
 
     def _collect(self, handle: _WorkerHandle, deadline: float) -> None:
-        _collect_worker(handle, deadline)
+        if self.cluster is not None:
+            self._await_worker(handle, deadline)
+        else:
+            _collect_worker(handle, deadline)
+
+    # -- streaming-mode readers (classic path, cluster is not None) --------
+
+    def _start_stream_reader(self, handle: _WorkerHandle) -> None:
+        thread = threading.Thread(
+            target=self._stream_reader, args=(handle, handle.control),
+            daemon=True, name=f"stream-reader-{handle.name}")
+        thread.start()
+
+    def _stream_reader(self, handle: _WorkerHandle,
+                       control: MessageSocket) -> None:
+        """Per-worker reader: TELEMETRY feeds the aggregator live, the
+        final RESULT/METRICS pair lands on the handle for collection."""
+        while True:
+            try:
+                message = control.receive()
+            except (ProtocolError, OSError):
+                break
+            if message is None:
+                break
+            kind, payload = message
+            if kind == MSG_TELEMETRY:
+                self.cluster.ingest(payload)
+                continue
+            with self._lock:
+                if kind == MSG_RESULT:
+                    handle.shard = ReplayResult.from_dict(payload)
+                elif kind == MSG_METRICS:
+                    handle.metrics_state = payload
+        # Reader EOF with the shard outstanding: if the process is
+        # really dead this is a crash — freeze its flight recorder.
+        if handle.shard is not None:
+            return
+        process = handle.process
+        if process is not None:
+            process.join(timeout=1.0)
+            if process.is_alive():
+                return   # dropped socket on a live worker; deadline rules
+        with self._lock:
+            if handle.failed or handle.shard is not None:
+                return
+            handle.failed = True
+        self.cluster.record_crash(handle.role, handle.worker_id,
+                                  handle.incarnation)
+
+    def _await_worker(self, handle: _WorkerHandle,
+                      deadline: float) -> None:
+        """Streaming-mode collection: the reader thread owns the socket,
+        so wait for it to land the RESULT/METRICS pair (or fail)."""
+        while time.monotonic() < deadline:
+            with self._lock:
+                if handle.failed or (handle.shard is not None
+                                     and handle.metrics_state is not None):
+                    return
+            time.sleep(0.02)
+        with self._lock:
+            if handle.shard is None or handle.metrics_state is None:
+                handle.failed = True
 
     # -- self-healing mode (config.recovery is set) ------------------------
     #
@@ -797,6 +994,9 @@ class ProcessTopology:
     def _replay_recovering(self, records) -> ReplayResult:
         config = self.config
         recovery = config.recovery
+        self._tconfig = self._stream_config()
+        if self._tconfig is not None:
+            self.cluster = _make_aggregator(self._tconfig)
         self._ctx = _mp_context(config.start_method)
         querier_total = (config.distributors
                          * config.queriers_per_distributor)
@@ -822,7 +1022,8 @@ class ProcessTopology:
                 process = self._ctx.Process(
                     target=_distributor_main,
                     args=(self._control_addr, distributor_id,
-                          config.queriers_per_distributor, recovery, 0, 0),
+                          config.queriers_per_distributor, recovery, 0, 0,
+                          self._tconfig),
                     daemon=True, name=f"replay-distributor-{distributor_id}")
                 process.start()
                 self._processes.append(process)
@@ -845,7 +1046,7 @@ class ProcessTopology:
                     args=(self._control_addr, querier_id,
                           ("127.0.0.1", distributor_port),
                           self.server_for(querier_id), self._deadline_arg,
-                          recovery, 0),
+                          recovery, 0, self._tconfig),
                     daemon=True, name=f"replay-querier-{querier_id}")
                 process.start()
                 self._processes.append(process)
@@ -896,6 +1097,8 @@ class ProcessTopology:
         self.result.trace_start = trace_start
         time.sleep(config.start_delay)
         self.result.start_clock = time.monotonic()
+        if self.cluster is not None:
+            self.cluster.set_anchor(self.result.start_clock)
         for handle in self.distributor_handles:
             try:
                 handle.control.send_time_sync(trace_start)
@@ -1087,6 +1290,12 @@ class ProcessTopology:
             if message is None:
                 break
             kind, payload = message
+            if kind == MSG_TELEMETRY:
+                # Aggregation has its own lock; never holds self._lock,
+                # so the stream cannot stall checkpoint dispatch.
+                if self.cluster is not None:
+                    self.cluster.ingest(payload)
+                continue
             with self._lock:
                 if kind == MSG_CHECKPOINT:
                     self._store.offer_frame(key, payload)
@@ -1182,6 +1391,10 @@ class ProcessTopology:
                 self.result.respawns += 1
             else:
                 self.result.watchdog_stalls += 1
+        if self.cluster is not None:
+            self.cluster.record_crash(handle.role, handle.worker_id,
+                                      handle.incarnation,
+                                      reason="process died")
         if handle.role == ROLE_DISTRIBUTOR:
             self._assigner.remove(handle)
         if not budget_left:
@@ -1208,7 +1421,8 @@ class ProcessTopology:
                 args=(self._control_addr, handle.worker_id,
                       ("127.0.0.1", port),
                       self.server_for(handle.worker_id),
-                      self._deadline_arg, recovery, incarnation),
+                      self._deadline_arg, recovery, incarnation,
+                      self._tconfig),
                 daemon=True,
                 name=f"replay-querier-{handle.worker_id}r{incarnation}")
         else:
@@ -1216,7 +1430,7 @@ class ProcessTopology:
                 target=_distributor_main,
                 args=(self._control_addr, handle.worker_id,
                       config.queriers_per_distributor, recovery,
-                      incarnation, handle.listen_port),
+                      incarnation, handle.listen_port, self._tconfig),
                 daemon=True,
                 name=f"replay-distributor-{handle.worker_id}r{incarnation}")
         pending_key = (handle.role, handle.worker_id, incarnation)
@@ -1268,8 +1482,14 @@ class ProcessTopology:
         handle.control.close()
 
 
-def _collect_worker(handle: _WorkerHandle, deadline: float) -> None:
-    """Drain one worker's RESULT + METRICS pair (or mark it failed)."""
+def _collect_worker(handle: _WorkerHandle, deadline: float,
+                    cluster: Optional[ClusterAggregator] = None) -> None:
+    """Drain one worker's RESULT + METRICS pair (or mark it failed).
+
+    With a ``cluster``, interleaved TELEMETRY frames feed the
+    aggregator on the way (self-sourcing shards stream through the same
+    socket their RESULT arrives on — there is no separate reader).
+    """
     if handle.failed:
         return
     handle.control.settimeout(max(deadline - time.monotonic(), 0.5))
@@ -1278,14 +1498,22 @@ def _collect_worker(handle: _WorkerHandle, deadline: float) -> None:
             message = handle.control.receive()
             if message is None:
                 handle.failed = True
+                if cluster is not None and not handle.is_alive():
+                    cluster.record_crash(handle.role, handle.worker_id,
+                                         handle.incarnation)
                 return
             kind, payload = message
             if kind == MSG_RESULT:
                 handle.shard = ReplayResult.from_dict(payload)
             elif kind == MSG_METRICS:
                 handle.metrics_state = payload
+            elif kind == MSG_TELEMETRY and cluster is not None:
+                cluster.ingest(payload)
     except (TimeoutError, ProtocolError, OSError):
         handle.failed = True
+        if cluster is not None and not handle.is_alive():
+            cluster.record_crash(handle.role, handle.worker_id,
+                                 handle.incarnation)
     finally:
         handle.control.settimeout(None)
 
@@ -1317,7 +1545,8 @@ class ShardTopology:
                  scenario_factory: Optional[FactorySpec] = None,
                  start_method: Optional[str] = None,
                  collect_timeout: float = 600.0,
-                 recovery: Optional[RecoveryConfig] = None):
+                 recovery: Optional[RecoveryConfig] = None,
+                 telemetry_config: Optional[TelemetryConfig] = None):
         if num_shards < 1:
             raise ValueError("num_shards must be >= 1")
         self.num_shards = num_shards
@@ -1331,6 +1560,12 @@ class ShardTopology:
         self.start_method = start_method
         self.collect_timeout = collect_timeout
         self.recovery = recovery
+        self.telemetry_config = (
+            telemetry_config if telemetry_config is not None
+            and telemetry_config.streaming() else None)
+        self.cluster: Optional[ClusterAggregator] = (
+            _make_aggregator(self.telemetry_config)
+            if self.telemetry_config is not None else None)
         self.result = ReplayResult("sharded-replay")
         self.metrics = MetricsRegistry()
         self.shard_handles: List[_WorkerHandle] = []
@@ -1345,7 +1580,7 @@ class ShardTopology:
             target=_shard_main,
             args=(control_addr, shard_index, self.num_shards,
                   self.trace_factory, self.scenario_factory,
-                  self.recovery, incarnation),
+                  self.recovery, incarnation, self.telemetry_config),
             daemon=True,
             name=f"replay-shard-{shard_index}"
                  + (f"r{incarnation}" if incarnation else ""))
@@ -1384,7 +1619,7 @@ class ShardTopology:
 
         deadline = time.monotonic() + self.collect_timeout
         for handle in self.shard_handles:
-            _collect_worker(handle, deadline)
+            _collect_worker(handle, deadline, self.cluster)
         if self.recovery is not None:
             # Shards are self-sourcing (each regenerates its own slice),
             # so recovery is simply: respawn a failed shard with a fresh
@@ -1473,7 +1708,7 @@ class ShardTopology:
                 newcomer.process = pending.get(
                     (newcomer.worker_id, newcomer.incarnation))
                 self.shard_handles[newcomer.worker_id] = newcomer
-                _collect_worker(newcomer, deadline)
+                _collect_worker(newcomer, deadline, self.cluster)
 
     def aggregate_qps(self) -> Optional[float]:
         """Aggregate queries/second over the controller's wall clock.

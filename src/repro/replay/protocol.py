@@ -19,6 +19,7 @@ multi-process deployment need:
             | SHUTDOWN    (no payload; stop now, shed queued work)
             | CHECKPOINT  (JSON incremental result snapshot, seq-numbered)
             | RECORD_SEQ  (u32 global trace index + binary record body)
+            | TELEMETRY   (JSON streamed metrics/health/span window)
 
 :class:`MessageSocket` wraps a connected TCP socket with framed send /
 receive; :mod:`repro.replay.distributed` builds the controller →
@@ -53,12 +54,13 @@ MSG_METRICS = 6
 MSG_SHUTDOWN = 7
 MSG_CHECKPOINT = 8   # incremental RESULT snapshot (recovery mode)
 MSG_RECORD_SEQ = 9   # RECORD tagged with its global trace index
+MSG_TELEMETRY = 10   # streamed metrics/health/span window (live observability)
 
 KIND_NAMES = {
     MSG_TIME_SYNC: "TIME_SYNC", MSG_RECORD: "RECORD", MSG_END: "END",
     MSG_HELLO: "HELLO", MSG_RESULT: "RESULT", MSG_METRICS: "METRICS",
     MSG_SHUTDOWN: "SHUTDOWN", MSG_CHECKPOINT: "CHECKPOINT",
-    MSG_RECORD_SEQ: "RECORD_SEQ",
+    MSG_RECORD_SEQ: "RECORD_SEQ", MSG_TELEMETRY: "TELEMETRY",
 }
 
 # Worker roles carried in HELLO frames (multi-process topology).
@@ -188,6 +190,22 @@ def validate_metrics_payload(payload: object) -> dict:
     return payload
 
 
+def _check_worker_identity(payload: dict, label: str) -> None:
+    """worker/incarnation must be genuine u16 ints, seq a counting int.
+
+    ``isinstance(x, int)`` alone lets ``True`` through (bool subtypes
+    int) and lets values overflow the u16 HELLO identity space the
+    controller keys respawn bookkeeping on.
+    """
+    for name, bound in (("worker", 0xFFFF), ("incarnation", 0xFFFF),
+                        ("seq", None)):
+        value = payload[name]
+        _require(not isinstance(value, bool) and value >= 0,
+                 f"{label} {name} must be a non-negative int")
+        if bound is not None:
+            _require(value <= bound, f"{label} {name} {value} exceeds u16")
+
+
 def validate_checkpoint_payload(payload: object) -> dict:
     """Check a CHECKPOINT frame: seq-numbered cumulative result snapshot."""
     _require(isinstance(payload, dict),
@@ -196,10 +214,72 @@ def validate_checkpoint_payload(payload: object) -> dict:
                   {"worker": int, "incarnation": int, "seq": int,
                    "result": dict},
                   {"final": bool}, "CHECKPOINT")
-    _require(not isinstance(payload["worker"], bool)
-             and payload["incarnation"] >= 0 and payload["seq"] >= 0,
-             "CHECKPOINT worker/incarnation/seq must be non-negative ints")
+    _check_worker_identity(payload, "CHECKPOINT")
     validate_result_payload(payload["result"])
+    return payload
+
+
+# Streamed TELEMETRY frames: periodic worker self-reports.  ``metrics``
+# is a full cumulative MetricsRegistry state (not a delta) so a dropped
+# or reordered frame never corrupts the aggregate — latest seq wins.
+_TELEMETRY_REQUIRED = {
+    "role": int, "worker": int, "incarnation": int, "seq": int,
+    "mono": _NUMBER,
+}
+_TELEMETRY_OPTIONAL = {
+    "sync_mono": _OPTIONAL_NUMBER, "metrics": dict, "health": dict,
+    "spans": list, "ring": dict, "final": bool,
+}
+_SPAN_PHASES = ("b", "e", "i")
+
+
+def _check_span_events(events: object, label: str) -> None:
+    _require(isinstance(events, list), f"{label} must be a list")
+    for index, event in enumerate(events):
+        what = f"{label}[{index}]"
+        _require(isinstance(event, (list, tuple)) and len(event) == 6,
+                 f"{what} must be a 6-element span event")
+        ts, phase, qid, name, track, args = event
+        _require(isinstance(ts, _NUMBER) and not isinstance(ts, bool),
+                 f"{what} timestamp must be a number")
+        _require(phase in _SPAN_PHASES, f"{what} has bad phase {phase!r}")
+        _require(qid is None or (isinstance(qid, int)
+                                 and not isinstance(qid, bool)),
+                 f"{what} qid must be an int or null")
+        _require(isinstance(name, str) and isinstance(track, str),
+                 f"{what} name/track must be strings")
+        _require(args is None or isinstance(args, dict),
+                 f"{what} args must be an object or null")
+
+
+def validate_telemetry_payload(payload: object) -> dict:
+    """Check a TELEMETRY frame: one worker's streamed self-report."""
+    _require(isinstance(payload, dict),
+             "TELEMETRY payload must be an object")
+    _check_fields(payload, _TELEMETRY_REQUIRED, _TELEMETRY_OPTIONAL,
+                  "TELEMETRY")
+    _require(payload["role"] in (ROLE_DISTRIBUTOR, ROLE_QUERIER,
+                                 ROLE_SHARD),
+             f"TELEMETRY has bad role {payload['role']}")
+    _check_worker_identity(payload, "TELEMETRY")
+    if "metrics" in payload:
+        validate_metrics_payload(payload["metrics"])
+    for name, value in payload.get("health", {}).items():
+        _require(isinstance(name, str) and isinstance(value, _NUMBER)
+                 and not isinstance(value, bool),
+                 f"TELEMETRY health entry {name!r} must map str -> number")
+    if "spans" in payload:
+        _check_span_events(payload["spans"], "TELEMETRY spans")
+    ring = payload.get("ring")
+    if ring is not None:
+        _check_fields(ring, {}, {"spans": list, "log": list},
+                      "TELEMETRY ring")
+        _check_span_events(ring.get("spans", []), "TELEMETRY ring spans")
+        for index, entry in enumerate(ring.get("log", [])):
+            _require(isinstance(entry, (list, tuple)) and len(entry) == 2
+                     and isinstance(entry[0], _NUMBER)
+                     and isinstance(entry[1], str),
+                     f"TELEMETRY ring log[{index}] must be [ts, text]")
     return payload
 
 
@@ -259,6 +339,9 @@ class MessageSocket:
     def send_record_seq(self, index: int, record: QueryRecord) -> None:
         self._send(MSG_RECORD_SEQ,
                    _RECORD_SEQ.pack(index) + pack_record_body(record))
+
+    def send_telemetry(self, report: dict) -> None:
+        self._send(MSG_TELEMETRY, json.dumps(report).encode("utf-8"))
 
     def _send(self, kind: int, payload: bytes) -> None:
         chaos = self.chaos
@@ -334,13 +417,17 @@ class MessageSocket:
                      f"bad HELLO role {fields[0]}")
             return (MSG_HELLO, fields)
         if kind == MSG_RECORD_SEQ:
+            _require(len(payload) > _RECORD_SEQ.size,
+                     f"RECORD_SEQ frame truncated: {len(payload)} byte(s), "
+                     f"need a u32 index plus a record body")
             try:
                 (index,) = _RECORD_SEQ.unpack(payload[:_RECORD_SEQ.size])
                 record = unpack_record_body(bytes(payload[_RECORD_SEQ.size:]))
             except (struct.error, BinaryFormatError) as exc:
                 raise ProtocolError(f"bad RECORD_SEQ payload: {exc}")
             return (MSG_RECORD_SEQ, (index, record))
-        if kind in (MSG_RESULT, MSG_METRICS, MSG_CHECKPOINT):
+        if kind in (MSG_RESULT, MSG_METRICS, MSG_CHECKPOINT,
+                    MSG_TELEMETRY):
             try:
                 decoded = json.loads(payload.decode("utf-8"))
             except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -349,6 +436,8 @@ class MessageSocket:
                 return (kind, validate_result_payload(decoded))
             if kind == MSG_CHECKPOINT:
                 return (kind, validate_checkpoint_payload(decoded))
+            if kind == MSG_TELEMETRY:
+                return (kind, validate_telemetry_payload(decoded))
             return (kind, validate_metrics_payload(decoded))
         if kind == MSG_SHUTDOWN:
             _require(not payload, "SHUTDOWN frame must carry no payload")

@@ -105,6 +105,11 @@ class ChaosConfig:
     crash_rate: float = 0.0
     crash_after_frames: int = 0          # eligible frames before crashing
     crash_incarnations: Tuple[int, ...] = ()   # empty = every incarnation
+    # Streamed TELEMETRY frames are not in the default set: they are
+    # built to survive drops and reorders anyway (cumulative state,
+    # latest seq wins), so mangling them adds noise without adding
+    # coverage.  Include MSG_TELEMETRY explicitly to stress the
+    # aggregator's staleness handling.
     kinds: Tuple[int, ...] = (MSG_RECORD, MSG_RECORD_SEQ, MSG_CHECKPOINT,
                               MSG_RESULT, MSG_METRICS)
     scope: str = "workers"               # "workers" | "controller" | "both"

@@ -12,6 +12,14 @@ One subsystem, three recorders, all driven by one
   load series (qps, queue depth, CPU, memory) on the sim or real clock,
   with :class:`ResourceTimeline` adapting the server resource model.
 
+Multi-process runs add the cluster layer (``stream_period`` in the
+config): each worker's :class:`TelemetryStreamer` ships periodic
+``MSG_TELEMETRY`` frames (metrics, health, spans, and a
+:class:`FlightRecorder` ring of its last milliseconds) which the
+controller's :class:`ClusterAggregator` merges into live windowed
+views, an ``ldplayer top`` console, crash postmortems, and one
+clock-aligned Chrome trace for the whole topology.
+
 Construct a :class:`Telemetry` hub from a config and pass it to
 ``SimReplayEngine``/``HostedDnsServer`` (sim) or
 ``LiveDistributedReplay`` (live); export with
@@ -19,6 +27,8 @@ Construct a :class:`Telemetry` hub from a config and pass it to
 :func:`write_timeseries_csv`, or ``report.render_telemetry``.
 """
 
+from .cluster import (ClusterAggregator, ClusterConsole, FlightRecorder,
+                      TelemetryStreamer, WorkerView)
 from .core import Telemetry
 from .export import (chrome_trace, histograms_dict, timeseries_csv,
                      write_chrome_trace, write_histograms_json,
@@ -33,6 +43,11 @@ __all__ = [
     "Telemetry",
     "TelemetryConfig",
     "QueryTracer",
+    "ClusterAggregator",
+    "ClusterConsole",
+    "FlightRecorder",
+    "TelemetryStreamer",
+    "WorkerView",
     "MetricsRegistry",
     "Histogram",
     "TimeSeriesSampler",

@@ -1,0 +1,648 @@
+"""Cluster-wide live observability for the multi-process replay tree.
+
+PR 4's telemetry stops at the process boundary: a worker's tracer,
+histograms, and samplers die with the worker, and the controller sees
+nothing until the end-of-run RESULT/METRICS pair — or nothing at all if
+the worker is SIGKILLed.  This module closes that gap with a streaming
+path over the existing control plane:
+
+* :class:`TelemetryStreamer` — a worker-side daemon thread that ships
+  one ``MSG_TELEMETRY`` frame per ``stream_period``: the cumulative
+  :class:`~repro.telemetry.metrics.MetricsRegistry` state, health
+  gauges (queue depth, checkpoint lag, RSS, records in/out), the
+  tracer's *new* span events since the previous frame, and the flight
+  recorder's current tail.  Metrics are cumulative rather than deltas
+  so a dropped or reordered frame can never corrupt the aggregate —
+  the latest sequence number simply wins.
+* :class:`FlightRecorder` — a bounded ring of recent spans and log
+  lines.  Because every frame carries the *current* ring, the
+  controller always holds a worker's last milliseconds; when recovery
+  detects reader-EOF/SIGKILL the last-received ring is frozen into the
+  crash report, no post-mortem cooperation from the corpse required.
+* :class:`ClusterAggregator` — the controller-side merge: per-worker
+  views keyed by (role, worker, incarnation), time-windowed q/s,
+  latest-wins metrics aggregation, clock alignment, and the exporters
+  (``ldplayer top`` text console, JSON snapshot, CSV, and one merged
+  Chrome/Perfetto trace for the whole topology with each incarnation
+  as its own track group).
+
+Clock alignment reuses the ``MSG_TIME_SYNC`` anchor: the controller
+records its monotonic clock when it broadcasts TIME_SYNC
+(``ReplayResult.start_clock``) and each worker reports the monotonic
+instant it *received* it (``sync_mono``), so
+``offset = start_clock - sync_mono`` rebases that worker's span
+timestamps onto the controller clock.  Workers that never see a
+TIME_SYNC (simulation shards) fall back to an NTP-style minimum of
+``receive_time - frame.mono`` over their frames.
+
+Everything here is observation-only: streaming off (the default) means
+none of these objects exist and the multi-process replay path is
+byte-identical to a telemetry-free run (differential-tested).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import threading
+import time
+from collections import deque
+from typing import Callable, Dict, List, Optional, Tuple
+
+from .metrics import MetricsRegistry
+
+_ROLE_NAMES = {1: "distributor", 2: "querier", 3: "shard"}
+
+
+def rss_kilobytes() -> float:
+    """Resident set size of this process in kB (0.0 if unreadable)."""
+    try:
+        with open("/proc/self/status") as handle:
+            for line in handle:
+                if line.startswith("VmRSS:"):
+                    return float(line.split()[1])
+    except (OSError, ValueError, IndexError):
+        pass
+    try:
+        import resource
+        return float(resource.getrusage(resource.RUSAGE_SELF).ru_maxrss)
+    except Exception:
+        return 0.0
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+class FlightRecorder:
+    """Bounded ring of recent span events and log lines.
+
+    The black box of one worker: cheap enough to run always-on once
+    streaming is enabled, small enough to ride along in every
+    TELEMETRY frame.  ``tail()`` returns a JSON-ready snapshot.
+    """
+
+    def __init__(self, capacity: int = 256):
+        self.capacity = max(1, int(capacity))
+        self._spans: deque = deque(maxlen=self.capacity)
+        self._log: deque = deque(maxlen=self.capacity)
+        self._lock = threading.Lock()
+
+    def record_span(self, event: tuple) -> None:
+        with self._lock:
+            self._spans.append(event)
+
+    def log(self, text: str, ts: Optional[float] = None) -> None:
+        with self._lock:
+            self._log.append((time.monotonic() if ts is None else ts,
+                              str(text)))
+
+    def tail(self) -> Dict[str, list]:
+        with self._lock:
+            return {"spans": [list(event) for event in self._spans],
+                    "log": [list(entry) for entry in self._log]}
+
+
+class TelemetryStreamer(threading.Thread):
+    """Ships one TELEMETRY frame per period from inside a worker.
+
+    ``send`` is a callable taking the report dict (normally a bound
+    ``MessageSocket.send_telemetry``); delivery failures are swallowed —
+    telemetry must never take a worker down.  ``metrics_snapshot`` and
+    ``health`` are closures over worker state; a snapshot that raises
+    (e.g. a registry mutating mid-copy on the replay thread) skips that
+    section for the tick rather than crashing the stream.
+    """
+
+    def __init__(self, send: Callable[[dict], None], role: int,
+                 worker_id: int, incarnation: int, period: float,
+                 metrics_snapshot: Optional[Callable[[], dict]] = None,
+                 health: Optional[Callable[[], dict]] = None,
+                 tracer=None, recorder: Optional[FlightRecorder] = None,
+                 sync_mono: Optional[Callable[[], Optional[float]]] = None):
+        super().__init__(daemon=True,
+                         name=f"telemetry-stream-{role}:{worker_id}")
+        self._send = send
+        self.role = role
+        self.worker_id = worker_id
+        self.incarnation = incarnation
+        self.period = max(0.01, float(period))
+        self._metrics_snapshot = metrics_snapshot
+        self._health = health
+        self._tracer = tracer
+        self._recorder = recorder
+        self._sync_mono = sync_mono
+        self._halt = threading.Event()
+        # flush() is called by the periodic loop and, at lifecycle
+        # edges, by the worker's main thread — serialize report builds
+        # so seq stays strictly increasing.
+        self._flush_lock = threading.Lock()
+        self._seq = 0
+        self._spans_shipped = 0
+        self.frames_sent = 0
+        self.frames_failed = 0
+
+    def _build_report(self, final: bool) -> dict:
+        self._seq += 1
+        report: dict = {
+            "role": self.role, "worker": self.worker_id,
+            "incarnation": self.incarnation, "seq": self._seq,
+            "mono": time.monotonic(),
+        }
+        if final:
+            report["final"] = True
+        if self._sync_mono is not None:
+            try:
+                report["sync_mono"] = self._sync_mono()
+            except Exception:
+                pass
+        if self._metrics_snapshot is not None:
+            try:
+                state = self._metrics_snapshot()
+            except Exception:
+                state = None
+            if state is not None:
+                report["metrics"] = state
+        health: Dict[str, float] = {"rss_kb": rss_kilobytes()}
+        if self._health is not None:
+            try:
+                for name, value in self._health().items():
+                    if isinstance(value, bool) or value is None:
+                        continue
+                    health[name] = value
+            except Exception:
+                pass
+        report["health"] = health
+        tracer = self._tracer
+        if tracer is not None:
+            # The event list is append-only, so a slice past the last
+            # shipped index is a consistent incremental window even
+            # while the replay thread keeps appending.
+            events = tracer.events
+            new = events[self._spans_shipped:]
+            self._spans_shipped += len(new)
+            if new:
+                report["spans"] = [
+                    [ts, phase, qid, name, track, args]
+                    for ts, phase, qid, name, track, args in new]
+        if self._recorder is not None:
+            report["ring"] = self._recorder.tail()
+        elif tracer is not None and tracer.events:
+            # No explicit recorder: the tracer's own tail is the ring.
+            report["ring"] = {
+                "spans": [list(event) for event
+                          in tracer.events[-FlightRecorder().capacity:]],
+                "log": []}
+        return report
+
+    def flush(self, final: bool = False) -> bool:
+        with self._flush_lock:
+            report = self._build_report(final)
+            try:
+                self._send(report)
+            except Exception:
+                self.frames_failed += 1
+                return False
+            self.frames_sent += 1
+            return True
+
+    def run(self) -> None:
+        while not self._halt.wait(self.period):
+            self.flush()
+
+    def stop(self, final: bool = True) -> None:
+        """Stop the loop; optionally emit one last (``final``) frame."""
+        self._halt.set()
+        if self.is_alive():
+            self.join(timeout=2.0)
+        if final:
+            self.flush(final=True)
+
+
+# ---------------------------------------------------------------------------
+# Controller side
+# ---------------------------------------------------------------------------
+
+class WorkerView:
+    """Everything the controller knows about one (worker, incarnation)."""
+
+    def __init__(self, role: int, worker_id: int, incarnation: int):
+        self.role = role
+        self.worker_id = worker_id
+        self.incarnation = incarnation
+        self.last_seq = 0
+        self.frames = 0
+        self.sync_mono: Optional[float] = None
+        self.min_skew: Optional[float] = None   # min(recv_mono - mono)
+        self.metrics_state: Optional[dict] = None
+        self.health: Dict[str, float] = {}
+        self.spans: List[list] = []
+        self.ring: Dict[str, list] = {"spans": [], "log": []}
+        self.crashed = False
+        self.crash_reason: Optional[str] = None
+        self.last_recv: Optional[float] = None
+        # (controller recv mono, cumulative records sent) rate points.
+        self.rate_points: deque = deque(maxlen=4096)
+
+    @property
+    def name(self) -> str:
+        kind = _ROLE_NAMES.get(self.role, f"role{self.role}")
+        return f"{kind}-{self.worker_id}"
+
+    def update(self, payload: dict, recv_mono: float) -> bool:
+        """Fold one TELEMETRY frame in; False if stale (seq replay)."""
+        seq = payload["seq"]
+        if seq <= self.last_seq:
+            return False
+        self.last_seq = seq
+        self.frames += 1
+        self.last_recv = recv_mono
+        mono = payload.get("mono")
+        if isinstance(mono, (int, float)):
+            skew = recv_mono - mono
+            if self.min_skew is None or skew < self.min_skew:
+                self.min_skew = skew
+        sync = payload.get("sync_mono")
+        if sync is not None:
+            self.sync_mono = sync
+        if "metrics" in payload:
+            self.metrics_state = payload["metrics"]
+        for name, value in payload.get("health", {}).items():
+            self.health[name] = value
+        self.spans.extend(payload.get("spans", []))
+        ring = payload.get("ring")
+        if ring is not None:
+            self.ring = {"spans": ring.get("spans", []),
+                         "log": ring.get("log", [])}
+        sent = self.health.get("records_sent")
+        if sent is None and self.metrics_state is not None:
+            sent = self.metrics_state.get("counts", {}) \
+                .get("replay.records_sent")
+        if sent is not None:
+            self.rate_points.append((recv_mono, sent))
+        return True
+
+    def offset(self, anchor: Optional[float]) -> Optional[float]:
+        """Worker-monotonic → controller-monotonic clock offset."""
+        if self.sync_mono is not None and anchor is not None:
+            return anchor - self.sync_mono
+        return self.min_skew
+
+    def window_rate(self, window: float,
+                    now: Optional[float] = None) -> Optional[float]:
+        """Records/second over the trailing ``window`` seconds."""
+        if len(self.rate_points) < 2:
+            return None
+        if now is None:
+            now = self.rate_points[-1][0]
+        horizon = now - window
+        baseline = None
+        for point in self.rate_points:
+            if point[0] < horizon:
+                baseline = point
+            else:
+                if baseline is None:
+                    baseline = point
+                break
+        latest = self.rate_points[-1]
+        if baseline is None or latest[0] <= baseline[0]:
+            return None
+        return (latest[1] - baseline[1]) / (latest[0] - baseline[0])
+
+
+class ClusterAggregator:
+    """Time-windowed merged views over every worker's TELEMETRY stream.
+
+    Thread-safe: reader threads call :meth:`ingest` concurrently while
+    the console thread renders and the crash path freezes flight
+    recorders.  ``window`` bounds the trailing q/s computation.
+    """
+
+    def __init__(self, window: float = 2.0):
+        self.window = window
+        self.anchor: Optional[float] = None   # controller TIME_SYNC mono
+        self.started = time.monotonic()
+        self.frames_ingested = 0
+        self.frames_stale = 0
+        self._views: Dict[Tuple[int, int, int], WorkerView] = {}
+        self._crashes: List[dict] = []
+        self._lock = threading.Lock()
+
+    # -- ingest ------------------------------------------------------------
+
+    def set_anchor(self, start_clock: Optional[float]) -> None:
+        """Adopt the controller monotonic instant of the TIME_SYNC
+        broadcast (``ReplayResult.start_clock``)."""
+        with self._lock:
+            self.anchor = start_clock
+
+    def ingest(self, payload: dict,
+               recv_mono: Optional[float] = None) -> bool:
+        """Fold one validated TELEMETRY payload in."""
+        if recv_mono is None:
+            recv_mono = time.monotonic()
+        key = (payload["role"], payload["worker"], payload["incarnation"])
+        with self._lock:
+            view = self._views.get(key)
+            if view is None:
+                view = WorkerView(*key)
+                self._views[key] = view
+            fresh = view.update(payload, recv_mono)
+            if fresh:
+                self.frames_ingested += 1
+            else:
+                self.frames_stale += 1
+            return fresh
+
+    def record_crash(self, role: int, worker_id: int, incarnation: int,
+                     reason: str = "reader EOF with dead process") -> dict:
+        """Freeze a worker's last-known state into a crash report."""
+        key = (role, worker_id, incarnation)
+        with self._lock:
+            view = self._views.get(key)
+            if view is None:
+                view = WorkerView(*key)
+                self._views[key] = view
+            if view.crashed:
+                return self._crashes[-1] if self._crashes else {}
+            view.crashed = True
+            view.crash_reason = reason
+            report = {
+                "worker": view.name,
+                "incarnation": incarnation,
+                "reason": reason,
+                "last_seq": view.last_seq,
+                "frames": view.frames,
+                "health": dict(view.health),
+                "flight_recorder": {
+                    "spans": [list(event) for event in view.ring["spans"]],
+                    "log": [list(entry) for entry in view.ring["log"]],
+                },
+            }
+            self._crashes.append(report)
+            return report
+
+    # -- merged views ------------------------------------------------------
+
+    def workers(self) -> List[WorkerView]:
+        with self._lock:
+            return sorted(self._views.values(),
+                          key=lambda v: (v.role, v.worker_id,
+                                         v.incarnation))
+
+    def crash_reports(self) -> List[dict]:
+        with self._lock:
+            return list(self._crashes)
+
+    def merged_metrics(self) -> MetricsRegistry:
+        """Latest streamed registry state per (worker, incarnation),
+        merged.  Streamed states are cumulative, so this equals the
+        end-of-run merged METRICS once every worker's final frame has
+        landed."""
+        merged = MetricsRegistry()
+        for view in self.workers():
+            if view.metrics_state is not None:
+                merged.merge_state(view.metrics_state)
+        return merged
+
+    def total_rate(self, now: Optional[float] = None) -> float:
+        """Cluster-wide trailing q/s (sum of per-worker windows)."""
+        total = 0.0
+        for view in self.workers():
+            rate = view.window_rate(self.window, now)
+            if rate is not None:
+                total += rate
+        return total
+
+    # -- exporters ---------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """The whole aggregate as one JSON-ready document."""
+        now = time.monotonic()
+        rows = []
+        for view in self.workers():
+            rate = view.window_rate(self.window, now)
+            rows.append({
+                "worker": view.name,
+                "role": _ROLE_NAMES.get(view.role, str(view.role)),
+                "incarnation": view.incarnation,
+                "frames": view.frames,
+                "last_seq": view.last_seq,
+                "crashed": view.crashed,
+                "qps_window": rate,
+                "clock_offset_s": view.offset(self.anchor),
+                "health": dict(view.health),
+                "spans": len(view.spans),
+            })
+        return {
+            "window_s": self.window,
+            "uptime_s": now - self.started,
+            "frames_ingested": self.frames_ingested,
+            "frames_stale": self.frames_stale,
+            "total_qps_window": self.total_rate(now),
+            "workers": rows,
+            "crashes": self.crash_reports(),
+        }
+
+    def write_snapshot(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.snapshot(), handle, indent=2, sort_keys=True)
+
+    def workers_csv(self) -> str:
+        """Per-worker rows as CSV (one row per incarnation)."""
+        columns = ["worker", "incarnation", "frames", "last_seq",
+                   "crashed", "qps_window", "clock_offset_s", "rss_kb",
+                   "queue_depth", "checkpoint_lag", "records_received",
+                   "records_sent", "spans"]
+        out = io.StringIO()
+        out.write(",".join(columns) + "\n")
+        now = time.monotonic()
+        for view in self.workers():
+            rate = view.window_rate(self.window, now)
+            offset = view.offset(self.anchor)
+            cells = [view.name, view.incarnation, view.frames,
+                     view.last_seq, int(view.crashed),
+                     "" if rate is None else f"{rate:.1f}",
+                     "" if offset is None else f"{offset:.6f}",
+                     view.health.get("rss_kb", ""),
+                     view.health.get("queue_depth", ""),
+                     view.health.get("checkpoint_lag", ""),
+                     view.health.get("records_received", ""),
+                     view.health.get("records_sent", ""),
+                     len(view.spans)]
+            out.write(",".join(str(cell) for cell in cells) + "\n")
+        return out.getvalue()
+
+    def render_top(self) -> str:
+        """One ``ldplayer top``-style console frame."""
+        now = time.monotonic()
+        header = (f"cluster  up {now - self.started:6.1f}s  "
+                  f"frames {self.frames_ingested}"
+                  + (f" (+{self.frames_stale} stale)"
+                     if self.frames_stale else "")
+                  + f"  q/s[{self.window:g}s] {self.total_rate(now):8.1f}")
+        columns = (f"{'WORKER':<16} {'INC':>3} {'SEQ':>5} {'Q/S':>9} "
+                   f"{'QUEUE':>6} {'LAG':>5} {'RSS(MB)':>8} "
+                   f"{'RECV':>8} {'SENT':>8}  STATE")
+        lines = [header, columns]
+        for view in self.workers():
+            rate = view.window_rate(self.window, now)
+            health = view.health
+            rss = health.get("rss_kb")
+            state = "CRASHED" if view.crashed else (
+                "live" if view.last_recv is not None
+                and now - view.last_recv < 3 * self.window else "quiet")
+            lines.append(
+                f"{view.name:<16} {view.incarnation:>3} "
+                f"{view.last_seq:>5} "
+                f"{'-' if rate is None else format(rate, '9.1f'):>9} "
+                f"{_cell(health.get('queue_depth')):>6} "
+                f"{_cell(health.get('checkpoint_lag')):>5} "
+                f"{'-' if rss is None else format(rss / 1024.0, '8.1f'):>8} "
+                f"{_cell(health.get('records_received')):>8} "
+                f"{_cell(health.get('records_sent')):>8}  {state}")
+        crashes = self.crash_reports()
+        if crashes:
+            lines.append("")
+            for report in crashes:
+                tail = report["flight_recorder"]
+                lines.append(
+                    f"crash: {report['worker']} inc{report['incarnation']}"
+                    f" — {report['reason']} "
+                    f"(flight recorder: {len(tail['spans'])} spans, "
+                    f"{len(tail['log'])} log lines)")
+        return "\n".join(lines)
+
+    # -- merged Chrome trace ----------------------------------------------
+
+    def chrome_trace(self) -> dict:
+        """One clock-aligned Trace Event document for the whole tree.
+
+        Each (worker, incarnation) renders as its own process group, so
+        a respawned worker's two lives sit side by side; crashed
+        incarnations are labelled and their flight-recorder tail is
+        merged in (deduplicated against spans already streamed).
+        Timestamps are rebased onto the controller clock, zeroed at the
+        TIME_SYNC broadcast.
+        """
+        events: List[dict] = []
+        zero = self.anchor
+        views = self.workers()
+        for pid, view in enumerate(views, start=1):
+            label = f"{view.name} inc{view.incarnation}"
+            if view.crashed:
+                label += " (crashed)"
+            events.append({"ph": "M", "name": "process_name", "pid": pid,
+                           "tid": 0, "args": {"name": label}})
+            events.append({"ph": "M", "name": "process_sort_index",
+                           "pid": pid, "tid": 0, "args": {"sort_index": pid}})
+            offset = view.offset(self.anchor) or 0.0
+            tids: Dict[str, int] = {}
+            seen = set()
+            span_events = list(view.spans)
+            streamed = {tuple(span[:5]) for span in span_events}
+            for event in view.ring["spans"]:
+                # A crashed worker's ring overlaps spans it already
+                # streamed; only its unshipped tail is new.
+                if tuple(event[:5]) not in streamed:
+                    span_events.append(event)
+            for ts, phase, qid, name, track, args in span_events:
+                key = (ts, phase, qid, name, track)
+                if key in seen:
+                    continue
+                seen.add(key)
+                tid = tids.setdefault(track, len(tids))
+                rebased = ts + offset - (zero if zero is not None else 0.0)
+                entry = {
+                    "name": name, "cat": "query",
+                    "ph": phase if phase != "i" else "n",
+                    "ts": rebased * 1e6, "pid": pid, "tid": tid,
+                    # Scope async ids to this process: local per-shard
+                    # query indices collide across workers otherwise.
+                    "id2": {"local": qid},
+                }
+                if phase == "i" and qid is None:
+                    entry["ph"] = "i"
+                    entry["s"] = "p"
+                    del entry["id2"]
+                if args:
+                    entry["args"] = args
+                events.append(entry)
+            for wall, text in view.ring["log"]:
+                rebased = wall + offset - (zero if zero is not None else 0.0)
+                events.append({"name": text, "cat": "flight-recorder",
+                               "ph": "i", "s": "t", "ts": rebased * 1e6,
+                               "pid": pid, "tid": 0})
+            # Windowed q/s as a counter track, from the controller-side
+            # rate points (already on the controller clock).
+            previous = None
+            for recv_mono, sent in view.rate_points:
+                if previous is not None and recv_mono > previous[0]:
+                    rate = (sent - previous[1]) / (recv_mono - previous[0])
+                    ts = recv_mono - (zero if zero is not None
+                                      else self.started)
+                    events.append({"name": "q/s", "ph": "C",
+                                   "ts": ts * 1e6, "pid": pid, "tid": 0,
+                                   "args": {"value": rate}})
+                previous = (recv_mono, sent)
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def write_chrome_trace(self, path: str) -> None:
+        with open(path, "w") as handle:
+            json.dump(self.chrome_trace(), handle)
+
+    def __repr__(self) -> str:
+        views = self.workers()
+        return (f"ClusterAggregator({len(views)} workers, "
+                f"{self.frames_ingested} frames, "
+                f"{len(self.crash_reports())} crashes)")
+
+
+def _cell(value) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.0f}"
+    return str(value)
+
+
+class ClusterConsole(threading.Thread):
+    """Renders :meth:`ClusterAggregator.render_top` frames live.
+
+    Writes one frame per ``interval`` to ``stream`` (default stdout)
+    and keeps every frame in :attr:`frames` so a CI run can persist the
+    console history as an artifact.
+    """
+
+    def __init__(self, aggregator: ClusterAggregator,
+                 interval: float = 0.5, stream=None, clear: bool = False):
+        super().__init__(daemon=True, name="cluster-console")
+        self.aggregator = aggregator
+        self.interval = max(0.05, float(interval))
+        self.stream = stream
+        self.clear = clear
+        self.frames: List[str] = []
+        self._halt = threading.Event()
+
+    def _emit(self) -> None:
+        frame = self.aggregator.render_top()
+        self.frames.append(frame)
+        stream = self.stream
+        if stream is not None:
+            if self.clear:
+                stream.write("\x1b[2J\x1b[H")
+            stream.write(frame + "\n\n")
+            try:
+                stream.flush()
+            except (OSError, ValueError):
+                pass
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval):
+            self._emit()
+
+    def stop(self) -> None:
+        self._halt.set()
+        if self.is_alive():
+            self.join(timeout=2.0)
+        self._emit()   # final frame reflects the finished run

@@ -36,6 +36,15 @@ class TelemetryConfig:
     size histograms.  ``timeseries_period`` (seconds) turns on the
     periodic load sampler.  ``max_trace_events`` caps the event buffer
     so an unexpectedly hot run degrades to dropped events, not OOM.
+
+    ``stream_period`` (seconds) turns on *cluster* streaming: worker
+    processes in a multi-process topology periodically ship TELEMETRY
+    frames (cumulative metrics, health gauges, incremental spans, and
+    the flight-recorder tail) to the controller, which aggregates them
+    live (:mod:`repro.telemetry.cluster`).  ``flight_recorder`` bounds
+    the per-worker ring of recent spans/log lines carried in each frame
+    — the controller keeps the last ring it saw, so a SIGKILLed
+    worker's final milliseconds survive in the crash report.
     """
 
     trace: bool = False
@@ -43,10 +52,16 @@ class TelemetryConfig:
     metrics: bool = False
     timeseries_period: Optional[float] = None
     max_trace_events: int = 2_000_000
+    stream_period: Optional[float] = None
+    flight_recorder: int = 256
 
     def enabled(self) -> bool:
         return (self.trace or self.metrics
-                or self.timeseries_period is not None)
+                or self.timeseries_period is not None
+                or self.stream_period is not None)
+
+    def streaming(self) -> bool:
+        return self.stream_period is not None and self.stream_period > 0
 
 
 # One lifecycle event: (timestamp, phase, qid, name, track, args).

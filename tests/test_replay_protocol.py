@@ -1,5 +1,6 @@
 """Tests for the inter-node replay protocol and distributed live replay."""
 
+import json
 import socket
 import struct
 import threading
@@ -11,8 +12,9 @@ from repro.replay import (DistributedConfig, LiveDistributedReplay,
                           LiveUdpEchoServer, MAX_FRAME, MSG_CHECKPOINT,
                           MSG_END, MSG_HELLO, MSG_METRICS, MSG_RECORD,
                           MSG_RECORD_SEQ, MSG_RESULT, MSG_SHUTDOWN,
-                          MSG_TIME_SYNC, MessageSocket, ProtocolError,
-                          ROLE_QUERIER, SendError, connect, connected_pair)
+                          MSG_TELEMETRY, MSG_TIME_SYNC, MessageSocket,
+                          ProtocolError, ROLE_QUERIER, SendError, connect,
+                          connected_pair)
 from repro.replay.distributed import _LiveQuerier
 from repro.trace import BRootWorkload, fixed_interval_trace, \
     make_query_record
@@ -407,6 +409,138 @@ class TestSchemaValidation:
         with pytest.raises(ProtocolError, match="RECORD"):
             receiver.receive()
         sender.close(), receiver.close()
+
+
+class TestControlSchemaValidation:
+    """ISSUE 9 satellite: CHECKPOINT, RECORD_SEQ and TELEMETRY frames get
+    the same boundary treatment as RESULT/METRICS — a worker (or a fault
+    injector) can only deliver well-formed control payloads; everything
+    else dies as a ProtocolError before it reaches recovery bookkeeping
+    or the cluster aggregator."""
+
+    def good_checkpoint(self):
+        return {"worker": 3, "incarnation": 1, "seq": 7,
+                "result": {"name": "querier-3", "sent": [],
+                           "counters": {}},
+                "final": False}
+
+    def good_telemetry(self):
+        from repro.telemetry import MetricsRegistry
+        metrics = MetricsRegistry()
+        metrics.incr("replay.records_sent", 5)
+        return {"role": ROLE_QUERIER, "worker": 2, "incarnation": 0,
+                "seq": 4, "mono": 12.5, "sync_mono": 12.0,
+                "metrics": metrics.to_state(),
+                "health": {"rss_kb": 20480, "queue_depth": 3},
+                "spans": [[0.001, "b", 17, "query", "querier-2", None],
+                          [0.004, "e", 17, "query", "querier-2",
+                           {"rcode": 0}]],
+                "ring": {"spans": [[0.001, "i", None, "mark",
+                                    "querier-2", None]],
+                         "log": [[0.0, "querier-2 inc0 up"]]},
+                "final": False}
+
+    def roundtrip(self, send):
+        sender, receiver = connected_pair()
+        try:
+            send(sender)
+            return receiver.receive()
+        finally:
+            sender.close(), receiver.close()
+
+    def test_valid_checkpoint_passes(self):
+        kind, payload = self.roundtrip(
+            lambda s: s.send_checkpoint(3, 1, 7,
+                                        self.good_checkpoint()["result"]))
+        assert kind == MSG_CHECKPOINT
+        assert (payload["worker"], payload["seq"]) == (3, 7)
+
+    @pytest.mark.parametrize("mangle,match", [
+        (lambda p: p.pop("result"), "missing field 'result'"),
+        (lambda p: p.update(result=[]), "field 'result' has type list"),
+        (lambda p: p.update(worker=True), "worker must be a non-negative"),
+        (lambda p: p.update(worker=-1), "worker must be a non-negative"),
+        (lambda p: p.update(incarnation=0x10000), "exceeds u16"),
+        (lambda p: p.update(final="yes"), "field 'final'"),
+        (lambda p: p.update(surprise=1), "unknown field 'surprise'"),
+        (lambda p: p["result"].pop("sent"), "missing field 'sent'"),
+    ], ids=["no-result", "result-not-dict", "worker-bool", "worker-neg",
+            "incarnation-overflow", "final-str", "unknown-field",
+            "nested-result-invalid"])
+    def test_bad_checkpoint_rejected(self, mangle, match):
+        payload = self.good_checkpoint()
+        mangle(payload)
+        sender, receiver = connected_pair()
+        try:
+            sender._send(MSG_CHECKPOINT, json.dumps(payload).encode())
+            with pytest.raises(ProtocolError, match=match):
+                receiver.receive()
+        finally:
+            sender.close(), receiver.close()
+
+    def test_record_seq_roundtrips_index_and_record(self):
+        record = make_query_record(0.25, "10.9.9.9", "seq.example.com.")
+        kind, payload = self.roundtrip(
+            lambda s: s.send_record_seq(41, record))
+        assert kind == MSG_RECORD_SEQ
+        index, got = payload
+        assert index == 41 and got.src == "10.9.9.9"
+        assert got.wire == record.wire
+
+    @pytest.mark.parametrize("body", [b"", b"\x00\x00", b"\x00\x00\x00\x05"],
+                             ids=["empty", "short-index", "index-no-record"])
+    def test_truncated_record_seq_rejected(self, body):
+        sender, receiver = connected_pair()
+        sender._socket.sendall(_HEADER.pack(1 + len(body), MSG_RECORD_SEQ)
+                               + body)
+        with pytest.raises(ProtocolError, match="RECORD_SEQ"):
+            receiver.receive()
+        sender.close(), receiver.close()
+
+    def test_corrupt_record_seq_body_rejected(self):
+        body = struct.pack("!I", 9) + b"not a record"
+        sender, receiver = connected_pair()
+        sender._socket.sendall(_HEADER.pack(1 + len(body), MSG_RECORD_SEQ)
+                               + body)
+        with pytest.raises(ProtocolError, match="RECORD_SEQ"):
+            receiver.receive()
+        sender.close(), receiver.close()
+
+    def test_valid_telemetry_passes(self):
+        kind, payload = self.roundtrip(
+            lambda s: s.send_telemetry(self.good_telemetry()))
+        assert kind == MSG_TELEMETRY
+        assert payload["health"]["queue_depth"] == 3
+        assert len(payload["spans"]) == 2
+
+    @pytest.mark.parametrize("mangle,match", [
+        (lambda p: p.pop("mono"), "missing field 'mono'"),
+        (lambda p: p.update(role=9), "bad role 9"),
+        (lambda p: p.update(seq=-2), "seq must be a non-negative"),
+        (lambda p: p["metrics"].update(surprise={}), "unknown field"),
+        (lambda p: p["health"].update(note="hot"),
+         "health entry 'note'"),
+        (lambda p: p["health"].update(ok=True), "health entry 'ok'"),
+        (lambda p: p["spans"].append([0.1, "x", 1, "q", "t", None]),
+         "bad phase"),
+        (lambda p: p["spans"].append([0.1, "b", 1, "q", "t"]),
+         "6-element span event"),
+        (lambda p: p["ring"].update(extra=[]), "unknown field 'extra'"),
+        (lambda p: p["ring"]["log"].append(["late", 1]),
+         r"ring log\[1\]"),
+        (lambda p: p.update(surprise=1), "unknown field 'surprise'"),
+    ], ids=["no-mono", "bad-role", "seq-neg", "metrics-invalid",
+            "health-str", "health-bool", "span-phase", "span-arity",
+            "ring-unknown", "ring-log-shape", "unknown-top"])
+    def test_bad_telemetry_rejected(self, mangle, match):
+        payload = self.good_telemetry()
+        mangle(payload)
+        with pytest.raises(ProtocolError, match=match):
+            self.roundtrip(lambda s: s.send_telemetry(payload))
+
+    def test_telemetry_payload_must_be_object(self):
+        with pytest.raises(ProtocolError, match="must be an object"):
+            self.roundtrip(lambda s: s.send_telemetry(["nope"]))
 
 
 class _MangledEchoServer:

@@ -373,6 +373,43 @@ class TestExporters:
         assert render_telemetry(Telemetry()) == \
             "(telemetry off: nothing recorded)"
 
+    def test_render_telemetry_recovery_section(self):
+        result = ReplayResult()
+        result.respawns = 2
+        result.redelivered_records = 40
+        result.duplicate_merged = 3
+        text = render_telemetry(self._traced_telemetry(), result)
+        assert "recovery.respawns             2" in text
+        assert "recovery.redelivered_records" in text
+        assert "recovery.duplicate_merged" in text
+        # Counters that never moved are omitted, and a clean run adds
+        # no recovery section at all.
+        assert "recovery.watchdog_stalls" not in text
+        clean = render_telemetry(self._traced_telemetry(), ReplayResult())
+        assert "recovery." not in clean
+
+    def test_render_perf_counters_derived_shares(self):
+        perf = PerfCounters()
+        perf.incr("server.wire_cache_hits", 200)
+        perf.incr("server.wire_cache_misses", 50)
+        perf.incr("server.zero_copy_hits", 150)
+        text = render_perf_counters(perf)
+        assert "server.wire_cache_hit_rate  0.800" in text
+        assert "server.zero_copy_share" in text and "0.750" in text
+
+    def test_render_perf_counters_shard_clamp_rate(self):
+        from repro.netsim import ShardCoordinator, ShardPlan
+        coordinator = ShardCoordinator(ShardPlan(num_shards=2))
+        coordinator.epochs_run = 10
+        coordinator.fabric.handed_off = 40
+        coordinator.fabric.clamped = 4
+        perf = PerfCounters()
+        coordinator.export_counters(perf)
+        text = render_perf_counters(perf)
+        assert "shard.epochs" in text
+        assert "shard.fabric_handed_off" in text
+        assert "shard.fabric_clamp_rate" in text and "0.100" in text
+
 
 class TestZeroQueryReports:
     """Every renderer must stay well-defined on a run that sent nothing."""

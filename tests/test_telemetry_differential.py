@@ -16,10 +16,12 @@ import pytest
 from repro.experiments.fig6_timing import wildcard_example_zone
 from repro.experiments.topology import build_evaluation_topology
 from repro.netsim import FaultInjector, FaultPlan, FaultSpec, RetryPolicy
-from repro.replay import QuerierConfig, ReplayConfig, SimReplayEngine
+from repro.replay import (DistributedConfig, ProcessTopology, QuerierConfig,
+                          ReplayConfig, SimReplayEngine,
+                          UdpEchoServerProcess)
 from repro.server import AuthoritativeServer, HostedDnsServer
 from repro.telemetry import Telemetry, TelemetryConfig, chrome_trace
-from repro.trace import percentile, table1_synthetic
+from repro.trace import fixed_interval_trace, percentile, table1_synthetic
 from repro.verify import Observation, Oracle
 
 QUERY_COUNT = 300  # syn-1 at 0.1 s intervals for 30 s
@@ -193,6 +195,73 @@ class TestTracingAccuracy:
         # The retry path closed every span it reopened.
         assert result.retries > 0
         assert telemetry.coverage(result) >= 0.99
+
+
+def run_process_tree(telemetry=None):
+    """One small multi-process replay (controller → 2 distributors →
+    4 queriers → echo server); returns (topology, result, trace)."""
+    trace = fixed_interval_trace(interval=0.004, duration=0.5,
+                                 client_count=8)
+    config = DistributedConfig(distributors=2, queriers_per_distributor=2,
+                               topology="processes", settle_time=0.5)
+    with UdpEchoServerProcess() as echo:
+        topology = ProcessTopology((echo.address, echo.port), config,
+                                   telemetry=telemetry)
+        result = topology.replay(trace)
+    return topology, result, trace
+
+
+def process_facts(result):
+    """The deterministic face of a multi-process ReplayResult: what was
+    sent and what came back.  Wall-clock timings are excluded (two
+    healthy runs never schedule to the nanosecond), and so are the
+    merge-order-dependent global index and the querier binding — sticky
+    assignment keys on querier *registration* order at the distributor,
+    which is a process-startup race in any run, telemetry or not."""
+    return {
+        "sent": sorted((q.source, q.trace_time, q.qname, q.protocol,
+                        q.answered_at is not None) for q in result.sent),
+        "failures": result.failure_counts(),
+        "degradation": result.degradation(),
+    }
+
+
+@pytest.mark.observability
+class TestClusterTelemetryIsInert:
+    """ISSUE 9: the differential guarantee extends to the whole process
+    tree — streaming off means the workers never see a telemetry object
+    and the merged result is identical to a telemetry-free run."""
+
+    def test_streaming_off_is_identical_to_no_telemetry(self):
+        baseline_topology, baseline, trace = run_process_tree(None)
+        # trace=True alone (no stream_period) must not light up the
+        # cluster path either: streaming is its own opt-in.
+        hub = Telemetry(TelemetryConfig(trace=True))
+        candidate_topology, candidate, _ = run_process_tree(hub)
+        assert baseline_topology.cluster is None
+        assert candidate_topology.cluster is None
+        assert process_facts(candidate) == process_facts(baseline)
+        assert len(baseline.sent) == len(trace.records)
+
+    def test_streaming_on_aggregate_equals_final_metrics(self):
+        """Streamed cumulative counters, merged latest-seq-wins, land on
+        exactly the end-of-run merged METRICS values."""
+        hub = Telemetry(TelemetryConfig(trace=True, stream_period=0.1))
+        topology, result, trace = run_process_tree(hub)
+        cluster = topology.cluster
+        assert cluster is not None
+        streamed = cluster.merged_metrics()
+        final = topology.metrics
+        for counter in ("replay.records_sent", "replay.records_received",
+                        "replay.records_routed"):
+            assert streamed.count(counter) == final.count(counter), counter
+        assert streamed.count("replay.records_sent") == len(result.sent)
+        assert len(result.sent) == len(trace.records)
+        # The streamed latency histogram is the final histogram.
+        streamed_hist = streamed.histogram("query.latency_s")
+        final_hist = final.histogram("query.latency_s")
+        assert streamed_hist.count == final_hist.count
+        assert streamed_hist.to_state() == final_hist.to_state()
 
 
 class TestSampledTracing:
