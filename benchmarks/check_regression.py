@@ -35,14 +35,17 @@ from typing import Dict, List, Tuple
 DEFAULT_TOLERANCE = 0.20
 
 
+def _is_rate(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
 def throughput_keys(record: Dict) -> List[str]:
     """Scalar higher-is-better rate fields of one benchmark record."""
     return sorted(
         key for key, value in record.items()
         if "qps" in key
         and not key.startswith("baseline_")
-        and isinstance(value, (int, float))
-        and not isinstance(value, bool))
+        and _is_rate(value))
 
 
 def compare(baseline: Dict[str, Dict], candidate: Dict[str, Dict],
@@ -55,6 +58,11 @@ def compare(baseline: Dict[str, Dict], candidate: Dict[str, Dict],
         if fresh is None:
             failures.append(f"{name}: record missing from candidate run")
             continue
+        if not isinstance(base, dict) or not isinstance(fresh, dict):
+            # Top-level metadata (a version string, a timestamp) is not
+            # a measurement record; never diff it.
+            lines.append(f"  {name}: not a measurement record, skipped")
+            continue
         skip = base.get("skip_reason") or fresh.get("skip_reason")
         if skip:
             lines.append(f"  {name}: not compared ({skip})")
@@ -65,7 +73,10 @@ def compare(baseline: Dict[str, Dict], candidate: Dict[str, Dict],
                          f"{base_cpus} cpu(s), this run on {fresh_cpus}")
             continue
         for key in throughput_keys(base):
-            if key not in fresh:
+            if not _is_rate(fresh.get(key)):
+                # Absent, null (a self-gated measurement recorded its
+                # key anyway), or otherwise non-numeric: the figure is
+                # gone either way.
                 failures.append(f"{name}.{key}: dropped from candidate")
                 continue
             floor = base[key] * (1.0 - tolerance)
@@ -91,8 +102,16 @@ def main(argv: List[str] | None = None) -> int:
                         help="allowed fractional drop (default 0.20)")
     options = parser.parse_args(argv)
 
-    baseline = json.loads(options.baseline.read_text())
-    candidate = json.loads(options.candidate.read_text())
+    try:
+        baseline = json.loads(options.baseline.read_text())
+        candidate = json.loads(options.candidate.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if not isinstance(baseline, dict) or not isinstance(candidate, dict):
+        print("error: benchmark documents must be JSON objects",
+              file=sys.stderr)
+        return 2
     lines, failures = compare(baseline, candidate, options.tolerance)
 
     print(f"{options.candidate} vs {options.baseline} "

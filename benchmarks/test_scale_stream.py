@@ -1,0 +1,44 @@
+"""Streaming-scale smoke: 10⁶ queries through the constant-memory path.
+
+Runs the full streaming pipeline (generate → mutate → sticky shard
+write → lazy shard read → aggregate accounting) at 10⁶ queries by
+default and asserts RSS stays flat — the property that makes the
+10⁸-query replay of the paper's B-Root traces possible on one box.
+
+Scale up with the environment::
+
+    REPRO_SCALE_QUERIES=1e8 pytest benchmarks/test_scale_stream.py \
+        --bench-json BENCH_scale.json
+
+The record lands in the ``--bench-json`` document (CI writes
+``BENCH_scale.json`` and feeds it to the regression guard).
+"""
+
+import os
+
+import pytest
+
+from repro.experiments.scale_bench import FLATNESS_LIMIT, run
+
+pytestmark = pytest.mark.benchmark
+
+
+def test_scale_stream_flat_rss(bench_json_record, tmp_path):
+    query_count = int(float(os.environ.get("REPRO_SCALE_QUERIES", "1e6")))
+    workdir = os.environ.get("REPRO_SCALE_WORKDIR") or str(tmp_path)
+    record = run(query_count, workdir=workdir)
+    bench_json_record("scale_stream", **record)
+
+    # The pipeline is lossless end-to-end (run() also self-checks).
+    assert record["accounted_sends"] == query_count
+    assert record["bytes_on_disk"] > 0
+    assert record["write_qps"] > 0 and record["drain_qps"] > 0
+
+    if record.get("skip_reason"):
+        pytest.skip(record["skip_reason"])
+    assert record["rss_flat"], (
+        f"RSS drifted {record['rss_drift']:.1%} "
+        f"(peak {record['rss_peak_kb']} kB vs steady "
+        f"{record['rss_steady_kb']} kB); streaming path is not "
+        f"constant-memory")
+    assert record["rss_drift"] < FLATNESS_LIMIT

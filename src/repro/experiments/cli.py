@@ -7,6 +7,7 @@ Examples::
     ldplayer fig13 --scale full
     ldplayer all --scale smoke
     ldplayer top --kill    # live cluster telemetry + crash artifacts
+    ldplayer scale --queries 1e8 --json BENCH_scale.json --assert-flat
 """
 
 from __future__ import annotations
@@ -51,6 +52,10 @@ def main(argv=None) -> int:
         # with streamed telemetry and dump the trace/console artifacts.
         from .top import main as top_main
         return top_main(argv[1:])
+    if argv and argv[0] == "scale":
+        # Constant-memory streaming benchmark (10⁶–10⁸ queries).
+        from .scale_bench import main as scale_main
+        return scale_main(argv[1:])
     parser = argparse.ArgumentParser(
         prog="ldplayer",
         description="Reproduce LDplayer's tables and figures "

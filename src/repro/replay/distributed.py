@@ -33,6 +33,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple, Union
 from ..dns import WireError
 from ..telemetry.tracing import wire_question_key
 from ..trace import QueryRecord, Trace
+from ..trace.stream import DEFAULT_READ_AHEAD, iter_shard_file
 from .distributor import StickyAssigner
 from .protocol import (MSG_END, MSG_RECORD, MSG_RECORD_SEQ, MSG_SHUTDOWN,
                        MSG_TIME_SYNC, MessageSocket, ProtocolError,
@@ -47,6 +48,13 @@ from .supervision import ReplayWatchdog, SupervisionConfig
 MatchKey = Tuple[int, str, int]
 
 ServerAddress = Tuple[str, int]
+
+# Aggregate-mode bound on response-matching state: unanswered sends and
+# answered-key tombstones would otherwise grow with the trace (exactly
+# the per-query memory aggregate accounting exists to avoid).  Evicted
+# pending sends simply stay unanswered — the same fate a lost datagram
+# already has.
+_AGGREGATE_PENDING_CAP = 1 << 16
 
 
 def _sent_key(message_id: int, record: QueryRecord) -> MatchKey:
@@ -91,6 +99,11 @@ class DistributedConfig:
     # checkpointed result shards and exactly-once redelivery.  None
     # keeps the historical fail-fast behavior byte for byte.
     recovery: Optional[RecoveryConfig] = None
+    # Aggregate accounting: queriers fold every send into O(1)
+    # counters/histograms (ReplayResult(aggregate=True)) instead of
+    # retaining a SentQuery per query.  This is what keeps a 10⁸-query
+    # streamed replay at flat RSS; per-query forensics are unavailable.
+    aggregate_results: bool = False
 
 
 class _LiveQuerier(threading.Thread):
@@ -105,7 +118,10 @@ class _LiveQuerier(threading.Thread):
         self.server = server
         self.result = result
         self.lock = lock
-        self._pending: Dict[MatchKey, List[SentQuery]] = {}
+        # List mode retains SentQuery entries; aggregate mode stores
+        # only the sent_at float (enough to compute the latency).
+        self._pending: Dict[MatchKey, List] = {}
+        self._pending_entries = 0
         self._answered: Set[MatchKey] = set()
         self._sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self._sock.connect(server)
@@ -194,6 +210,16 @@ class _LiveQuerier(threading.Thread):
                     if self._trace_start is None:
                         self._trace_start = message[1]
                         self._clock_start = time.monotonic()
+                        if self.result.aggregate:
+                            # Aggregate accounting folds §2.6 time
+                            # errors at send time, so the anchors must
+                            # be in place before the first count_send.
+                            with self.lock:
+                                if self.result.trace_start is None:
+                                    self.result.trace_start = \
+                                        self._trace_start
+                                    self.result.start_clock = \
+                                        self._clock_start
                     if self.deadline is not None \
                             and self._deadline_timer is None:
                         self._deadline_timer = threading.Timer(
@@ -318,6 +344,9 @@ class _LiveQuerier(threading.Thread):
         self._sequence += 1
         wire = struct.pack("!H", message_id) + record.wire[2:]
         key = _sent_key(message_id, record)
+        if self.result.aggregate:
+            self._send_aggregate(record, key, wire)
+            return
         entry = SentQuery(
             # Recovery mode carries the global trace index so the
             # controller's merge can dedup across respawns; classic mode
@@ -339,6 +368,31 @@ class _LiveQuerier(threading.Thread):
         except OSError:
             self.result.send_failures += 1
 
+    def _send_aggregate(self, record: QueryRecord, key: MatchKey,
+                        wire: bytes) -> None:
+        """O(1)-memory send: fold into counters, keep only sent_at."""
+        sent_at = time.monotonic()
+        self._pending.setdefault(key, []).append(sent_at)
+        self._pending_entries += 1
+        self._answered.discard(key)
+        with self.lock:
+            self.result.count_send("udp", record.timestamp, sent_at)
+        try:
+            self._sock.send(wire)
+            self.records_sent += 1
+        except OSError:
+            self.result.send_failures += 1
+        if self._pending_entries > _AGGREGATE_PENDING_CAP:
+            # Evict oldest keys (dict order ≈ insertion order): the
+            # dropped sends are already counted and simply stay
+            # unanswered if a late response does arrive.
+            while self._pending_entries > _AGGREGATE_PENDING_CAP // 2:
+                evicted, waiting = next(iter(self._pending.items()))
+                self._pending_entries -= len(waiting)
+                del self._pending[evicted]
+        if len(self._answered) > _AGGREGATE_PENDING_CAP:
+            self._answered.clear()
+
     def _drain_responses(self) -> None:
         while True:
             try:
@@ -349,10 +403,17 @@ class _LiveQuerier(threading.Thread):
             waiting = self._pending.get(key) if key is not None else None
             if waiting:
                 entry = waiting.pop(0)
-                entry.answered_at = time.monotonic()
+                answered_at = time.monotonic()
                 if not waiting:
                     del self._pending[key]
                     self._answered.add(key)
+                if self.result.aggregate:
+                    # ``entry`` is the sent_at float; fold the latency.
+                    self._pending_entries -= 1
+                    with self.lock:
+                        self.result.count_answer(answered_at - entry)
+                    continue
+                entry.answered_at = answered_at
                 if self.telemetry is not None:
                     with self.lock:
                         self.telemetry.on_answer(entry)
@@ -445,6 +506,59 @@ class _LiveDistributor(threading.Thread):
                 except OSError:
                     pass
 
+    def run_shard_file(self, path: str,
+                       read_ahead: int = DEFAULT_READ_AHEAD,
+                       pace_lead: float = 2.0) -> None:
+        """Self-source records from a shard file (streaming replay).
+
+        The control socket carries only the timing handshake — the
+        controller sends TIME_SYNC then END without ever reading a
+        record (it knows the shard only through the manifest).  Records
+        come off disk through :func:`iter_shard_file`'s bounded
+        read-ahead, and routing is *paced*: a record is not forwarded
+        until within ``pace_lead`` seconds of its replay time, so the
+        querier heaps hold at most a few seconds of queries instead of
+        the whole shard.  ``pace_lead <= 0`` disables pacing (as fast
+        as the tree accepts, the classic firehose).
+        """
+        try:
+            for kind, payload in self.inbound.messages():  # until END
+                if kind == MSG_TIME_SYNC:
+                    self._trace_start = payload
+                    if self.sync_mono is None:
+                        self.sync_mono = time.monotonic()
+                    for outbound in self.querier_sockets:
+                        outbound.send_time_sync(payload)
+                elif kind == MSG_SHUTDOWN:
+                    for outbound in self.querier_sockets:
+                        try:
+                            outbound.send_shutdown()
+                        except OSError:
+                            pass
+                    return
+            if self._trace_start is None:
+                return   # controller vanished before the handshake
+            for record in iter_shard_file(path, read_ahead=read_ahead):
+                if pace_lead > 0:
+                    lead = ((record.timestamp - self._trace_start)
+                            - (time.monotonic() - self.sync_mono)
+                            - pace_lead)
+                    while lead > 0:
+                        time.sleep(min(lead, 0.25))
+                        lead = ((record.timestamp - self._trace_start)
+                                - (time.monotonic() - self.sync_mono)
+                                - pace_lead)
+                self.records_routed += 1
+                self._route(record)
+        except ProtocolError:
+            pass  # torn-down control channel: flush END downstream
+        finally:
+            for outbound in self.querier_sockets:
+                try:
+                    outbound.send_end()
+                except OSError:
+                    pass
+
     def _route(self, record: QueryRecord,
                index: Optional[int] = None) -> None:
         """Send to the sticky querier; on a dead socket, reroute.
@@ -495,7 +609,8 @@ class LiveDistributedReplay:
         self.server = self.servers[0]
         self.config = config if config is not None else DistributedConfig()
         self.telemetry = telemetry
-        self.result = ReplayResult("distributed-live")
+        self.result = ReplayResult(
+            "distributed-live", aggregate=self.config.aggregate_results)
         self._lock = threading.Lock()
         # querier -> (distributor, dist-side socket, querier-side socket)
         self._wiring: Dict[object, Tuple["_LiveDistributor",
@@ -597,11 +712,15 @@ class LiveDistributedReplay:
                     querier.telemetry = telemetry
             telemetry.start_wall_sampler()
             telemetry.add_probe("replay.queries_sent",
-                                lambda: len(self.result.sent))
-            telemetry.add_probe(
-                "replay.answered",
-                lambda: sum(1 for e in self.result.sent
-                            if e.answered_at is not None))
+                                lambda: len(self.result))
+            if self.result.aggregate:
+                telemetry.add_probe("replay.answered",
+                                    lambda: self.result.answered_count)
+            else:
+                telemetry.add_probe(
+                    "replay.answered",
+                    lambda: sum(1 for e in self.result.sent
+                                if e.answered_at is not None))
 
         if self.config.supervision is not None:
             self.watchdog = ReplayWatchdog(

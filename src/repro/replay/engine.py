@@ -117,69 +117,12 @@ class SimReplayEngine:
         """Schedule every record; caller then runs the event loop."""
         if not trace.records:
             return self.result
-        start_clock = self.loop.now + self.config.start_delay
-        trace_start = trace.records[0].timestamp
-        timing = TimingController()
-        timing.synchronize(trace_start, start_clock)
-        self.controller.broadcast_time_sync()
-        self.result.start_clock = start_clock
-        self.result.trace_start = trace_start
-
-        jitter = self.config.jitter
-        fast_gap = (1.0 / self.config.fast_replay_rate
-                    if self.config.fast_replay_rate else 0.0)
-
-        window = (self.config.batch_window
-                  if not self.config.track_timing else None)
         with self.perf.timed("replay.schedule"):
-            scheduled = 0
-            batch = []
-            # Records due at the same instant coalesce per querier into
-            # one batched-send event.  Send times are nondecreasing, so
-            # one open instant (``group_at``) suffices; within it each
-            # querier keeps its items in record order, and groups flush
-            # in first-seen querier order when the instant advances.
-            group_at = None
-            groups: dict = {}
-            for index, record in enumerate(trace.records):
-                if self.config.live_mutator is not None:
-                    record = self.config.live_mutator.apply_record(record)
-                    if record is None:
-                        continue
-                querier = self.controller.dispatch(record.src)
-                available = self.controller.availability_time(index,
-                                                              start_clock)
-                if self.config.track_timing:
-                    target = timing.target_clock_time(record.timestamp)
-                    if jitter is not None:
-                        target += jitter.draw()
-                    send_at = max(available, target, self.loop.now)
-                else:
-                    send_at = max(available, start_clock + index * fast_gap)
-                    if window:
-                        # Quantize *up*: never earlier than unquantized.
-                        send_at = math.ceil(send_at / window) * window
-                scheduled += 1
-                if not self.config.batch_sends:
-                    batch.append((send_at, self._dispatch_send,
-                                  (querier, index, record, send_at)))
-                    continue
-                if send_at != group_at:
-                    for grouped, items in groups.values():
-                        batch.append(self._group_entry(grouped, group_at,
-                                                       items))
-                    groups.clear()
-                    group_at = send_at
-                entry = groups.get(id(querier))
-                if entry is None:
-                    groups[id(querier)] = (querier,
-                                           [(index, record, send_at)])
-                else:
-                    entry[1].append((index, record, send_at))
-            for grouped, items in groups.values():
-                batch.append(self._group_entry(grouped, group_at, items))
-            self.loop.call_at_many(batch)
-            self.perf.incr("replay.queries_scheduled", scheduled)
+            scheduler = _StreamScheduler(self, trace.records[0].timestamp)
+            for record in trace.records:
+                scheduler.schedule(record)
+            scheduler.flush()
+            self.perf.incr("replay.queries_scheduled", scheduler.scheduled)
         return self.result
 
     def _group_entry(self, querier: SimQuerier, send_at: float, items: List):
@@ -252,7 +195,70 @@ class SimReplayEngine:
                 self.loop.run_until(end)
             self.perf.incr("replay.events_processed",
                            self.loop.events_processed - events_before)
+        self._canonicalize()
         return result
+
+    def _canonicalize(self) -> None:
+        """Present ``result.sent`` in trace order.
+
+        Per-querier batching coalesces same-instant sends, so append
+        order within a tied instant depends on how records were chunked
+        into the scheduler.  Sorting by trace index makes the result
+        independent of that artifact — the streamed and in-memory paths
+        then produce literally identical results.
+        """
+        if not self.result.aggregate:
+            self.result.sent.sort(key=lambda entry: entry.index)
+
+    def replay_stream(self, records, extra_time: float = 10.0,
+                      chunk_records: int = 4096) -> ReplayResult:
+        """Replay a record *stream* with bounded scheduling memory.
+
+        :meth:`replay` schedules the whole trace before running — fine
+        at 10⁴ queries, impossible at 10⁸ (the event queue would hold
+        every send).  This path interleaves: schedule ``chunk_records``
+        records, run the loop up to the next record's earliest possible
+        send time, schedule the next chunk, and so on.  The event queue
+        holds one chunk of pending sends plus in-flight responses,
+        independent of stream length.
+
+        Timestamps must be nondecreasing (every streaming source here
+        — generators, shard files, mutated streams — guarantees it), so
+        a chunk's sends never land before the barrier the loop already
+        ran to.  Scheduling and accounting go through the same
+        machinery as :meth:`replay`; replaying the same records through
+        either path yields the same :class:`ReplayResult`.
+        """
+        iterator = iter(records)
+        pending = next(iterator, None)
+        if pending is None:
+            return self.result
+        events_before = self.loop.events_processed
+        scheduler = _StreamScheduler(self, pending.timestamp)
+        first_ts = pending.timestamp
+        last_ts = first_ts
+        while pending is not None:
+            with self.perf.timed("replay.schedule"):
+                count = 0
+                while pending is not None and count < chunk_records:
+                    last_ts = pending.timestamp
+                    scheduler.schedule(pending)
+                    count += 1
+                    pending = next(iterator, None)
+                scheduler.flush()
+            if pending is not None:
+                barrier = scheduler.send_floor(pending)
+                if barrier > self.loop.now:
+                    with self.perf.timed("replay.run"):
+                        self.loop.run_until(barrier)
+        self.perf.incr("replay.queries_scheduled", scheduler.scheduled)
+        end = scheduler.start_clock + (last_ts - first_ts) + extra_time
+        with self.perf.timed("replay.run"):
+            self.loop.run_until(max(end, self.loop.now))
+        self.perf.incr("replay.events_processed",
+                       self.loop.events_processed - events_before)
+        self._canonicalize()
+        return self.result
 
     # -- introspection ------------------------------------------------------
 
@@ -261,3 +267,104 @@ class SimReplayEngine:
 
     def open_connections(self) -> int:
         return sum(q.open_connections() for q in self.queriers)
+
+
+class _StreamScheduler:
+    """Incremental record scheduling shared by trace and stream replay.
+
+    Owns the cross-record state of the §2.6 timing discipline — the
+    time-sync anchor, the running input index, and the same-instant
+    batching groups — so records can arrive one at a time.  Records due
+    at the same instant coalesce per querier into one batched-send
+    event.  Send times are nondecreasing, so one open instant
+    (``group_at``) suffices; within it each querier keeps its items in
+    record order, and groups close in first-seen querier order when the
+    instant advances (or at a :meth:`flush`, which may split a group
+    that straddles a stream chunk boundary — per-record semantics are
+    unchanged, the batch merely leaves in two calls).
+    """
+
+    def __init__(self, engine: SimReplayEngine, trace_start: float):
+        self.engine = engine
+        config = engine.config
+        self.start_clock = engine.loop.now + config.start_delay
+        self.timing = TimingController()
+        self.timing.synchronize(trace_start, self.start_clock)
+        engine.controller.broadcast_time_sync()
+        engine.result.start_clock = self.start_clock
+        engine.result.trace_start = trace_start
+        self.jitter = config.jitter
+        self.fast_gap = (1.0 / config.fast_replay_rate
+                         if config.fast_replay_rate else 0.0)
+        self.window = (config.batch_window
+                       if not config.track_timing else None)
+        self.index = 0
+        self.scheduled = 0
+        self.batch: List = []
+        self.group_at: Optional[float] = None
+        self.groups: dict = {}
+
+    def send_floor(self, record) -> float:
+        """A lower bound on ``record``'s eventual send time.
+
+        Used as the run barrier between stream chunks: the loop may
+        process events up to this time before the record is scheduled,
+        because its send lands at or after it (availability and the
+        ``loop.now`` clamp only push sends later; negative timer jitter
+        is clamped to the barrier by ``call_at``).
+        """
+        if self.engine.config.track_timing:
+            return self.timing.target_clock_time(record.timestamp)
+        return self.start_clock + self.index * self.fast_gap
+
+    def schedule(self, record) -> None:
+        engine = self.engine
+        config = engine.config
+        index = self.index
+        self.index += 1
+        if config.live_mutator is not None:
+            record = config.live_mutator.apply_record(record)
+            if record is None:
+                return
+        querier = engine.controller.dispatch(record.src)
+        available = engine.controller.availability_time(index,
+                                                        self.start_clock)
+        if config.track_timing:
+            target = self.timing.target_clock_time(record.timestamp)
+            if self.jitter is not None:
+                target += self.jitter.draw()
+            send_at = max(available, target, engine.loop.now)
+        else:
+            send_at = max(available,
+                          self.start_clock + index * self.fast_gap)
+            if self.window:
+                # Quantize *up*: never earlier than unquantized.
+                send_at = math.ceil(send_at / self.window) * self.window
+        self.scheduled += 1
+        if not config.batch_sends:
+            self.batch.append((send_at, engine._dispatch_send,
+                               (querier, index, record, send_at)))
+            return
+        if send_at != self.group_at:
+            self._close_groups()
+            self.group_at = send_at
+        entry = self.groups.get(id(querier))
+        if entry is None:
+            self.groups[id(querier)] = (querier,
+                                        [(index, record, send_at)])
+        else:
+            entry[1].append((index, record, send_at))
+
+    def _close_groups(self) -> None:
+        for grouped, items in self.groups.values():
+            self.batch.append(self.engine._group_entry(grouped,
+                                                       self.group_at, items))
+        self.groups.clear()
+
+    def flush(self) -> None:
+        """Hand everything scheduled so far to the event loop."""
+        self._close_groups()
+        self.group_at = None
+        if self.batch:
+            self.engine.loop.call_at_many(self.batch)
+            self.batch = []

@@ -57,6 +57,7 @@ from ..telemetry.core import Telemetry
 from ..telemetry.metrics import MetricsRegistry
 from ..telemetry.tracing import TelemetryConfig
 from ..trace import Trace
+from ..trace.stream import read_manifest, shard_path
 from .distributed import (DistributedConfig, ServerAddress,
                           _LiveDistributor, _LiveQuerier)
 from .distributor import StickyAssigner
@@ -108,7 +109,10 @@ def _distributor_main(control_addr: Tuple[str, int], distributor_id: int,
                       querier_count: int,
                       recovery: Optional[RecoveryConfig] = None,
                       incarnation: int = 0, listen_port: int = 0,
-                      telemetry: Optional[TelemetryConfig] = None) -> None:
+                      telemetry: Optional[TelemetryConfig] = None,
+                      shard_file: Optional[str] = None,
+                      read_ahead: int = 2048,
+                      pace_lead: float = 2.0) -> None:
     listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
     # SO_REUSEADDR unconditionally: accepted querier sockets inherit it,
     # so a respawned incarnation can rebind this port while the dead
@@ -190,7 +194,14 @@ def _distributor_main(control_addr: Tuple[str, int], distributor_id: int,
                   incarnation, accept_stop),
             daemon=True, name=f"distributor-{distributor_id}-accept")
         accept_thread.start()
-    distributor.run()   # synchronous: returns on END/SHUTDOWN/EOF
+    if shard_file is not None:
+        # Streaming mode: self-source the shard file with bounded
+        # read-ahead instead of receiving records over the control
+        # socket (which carries only TIME_SYNC + END).
+        distributor.run_shard_file(shard_file, read_ahead=read_ahead,
+                                   pace_lead=pace_lead)
+    else:
+        distributor.run()   # synchronous: returns on END/SHUTDOWN/EOF
     if recovery is not None:
         accept_stop.set()
         listener.close()
@@ -308,13 +319,14 @@ def _querier_main(control_addr: Tuple[str, int], querier_id: int,
                   deadline: Optional[float] = None,
                   recovery: Optional[RecoveryConfig] = None,
                   incarnation: int = 0,
-                  telemetry: Optional[TelemetryConfig] = None) -> None:
+                  telemetry: Optional[TelemetryConfig] = None,
+                  aggregate: bool = False) -> None:
     control = connect(control_addr)
     attach_chaos(control, recovery.chaos if recovery else None,
                  ROLE_QUERIER, querier_id, incarnation)
     control.send_hello(ROLE_QUERIER, querier_id, 0, incarnation)
     inbound = connect(distributor_addr)
-    result = ReplayResult(f"querier-{querier_id}")
+    result = ReplayResult(f"querier-{querier_id}", aggregate=aggregate)
     querier = _LiveQuerier(querier_id, inbound, tuple(server), result,
                            threading.Lock())
     # The controller cannot flip this worker's shed_event across the
@@ -341,11 +353,14 @@ def _querier_main(control_addr: Tuple[str, int], querier_id: int,
         if querier.redundant_records:
             registry.incr("replay.redundant_records",
                           querier.redundant_records)
-        with querier.lock:
-            latencies = [entry.latency for entry in result.sent]
-        for latency in latencies:
-            if latency is not None:
-                registry.observe("query.latency_s", latency)
+        # Aggregate mode never retains per-query entries: the latency
+        # distribution travels in the RESULT frame's histogram instead.
+        if not result.aggregate:
+            with querier.lock:
+                latencies = [entry.latency for entry in result.sent]
+            for latency in latencies:
+                if latency is not None:
+                    registry.observe("query.latency_s", latency)
         return registry.to_state()
 
     streamer: Optional[TelemetryStreamer] = None
@@ -601,6 +616,12 @@ class UdpEchoServerProcess:
 # Controller
 # ---------------------------------------------------------------------------
 
+# Stands in for a shard already folded into the controller result
+# (streaming merge): non-None, so has_work()/collection see the worker
+# as reported, without keeping the per-worker frame alive.
+_DRAINED = ReplayResult("drained", aggregate=True)
+
+
 class _WorkerHandle:
     """Controller-side view of one worker process (watchdog subject)."""
 
@@ -681,7 +702,8 @@ class ProcessTopology:
         self.servers = [tuple(address) for address in servers]
         self.config = config if config is not None else DistributedConfig()
         self.telemetry = telemetry
-        self.result = ReplayResult("distributed-process")
+        self.result = ReplayResult(
+            "distributed-process", aggregate=self.config.aggregate_results)
         # Cross-process telemetry: per-worker MetricsRegistry snapshots
         # merged into one registry (and into the telemetry hub's, when
         # one is attached).
@@ -740,47 +762,51 @@ class ProcessTopology:
                       expected_role: int) -> _WorkerHandle:
         return _accept_hello(listener, expected_role)
 
-    # -- the run -----------------------------------------------------------
+    def _spawn_tree(self, num_distributors: int,
+                    distributor_extra=None,
+                    aggregate: bool = False) -> List:
+        """Spawn distributors + queriers and HELLO them in.
 
-    def replay(self, trace: Trace) -> ReplayResult:
-        records = sorted(trace.records, key=lambda r: r.timestamp)
-        if not records:
-            return self.result
-        if self.config.recovery is not None:
-            return self._replay_recovering(records)
+        ``distributor_extra(i)`` appends streaming arguments (shard
+        file path, read-ahead, pacing) to distributor *i*'s argv;
+        ``aggregate`` switches the queriers to O(1) result accounting.
+        Returns the process list (distributors first, queriers after).
+        """
         config = self.config
         tconfig = self._stream_config()
         if tconfig is not None:
             self.cluster = _make_aggregator(tconfig)
         ctx = _mp_context(config.start_method)
-        querier_total = (config.distributors
+        querier_total = (num_distributors
                          * config.queriers_per_distributor)
         processes = []
         listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
         try:
             listener.bind(("127.0.0.1", 0))
-            listener.listen(config.distributors + querier_total)
+            listener.listen(num_distributors + querier_total)
             listener.settimeout(_SETUP_TIMEOUT)
             control_addr = listener.getsockname()
 
             # Tier 1: distributor processes; HELLO carries each one's
             # querier-listener port.
-            for distributor_id in range(config.distributors):
+            for distributor_id in range(num_distributors):
+                args = (control_addr, distributor_id,
+                        config.queriers_per_distributor,
+                        None, 0, 0, tconfig)
+                if distributor_extra is not None:
+                    args = args + tuple(distributor_extra(distributor_id))
                 process = ctx.Process(
-                    target=_distributor_main,
-                    args=(control_addr, distributor_id,
-                          config.queriers_per_distributor,
-                          None, 0, 0, tconfig),
+                    target=_distributor_main, args=args,
                     daemon=True, name=f"replay-distributor-{distributor_id}")
                 process.start()
                 processes.append(process)
             by_id: Dict[int, _WorkerHandle] = {}
-            for _ in range(config.distributors):
+            for _ in range(num_distributors):
                 handle = self._accept_hello(listener, ROLE_DISTRIBUTOR)
                 handle.process = processes[handle.worker_id]
                 by_id[handle.worker_id] = handle
             self.distributor_handles = [by_id[i]
-                                        for i in range(config.distributors)]
+                                        for i in range(num_distributors)]
 
             # Tier 2: querier processes, each wired to its distributor.
             deadline = (config.supervision.deadline
@@ -795,7 +821,7 @@ class ProcessTopology:
                     args=(control_addr, querier_id,
                           ("127.0.0.1", distributor_port),
                           self.server_for(querier_id), deadline,
-                          None, 0, tconfig),
+                          None, 0, tconfig, aggregate),
                     daemon=True, name=f"replay-querier-{querier_id}")
                 process.start()
                 processes.append(process)
@@ -803,7 +829,7 @@ class ProcessTopology:
             for _ in range(querier_total):
                 handle = self._accept_hello(listener, ROLE_QUERIER)
                 handle.process = \
-                    processes[config.distributors + handle.worker_id]
+                    processes[num_distributors + handle.worker_id]
                 by_id[handle.worker_id] = handle
             self.querier_handles = [by_id[i] for i in range(querier_total)]
         except Exception:
@@ -813,6 +839,19 @@ class ProcessTopology:
             raise
         finally:
             listener.close()
+        return processes
+
+    # -- the run -----------------------------------------------------------
+
+    def replay(self, trace: Trace) -> ReplayResult:
+        records = sorted(trace.records, key=lambda r: r.timestamp)
+        if not records:
+            return self.result
+        if self.config.recovery is not None:
+            return self._replay_recovering(records)
+        config = self.config
+        processes = self._spawn_tree(
+            config.distributors, aggregate=config.aggregate_results)
 
         handles = self.querier_handles + self.distributor_handles
         if self.cluster is not None:
@@ -900,6 +939,116 @@ class ProcessTopology:
             telemetry.metrics.merge(self.metrics)
 
         # Teardown: SHUTDOWN, close, reap.
+        for handle in handles:
+            try:
+                handle.control.send_shutdown()
+            except OSError:
+                pass
+            handle.control.close()
+        for process in processes:
+            process.join(timeout=2.0)
+        for process in processes:
+            if process.is_alive():
+                process.terminate()
+                process.join(timeout=2.0)
+        return self.result
+
+    def replay_shard_files(self, directory: str, read_ahead: int = 2048,
+                           pace_lead: float = 2.0) -> ReplayResult:
+        """Replay a shard-file set at constant memory (the 10⁸ path).
+
+        The trace must already be split sticky-by-source into chunked
+        binary shard files (:func:`repro.trace.stream.split_shards`);
+        this controller reads only the ``manifest.json`` sidecar — it
+        never touches a record.  One distributor process is spawned per
+        shard file (``config.distributors`` is ignored) and self-sources
+        it lazily with ``read_ahead`` records of decode-ahead, pacing
+        routing ``pace_lead`` seconds ahead of the replay clock so no
+        tier ever buffers the trace.  Queriers account in aggregate
+        mode, so RESULT frames stay a few KB at any scale and are
+        merged into the controller result the moment they arrive
+        instead of being buffered per worker.
+        """
+        if self.config.recovery is not None:
+            raise ValueError(
+                "shard-file streaming does not support recovery mode")
+        manifest = read_manifest(directory)
+        num_shards = manifest["num_shards"]
+        self.result = ReplayResult("distributed-process", aggregate=True)
+        if not manifest["total_records"]:
+            return self.result
+        config = self.config
+
+        def streaming_args(index: int):
+            return (shard_path(directory, index, manifest),
+                    read_ahead, pace_lead)
+
+        processes = self._spawn_tree(num_shards,
+                                     distributor_extra=streaming_args,
+                                     aggregate=True)
+        handles = self.querier_handles + self.distributor_handles
+        if self.cluster is not None:
+            for handle in handles:
+                self._start_stream_reader(handle)
+        if config.supervision is not None:
+            self.watchdog = ReplayWatchdog(
+                config.supervision, handles,
+                on_stall=self._handle_stall,
+                on_deadline=self._handle_deadline)
+            self.watchdog.start()
+
+        trace_start = manifest["first_timestamp"]
+        self.result.trace_start = trace_start
+        time.sleep(config.start_delay)
+        self.result.start_clock = time.monotonic()
+        if self.cluster is not None:
+            self.cluster.set_anchor(self.result.start_clock)
+        # The whole control stream: TIME_SYNC anchors the tree, END
+        # closes it.  Records never cross these sockets — each
+        # distributor reads its own shard file.  A dead distributor
+        # surfaces through lost-shard accounting below.
+        for handle in self.distributor_handles:
+            try:
+                handle.control.send_time_sync(trace_start)
+                handle.control.send_end()
+            except OSError:
+                pass
+
+        duration = manifest["last_timestamp"] - trace_start
+        deadline = time.monotonic() + duration + pace_lead \
+            + config.settle_time + 10.0
+        supervision = config.supervision
+        if supervision is not None and supervision.deadline is not None:
+            deadline = min(deadline, self.result.start_clock
+                           + supervision.deadline
+                           + supervision.stall_timeout + 10.0)
+        # Streaming merge: fold each worker's aggregate frame into the
+        # controller result as it is collected, then drop it — the
+        # controller holds O(1) state however many workers report.
+        lost = 0
+        for handle in handles:
+            self._collect(handle, deadline)
+            with self._lock:
+                if handle.shard is not None:
+                    self.result.merge(handle.shard)
+                    handle.shard = _DRAINED
+                else:
+                    lost += 1
+                if handle.metrics_state is not None:
+                    self.metrics.merge_state(handle.metrics_state)
+                    handle.metrics_state = {}
+        if self.watchdog is not None:
+            self.watchdog.stop()
+            self.watchdog.join(timeout=1.0)
+        if lost:
+            self.metrics.incr("multiproc.lost_shards", lost)
+        self.metrics.incr("multiproc.workers", len(handles))
+        self.metrics.incr("multiproc.trace_records",
+                          manifest["total_records"])
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.metrics.merge(self.metrics)
+
         for handle in handles:
             try:
                 handle.control.send_shutdown()

@@ -128,6 +128,20 @@ _HISTOGRAM_FIELDS = {
     "buckets": dict,
 }
 
+# Aggregate-mode RESULT frames (constant-memory streaming replay) carry
+# accumulators instead of per-query entries; histogram/bucket maps are
+# str(int) -> int as JSON requires.
+_AGGREGATE_FIELDS = {
+    "sent_count": int, "answered_count": int,
+    "latency_sum": _NUMBER, "latency_min": _OPTIONAL_NUMBER,
+    "latency_max": _OPTIONAL_NUMBER, "latency_hist": dict,
+    "error_count": int, "error_sum": _NUMBER, "error_sumsq": _NUMBER,
+    "error_min": _OPTIONAL_NUMBER, "error_max": _OPTIONAL_NUMBER,
+    "protocol_counts": dict, "fresh_connections": int,
+    "first_sent_at": _OPTIONAL_NUMBER, "last_sent_at": _OPTIONAL_NUMBER,
+    "rate_buckets": dict,
+}
+
 
 def _require(condition: bool, what: str) -> None:
     if not condition:
@@ -152,18 +166,39 @@ def _check_fields(entry: dict, required: dict, optional: dict,
 
 
 def validate_result_payload(payload: object) -> dict:
-    """Check a RESULT frame's JSON against the ReplayResult shard shape."""
+    """Check a RESULT frame's JSON against the ReplayResult shard shape.
+
+    A shard is either list-mode (``sent`` holds per-query entries) or
+    aggregate-mode (``aggregate`` holds O(1) accumulators); exactly one
+    of the two keys must be present.
+    """
     _require(isinstance(payload, dict), "RESULT payload must be an object")
-    _check_fields(payload, {"sent": list},
-                  {"name": str, "start_clock": _OPTIONAL_NUMBER,
+    _require(("sent" in payload) != ("aggregate" in payload),
+             "RESULT must carry exactly one of 'sent' or 'aggregate'")
+    _check_fields(payload, {},
+                  {"sent": list, "aggregate": dict, "name": str,
+                   "start_clock": _OPTIONAL_NUMBER,
                    "trace_start": _OPTIONAL_NUMBER, "counters": dict},
                   "RESULT")
     for name, value in payload.get("counters", {}).items():
         _require(isinstance(name, str) and isinstance(value, int),
                  f"RESULT counter {name!r} must map str -> int")
-    for index, entry in enumerate(payload["sent"]):
+    for index, entry in enumerate(payload.get("sent", ())):
         _check_fields(entry, _SENT_REQUIRED, _SENT_OPTIONAL,
                       f"RESULT sent[{index}]")
+    aggregate = payload.get("aggregate")
+    if aggregate is not None:
+        _check_fields(aggregate, {}, _AGGREGATE_FIELDS, "RESULT aggregate")
+        for section in ("latency_hist", "rate_buckets"):
+            for key, count in aggregate.get(section, {}).items():
+                _require(isinstance(key, str) and _is_int_key(key)
+                         and isinstance(count, int),
+                         f"RESULT aggregate {section} entry {key!r} "
+                         f"must map int-keyed str -> int")
+        for protocol, count in aggregate.get("protocol_counts", {}).items():
+            _require(isinstance(protocol, str) and isinstance(count, int),
+                     f"RESULT aggregate protocol_counts entry "
+                     f"{protocol!r} must map str -> int")
     return payload
 
 

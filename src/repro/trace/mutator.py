@@ -53,18 +53,26 @@ class QueryMutator:
                 return None
         return current
 
-    def apply(self, trace: Trace) -> Trace:
-        return Trace(
-            (out for out in (self.apply_record(r) for r in trace)
-             if out is not None),
-            name=f"{trace.name}:mutated")
-
     def stream(self, records: Iterable[QueryRecord]) -> Iterator[QueryRecord]:
-        """Live mutation of a query stream during replay."""
+        """Mutate a record stream lazily — the primary path.
+
+        Accepts any record iterable (a ``Trace``, a generator from
+        :meth:`BRootWorkload.generate_stream`, a :func:`iter_binary`
+        reader) and yields results one at a time, so a 10⁸-record
+        pipeline never holds more than one record here.
+        """
         for record in records:
             out = self.apply_record(record)
             if out is not None:
                 yield out
+
+    def apply(self, trace: Trace) -> Trace:
+        """Materialize a mutated copy of ``trace``.
+
+        Convenience wrapper over :meth:`stream` for small traces;
+        anything B-Root-sized should stay on the streaming path.
+        """
+        return Trace(self.stream(trace), name=f"{trace.name}:mutated")
 
 
 # -- built-in mutations ------------------------------------------------------
@@ -142,21 +150,38 @@ def retarget(address: str, port: Optional[int] = None) -> Mutation:
 
 
 def scale_time(factor: float) -> Mutation:
-    """Multiply relative timestamps by ``factor`` (2.0 = half the rate)."""
+    """Multiply relative timestamps by ``factor`` (2.0 = half the rate).
+
+    ``factor`` must be >= 0: a negative factor would reverse trace
+    order, which the replay engines (and the streaming shard writers)
+    assume never happens.  ``factor == 0.0`` collapses the trace onto
+    its first timestamp — an as-fast-as-possible replay — which keeps
+    timestamps non-decreasing and is allowed.
+    """
+    if factor < 0:
+        raise ValueError(f"scale_time factor must be >= 0, got {factor}")
     base: List[Optional[float]] = [None]
 
     def mutate(record: QueryRecord) -> QueryRecord:
         if base[0] is None:
             base[0] = record.timestamp
         relative = record.timestamp - base[0]
-        return record.with_(timestamp=base[0] + relative * factor)
+        return record.with_(timestamp=max(0.0, base[0] + relative * factor))
 
     return mutate
 
 
 def shift_time(offset: float) -> Mutation:
+    """Shift every timestamp by ``offset``, clamped at zero.
+
+    A negative shift larger than an early timestamp would otherwise
+    emit negative times, which ``schedule_trace`` turns into a burst of
+    immediate sends ordered arbitrarily; clamping keeps the head of the
+    trace monotonic at t=0 instead.
+    """
+
     def mutate(record: QueryRecord) -> QueryRecord:
-        return record.with_(timestamp=record.timestamp + offset)
+        return record.with_(timestamp=max(0.0, record.timestamp + offset))
 
     return mutate
 

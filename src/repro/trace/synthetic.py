@@ -25,11 +25,12 @@ yields byte-identical traces (§2.1 repeatability).
 
 from __future__ import annotations
 
+import heapq
 import ipaddress
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..dns import (DNS_PORT, Edns, Message, Name, RRClass, RRType, Zone,
                    make_soa, rdata_from_text)
@@ -367,6 +368,89 @@ class BRootWorkload:
         trace.sort()
         return trace
 
+    def generate_stream(self) -> Iterator[QueryRecord]:
+        """Yield the workload in timestamp order with bounded memory.
+
+        Record-for-record identical to :meth:`generate` — the same seed
+        produces the same records in the same order — but a 10⁸-query
+        trace streams through a small reorder buffer instead of
+        existing as a list.  The RNG call sequence is kept exactly in
+        step with :meth:`generate`, so the only difference is ordering
+        machinery: :meth:`generate` appends then stable-sorts, while
+        this keeps a heap keyed ``(timestamp, generation order)`` —
+        the same total order a stable sort produces.
+
+        Companion (burst) queries are generated up to one burst span
+        ahead of the arrival process, so the heap can only flush
+        records older than the newest arrival: every future record is
+        stamped after it (companions clamp at ``duration - 1e-6``,
+        hence the threshold).  Heap occupancy is roughly
+        ``mean_rate × burst span`` — thousands of records at B-Root
+        rates, never the trace.
+        """
+        rng = random.Random(self.seed)
+        clients, weights = self._client_population(rng)
+        cumulative = _cumulative(weights)
+        tlds = _tld_names(self.tld_count)
+        qtypes = [qtype for qtype, _weight in self.QTYPE_MIX]
+        qtype_cum = _cumulative([weight for _qtype, weight in self.QTYPE_MIX])
+
+        heap: List[Tuple[float, int, QueryRecord]] = []
+        seq = 0
+        now = 0.0
+        index = 0
+        expected_companions = (self.burst_fraction
+                               / max(1.0 - self.burst_continue, 1e-6))
+        base_rate_fraction = 1.0 / (1.0 + expected_companions)
+        while now < self.duration:
+            rate = base_rate_fraction * self.mean_rate * (
+                1.0 + self.rate_swing
+                * math.sin(2 * math.pi * now / self.swing_period))
+            now += rng.expovariate(max(rate, 1e-9))
+            if now >= self.duration:
+                break
+            client = clients[_pick(cumulative, rng.random())]
+            qname = self._qname(rng, tlds, index)
+            qtype = qtypes[_pick(qtype_cum, rng.random())]
+            dnssec = rng.random() < self.do_fraction
+            protocol = "tcp" if rng.random() < self.tcp_fraction else "udp"
+            message = Message.make_query(
+                Name.from_text(qname), qtype,
+                msg_id=(index % 0xFFFF) + 1, recursion_desired=False,
+                edns=Edns(dnssec_ok=dnssec) if dnssec or rng.random() < 0.9
+                else None)
+            sport = 1024 + (hash(client) + index) % 60000
+            heapq.heappush(heap, (now, seq, QueryRecord(
+                now, client, sport, self.server, DNS_PORT, protocol,
+                message.to_wire())))
+            seq += 1
+            index += 1
+            companion_time = now
+            continue_probability = self.burst_fraction
+            while rng.random() < continue_probability:
+                companion_time += rng.uniform(*self.burst_gap_range)
+                companion_type = (RRType.AAAA if qtype == RRType.A
+                                  else RRType.A)
+                companion = Message.make_query(
+                    Name.from_text(qname), companion_type,
+                    msg_id=(index % 0xFFFF) + 1, recursion_desired=False,
+                    edns=Edns(dnssec_ok=dnssec))
+                stamped = min(companion_time, self.duration - 1e-6)
+                heapq.heappush(heap, (stamped, seq, QueryRecord(
+                    stamped, client, sport, self.server, DNS_PORT, protocol,
+                    companion.to_wire())))
+                seq += 1
+                index += 1
+                continue_probability = self.burst_continue
+            # Safe to emit anything older than every record still to
+            # come: future arrivals land after ``now`` and future
+            # companions never stamp before ``duration - 1e-6``.
+            threshold = min(now, self.duration - 1e-6)
+            while heap and heap[0][0] < threshold:
+                yield heapq.heappop(heap)[2]
+        while heap:
+            yield heapq.heappop(heap)[2]
+
     def _client_population(self, rng: random.Random
                            ) -> Tuple[List[str], List[float]]:
         clients = [_address_block("10.64.0.0", i)
@@ -398,6 +482,57 @@ class BRootWorkload:
         if roll < self.junk_fraction + 0.4:
             return f"{tld}."
         return f"example{rng.randrange(1000):03d}.{tld}."
+
+
+def scale_stream(query_count: int, mean_rate: float = 100_000.0,
+                 client_count: int = 100_000,
+                 server: str = DEFAULT_SERVER_ADDRESS,
+                 wire_pool: int = 4096, tld_count: int = 40,
+                 tcp_fraction: float = 0.03, skew: float = 4.0,
+                 seed: int = 42) -> Iterator[QueryRecord]:
+    """B-Root-*shaped* query stream built for 10⁸-record benchmarks.
+
+    :meth:`BRootWorkload.generate_stream` is the faithful model, but it
+    builds a fresh DNS message per record (~17 µs each — hours at
+    10⁸).  Scale benchmarks need the stream's *mechanical* properties —
+    monotonic timestamps at ``mean_rate``, a heavy-tailed sticky client
+    population, realistic wire sizes, a TCP share — not per-record
+    payload novelty.  This generator pre-builds ``wire_pool`` distinct
+    query wires once and then stamps each record by patching the
+    message ID (a 2-byte splice), which keeps generation around 2 µs a
+    record so a 10⁸-query run is minutes, not hours.
+
+    ``skew`` shapes the client pick (``u**skew`` of the population
+    index): 4.0 sends ≈75 % of queries from ≈1 % of clients, matching
+    the Fig 15c concentration the sticky-routing path must absorb.
+    Deterministic for a given seed, constant memory.
+    """
+    if query_count < 0:
+        raise ValueError("query_count must be >= 0")
+    rng = random.Random(seed)
+    clients = [_address_block("10.64.0.0", i) for i in range(client_count)]
+    rng.shuffle(clients)
+    tlds = _tld_names(tld_count)
+    wires = []
+    for pool_index in range(wire_pool):
+        qname = (f"scale{pool_index:06d}."
+                 f"{tlds[pool_index % len(tlds)]}.")
+        qtype = RRType.AAAA if pool_index % 4 == 0 else RRType.A
+        wires.append(Message.make_query(
+            Name.from_text(qname), qtype, msg_id=1,
+            recursion_desired=False,
+            edns=Edns(dnssec_ok=pool_index % 4 != 3)).to_wire())
+    interval = 1.0 / mean_rate
+    tcp_per_hundred = int(round(tcp_fraction * 100))
+    uniform = rng.random
+    for index in range(query_count):
+        template = wires[index % wire_pool]
+        wire = (index % 0xFFFF + 1).to_bytes(2, "big") + template[2:]
+        client = clients[int(uniform() ** skew * client_count)]
+        protocol = "tcp" if index % 100 < tcp_per_hundred else "udp"
+        yield QueryRecord(
+            index * interval, client, 1024 + (index * 7) % 60000,
+            server, DNS_PORT, protocol, wire)
 
 
 # ---------------------------------------------------------------------------

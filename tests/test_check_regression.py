@@ -77,6 +77,22 @@ class TestCompare:
             {"run": record()}, tolerance=0.20)
         assert failures == ["run.fastpath_qps: dropped from candidate"]
 
+    def test_null_metric_treated_as_dropped(self):
+        # A self-gated host may record the key with a null value; the
+        # guard must not TypeError comparing None against the floor.
+        _lines, failures = compare(
+            {"run": record(fastpath_qps=100.0)},
+            {"run": record(fastpath_qps=None)}, tolerance=0.20)
+        assert failures == ["run.fastpath_qps: dropped from candidate"]
+
+    def test_non_dict_records_skipped_not_crashed(self):
+        lines, failures = compare(
+            {"generated_at": "2026-08-08", "run": record(fastpath_qps=9.0)},
+            {"generated_at": "2026-08-09", "run": record(fastpath_qps=9.0)},
+            tolerance=0.20)
+        assert failures == []
+        assert any("not a measurement record" in line for line in lines)
+
     def test_new_record_is_reported_not_failed(self):
         lines, failures = compare(
             {}, {"fresh": record(fastpath_qps=1.0)}, tolerance=0.20)
@@ -100,3 +116,28 @@ class TestCli:
             ["--baseline", str(baseline),
              "--candidate", str(candidate)]) == 1
         assert "REGRESSED" in capsys.readouterr().err
+
+    def test_unreadable_input_is_a_clean_error(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        baseline.write_text('{"run": {"fastpath_qps": 100.0}}')
+        assert check_regression.main(
+            ["--baseline", str(baseline),
+             "--candidate", str(tmp_path / "missing.json")]) == 2
+        assert "error:" in capsys.readouterr().err
+
+        broken = tmp_path / "broken.json"
+        broken.write_text("{not json")
+        assert check_regression.main(
+            ["--baseline", str(baseline),
+             "--candidate", str(broken)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_non_object_document_is_a_clean_error(self, tmp_path, capsys):
+        baseline = tmp_path / "base.json"
+        candidate = tmp_path / "cand.json"
+        baseline.write_text('[1, 2]')
+        candidate.write_text('{}')
+        assert check_regression.main(
+            ["--baseline", str(baseline),
+             "--candidate", str(candidate)]) == 2
+        assert "JSON objects" in capsys.readouterr().err

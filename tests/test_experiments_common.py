@@ -102,6 +102,20 @@ class TestCli:
                     "hierarchy", "dos"}
         assert set(cli.EXPERIMENTS) == expected
 
+    def test_scale_subcommand_runs_pipeline(self, tmp_path, capsys):
+        import json
+        out = tmp_path / "bench.json"
+        assert cli.main(["scale", "--queries", "3000",
+                         "--workdir", str(tmp_path),
+                         "--json", str(out)]) == 0
+        assert "streamed 3,000 queries" in capsys.readouterr().out
+        record = json.loads(out.read_text())["scale_stream"]
+        assert record["accounted_sends"] == 3000
+        assert record["bytes_on_disk"] > 0
+        # No shard files left behind (the run cleans its workdir).
+        assert not any(p.name.startswith("scale-bench-")
+                       for p in tmp_path.iterdir() if p.is_dir())
+
 
 class TestReport:
     def _fake_registry(self):

@@ -345,7 +345,7 @@ class TestSchemaValidation:
         assert kind == MSG_RESULT and payload["name"] == "querier-1"
 
     @pytest.mark.parametrize("mangle,match", [
-        (lambda p: p.pop("sent"), "missing field 'sent'"),
+        (lambda p: p.pop("sent"), "exactly one of 'sent' or 'aggregate'"),
         (lambda p: p.update(sent={}), "field 'sent' has type dict"),
         (lambda p: p.update(extra=1), "unknown field 'extra'"),
         (lambda p: p["sent"][0].pop("qname"), r"sent\[0\] missing"),
@@ -463,7 +463,8 @@ class TestControlSchemaValidation:
         (lambda p: p.update(incarnation=0x10000), "exceeds u16"),
         (lambda p: p.update(final="yes"), "field 'final'"),
         (lambda p: p.update(surprise=1), "unknown field 'surprise'"),
-        (lambda p: p["result"].pop("sent"), "missing field 'sent'"),
+        (lambda p: p["result"].pop("sent"),
+         "exactly one of 'sent' or 'aggregate'"),
     ], ids=["no-result", "result-not-dict", "worker-bool", "worker-neg",
             "incarnation-overflow", "final-str", "unknown-field",
             "nested-result-invalid"])

@@ -124,12 +124,22 @@ class TestMergeAndSerialization:
     def test_counter_fields_exhaustive(self):
         """Every integer attribute a fresh ReplayResult carries must be
         merge-summed — a counter added later but left out of
-        _COUNTER_FIELDS would silently vanish in process mode."""
+        _COUNTER_FIELDS would silently vanish in process mode.
+
+        Aggregate-mode accumulators are merged by _merge_aggregate
+        (sum/min/max/histogram folds) rather than the counter sweep;
+        test_aggregate_merge_commutes covers those.
+        """
         from repro.replay.result import _COUNTER_FIELDS
+        aggregate_attrs = {"aggregate", "sent_count", "answered_count",
+                           "error_count", "fresh_connections"}
         fresh = ReplayResult()
         int_attrs = {name for name, value in vars(fresh).items()
                      if isinstance(value, int)}
-        assert int_attrs == set(_COUNTER_FIELDS)
+        assert int_attrs - aggregate_attrs == set(_COUNTER_FIELDS)
+        # Any new aggregate accumulator must be wired into
+        # _merge_aggregate and to_dict/from_dict, not silently added.
+        assert aggregate_attrs <= set(vars(fresh))
 
     def test_dict_roundtrip_exact(self):
         import json
@@ -156,6 +166,85 @@ class TestMergeAndSerialization:
                          protocol="tls", fresh=True)
         restored = SentQuery.from_dict(original.to_dict())
         assert restored == original
+
+
+class TestAggregateMode:
+    """Aggregate (O(1)-per-query) accounting: the 10⁸-scale result."""
+
+    def fold(self, name, offset, count, answered_every=1):
+        result = ReplayResult(name, aggregate=True)
+        result.start_clock, result.trace_start = 200.0, 0.0
+        for i in range(count):
+            result.count_send("udp", float(i), 200.0 + i + 0.001)
+            if i % answered_every == 0:
+                result.count_answer(0.0005 * (offset + i + 1))
+        return result
+
+    def test_counts_and_summaries(self):
+        result = self.fold("agg", 0, 10, answered_every=2)
+        assert len(result) == 10
+        assert result.sent_count == 10
+        assert result.answered_count == 5
+        assert result.answered_fraction() == 0.5
+        assert result.unanswered() == 5
+        assert not result.sent          # nothing retained per query
+        latency = result.latency_summary()
+        assert latency["count"] == 5.0
+        assert latency["min"] <= latency["median"] <= latency["max"]
+        errors = result.error_summary()
+        assert errors["count"] == 10.0
+        assert abs(errors["mean"] - 0.001) < 1e-9
+        assert errors["stddev"] < 1e-9
+
+    def test_aggregate_merge_commutes(self):
+        a1, b1 = self.fold("a", 0, 7, 2), self.fold("b", 100, 5, 3)
+        a2, b2 = self.fold("a", 0, 7, 2), self.fold("b", 100, 5, 3)
+        ab = a1.merge(b1)
+        ba = b2.merge(a2)
+        for field in ("sent_count", "answered_count", "latency_sum",
+                      "latency_min", "latency_max", "latency_hist",
+                      "error_count", "error_sum", "error_sumsq",
+                      "protocol_counts", "rate_buckets",
+                      "fresh_connections", "first_sent_at",
+                      "last_sent_at"):
+            assert getattr(ab, field) == getattr(ba, field), field
+
+    def test_dict_roundtrip(self):
+        import json
+        result = self.fold("agg-wire", 3, 9, answered_every=2)
+        result.udp_timeouts = 4
+        wire = json.dumps(result.to_dict())
+        restored = ReplayResult.from_dict(json.loads(wire))
+        assert restored.aggregate
+        assert restored.sent_count == 9
+        assert restored.answered_count == result.answered_count
+        assert restored.latency_hist == result.latency_hist
+        assert restored.rate_buckets == result.rate_buckets
+        assert restored.udp_timeouts == 4
+        assert restored.latency_summary() == result.latency_summary()
+
+    def test_list_shard_folds_into_aggregate(self):
+        aggregate = ReplayResult("controller", aggregate=True)
+        shard = ReplayResult("querier-0")
+        for i in range(4):
+            shard.add(query(i, f"10.0.0.{i}", float(i), 100.0 + i,
+                            answered_at=100.0 + i + 0.002))
+        aggregate.merge(shard)
+        assert aggregate.sent_count == 4
+        assert aggregate.answered_count == 4
+        assert not aggregate.sent
+
+    def test_aggregate_into_list_rejected(self):
+        with pytest.raises(ValueError):
+            ReplayResult("list").merge(ReplayResult("agg", aggregate=True))
+
+    def test_add_folds_final_entries(self):
+        result = ReplayResult("fold", aggregate=True)
+        result.add(query(0, "10.0.0.1", 0.0, 50.0, answered_at=50.01))
+        result.add(query(1, "10.0.0.2", 0.5, 50.5))
+        assert result.sent_count == 2
+        assert result.answered_count == 1
+        assert result.protocol_counts == {"udp": 2}
 
 
 class TestWireReaderWriter:
